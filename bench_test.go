@@ -1,0 +1,369 @@
+// Package tango_test benchmarks the reproduction: one benchmark per paper
+// table/figure (regenerating the experiment and reporting the measured
+// virtual-time PLTs as custom metrics) plus micro-benchmarks of the
+// substrates (path combination, PPL evaluation, hop-field MACs, packet
+// codec, beaconing, transport throughput).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package tango_test
+
+import (
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/beacon"
+	"tango/internal/dataplane"
+	"tango/internal/experiments"
+	"tango/internal/layermodel"
+	"tango/internal/netsim"
+	"tango/internal/pathdb"
+	"tango/internal/policy"
+	"tango/internal/ppl"
+	"tango/internal/segment"
+	"tango/internal/snet"
+	"tango/internal/squic"
+	"tango/internal/stats"
+	"tango/internal/topology"
+)
+
+var (
+	t0     = time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC)
+	t1     = t0.Add(24 * time.Hour)
+	during = t0.Add(time.Hour)
+)
+
+// --- Experiment benchmarks: one per table/figure ---
+
+// BenchmarkTable1LayerModel regenerates the Table 1 decision matrix.
+func BenchmarkTable1LayerModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := layermodel.Matrix()
+		if len(m) != 12 {
+			b.Fatal("matrix incomplete")
+		}
+	}
+}
+
+// benchFigure runs one figure experiment per iteration and reports the
+// median virtual PLT of its first and last series.
+func benchFigure(b *testing.B, run func(int) (*experiments.Figure, error)) {
+	b.Helper()
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fig != nil {
+		for _, s := range fig.Series {
+			sum := stats.SummarizeDurations(s.Samples)
+			b.ReportMetric(sum.Median, "virtms_"+sanitize(s.Label))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig3LocalPLT regenerates Figure 3 (local setup PLTs).
+func BenchmarkFig3LocalPLT(b *testing.B) { benchFigure(b, experiments.RunFig3) }
+
+// BenchmarkFig5RemotePLT regenerates Figure 5 (remote origin PLTs).
+func BenchmarkFig5RemotePLT(b *testing.B) { benchFigure(b, experiments.RunFig5) }
+
+// BenchmarkFig6LocalASPLT regenerates Figure 6 (AS-local origin PLTs).
+func BenchmarkFig6LocalASPLT(b *testing.B) { benchFigure(b, experiments.RunFig6) }
+
+// BenchmarkFig3Ablation regenerates the tight-integration projection: the
+// paper's expectation that the prototype overhead disappears with native
+// integration.
+func BenchmarkFig3Ablation(b *testing.B) { benchFigure(b, experiments.RunFig3Ablation) }
+
+// --- Substrate micro-benchmarks ---
+
+func controlPlane(b *testing.B) (*topology.Topology, *beacon.Infra, *pathdb.Registry) {
+	b.Helper()
+	topo := topology.Default()
+	infra, err := beacon.NewInfra(topo, t0, t1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := pathdb.NewRegistry(infra.Store)
+	if err := beacon.NewService(topo, infra, reg, 12*time.Hour).Run(t0); err != nil {
+		b.Fatal(err)
+	}
+	return topo, infra, reg
+}
+
+// BenchmarkBeaconRound measures one full beaconing round over the default
+// topology (origination, propagation, signing, registration).
+func BenchmarkBeaconRound(b *testing.B) {
+	topo := topology.Default()
+	infra, err := beacon.NewInfra(topo, t0, t1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := pathdb.NewRegistry(infra.Store)
+		if err := beacon.NewService(topo, infra, reg, 12*time.Hour).Run(t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathCombination measures end-to-end path assembly (up+core+down
+// joins, shortcuts, peering) for an inter-ISD pair.
+func BenchmarkPathCombination(b *testing.B) {
+	_, _, reg := controlPlane(b)
+	comb := pathdb.NewCombiner(reg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths := comb.Paths(topology.AS111, topology.AS211, during)
+		if len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkSegmentVerify measures signature-chain verification of a
+// registered up-segment.
+func BenchmarkSegmentVerify(b *testing.B) {
+	_, infra, reg := controlPlane(b)
+	segs := reg.UpSegments(topology.AS122, during)
+	if len(segs) == 0 {
+		b.Fatal("no segments")
+	}
+	seg := segs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := seg.Verify(infra.Store, during); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHopFieldMAC measures hop-field MAC computation (the router fast
+// path).
+func BenchmarkHopFieldMAC(b *testing.B) {
+	info := segment.Info{Timestamp: t0, SegID: 1, Origin: topology.Core110}
+	hf := segment.HopField{ConsIngress: 1, ConsEgress: 2, ExpTime: t1}
+	key := []byte("forwarding-key-bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hf.MAC = segment.ComputeMAC(key, info, hf)
+	}
+}
+
+// BenchmarkPacketCodec measures SCION packet marshal+unmarshal round trips.
+func BenchmarkPacketCodec(b *testing.B) {
+	_, _, reg := controlPlane(b)
+	paths := pathdb.NewCombiner(reg).Paths(topology.AS111, topology.AS211, during)
+	pkt := &dataplane.Packet{
+		Src:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS111, Host: netip.MustParseAddr("10.0.0.1")}, Port: 1},
+		Dst:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 2},
+		Hops:    paths[0].Hops,
+		Payload: make([]byte, 1000),
+	}
+	b.ResetTimer()
+	b.SetBytes(1000)
+	for i := 0; i < b.N; i++ {
+		buf, err := pkt.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataplane.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPPLPolicyEval measures full policy evaluation (ACL + sequence +
+// metric caps + ordering) over the path set of an inter-ISD pair.
+func BenchmarkPPLPolicyEval(b *testing.B) {
+	_, _, reg := controlPlane(b)
+	paths := pathdb.NewCombiner(reg).Paths(topology.AS111, topology.AS211, during)
+	seq, err := ppl.ParseSequence("1-ff00:0:111 0* 2-ff00:0:211")
+	if err != nil {
+		b.Fatal(err)
+	}
+	acl, err := ppl.ParseACL("- 2-ff00:0:220", "+")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := &ppl.Policy{
+		ACL: acl, Sequence: seq, MaxLatency: 200 * time.Millisecond,
+		Orderings: []ppl.Ordering{ppl.OrderCarbon, ppl.OrderLatency},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := pol.Filter(paths); len(got) == 0 {
+			b.Fatal("policy rejected everything")
+		}
+	}
+}
+
+// BenchmarkGeofenceCompliance measures ISD-level geofence checks.
+func BenchmarkGeofenceCompliance(b *testing.B) {
+	_, _, reg := controlPlane(b)
+	paths := pathdb.NewCombiner(reg).Paths(topology.AS111, topology.AS211, during)
+	fence := policy.NewBlockGeofence(3, 4, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range paths {
+			if !fence.Compliant(p) {
+				b.Fatal("unexpected violation")
+			}
+		}
+	}
+}
+
+// BenchmarkSQUICTransfer measures squic stream goodput over a 2-hop SCION
+// path (real time, since crypto and packetization dominate).
+func BenchmarkSQUICTransfer(b *testing.B) {
+	topo, infra, reg := controlPlane(b)
+	clock := netsim.NewSimClock(during)
+	dw, err := dataplane.NewWorld(topo, infra.ForwardingKeys, clock, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	disp := make(map[addr.IA]*snet.Dispatcher)
+	for _, as := range topo.ASes() {
+		disp[as.IA] = snet.NewDispatcher(dw.Router(as.IA), clock)
+	}
+	stop := clock.AutoAdvance(0)
+	defer stop()
+
+	id, err := squic.NewIdentity("bench.server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := squic.NewCertPool()
+	pool.AddIdentity(id)
+	serverSock, err := disp[topology.AS112].Host(netip.MustParseAddr("10.0.0.2"), dw.Router(topology.AS112)).Listen(443)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := squic.Listen(serverSock, &squic.Config{Clock: clock, Identity: id})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for {
+					s, err := conn.AcceptStream()
+					if err != nil {
+						return
+					}
+					go func() {
+						io.Copy(io.Discard, s)
+						s.Write([]byte{1})
+					}()
+				}
+			}()
+		}
+	}()
+
+	paths := pathdb.NewCombiner(reg).Paths(topology.AS111, topology.AS112, during)
+	clientSock, err := disp[topology.AS111].Host(netip.MustParseAddr("10.0.0.1"), dw.Router(topology.AS111)).Listen(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS112, Host: netip.MustParseAddr("10.0.0.2")}, Port: 443}
+	conn, err := squic.Dial(clientSock, remote, paths[0], "bench.server", &squic.Config{Clock: clock, Pool: pool})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	const chunk = 256 << 10
+	payload := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := conn.OpenStream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		s.CloseWrite()
+		if _, err := io.ReadFull(s, make([]byte, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataplaneForwarding measures router validation+forwarding of one
+// packet across the full inter-ISD path (virtual network, real CPU cost).
+func BenchmarkDataplaneForwarding(b *testing.B) {
+	topo, infra, reg := controlPlane(b)
+	clock := netsim.NewSimClock(during)
+	dw, err := dataplane.NewWorld(topo, infra.ForwardingKeys, clock, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	dw.Router(topology.AS211).SetDeliveryHandler(func(*dataplane.Packet) { delivered++ })
+	paths := pathdb.NewCombiner(reg).Paths(topology.AS111, topology.AS211, during)
+	pkt := &dataplane.Packet{
+		Src:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS111, Host: netip.MustParseAddr("10.0.0.1")}, Port: 1},
+		Dst:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 2},
+		Hops:    paths[0].Hops,
+		Payload: make([]byte, 900), // header + payload must fit the 1400 B MTU
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := *pkt
+		fresh.CurrHop = 0
+		if err := dw.Router(topology.AS111).InjectLocal(&fresh); err != nil {
+			b.Fatal(err)
+		}
+		// Drain the in-flight hops deterministically.
+		for clock.AdvanceToNext() {
+		}
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkStatsSummarize measures five-number summaries on a 1000-sample
+// distribution.
+func BenchmarkStatsSummarize(b *testing.B) {
+	sample := make([]float64, 1000)
+	for i := range sample {
+		sample[i] = float64(i * 7 % 997)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := stats.Summarize(sample)
+		if s.N != 1000 {
+			b.Fatal("bad summary")
+		}
+	}
+}

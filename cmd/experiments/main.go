@@ -1,0 +1,66 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated testbed:
+//
+//	experiments -run all -runs 30
+//	experiments -run fig3
+//	experiments -run table1
+//
+// Output is the terminal equivalent of the paper's box plots plus the
+// decision-layer matrix of Table 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tango/internal/experiments"
+	"tango/internal/layermodel"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: table1, fig3, fig5, fig6, ablation, or all")
+	runs := flag.Int("runs", 30, "samples per box plot")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *run == "all" {
+		for _, k := range []string{"table1", "fig3", "fig5", "fig6", "ablation"} {
+			selected[k] = true
+		}
+	} else {
+		selected[*run] = true
+	}
+
+	if selected["table1"] {
+		fmt.Println("Table 1 — Properties enabled by path-aware networking,")
+		fmt.Println("and the layer that can meaningfully select on them")
+		fmt.Println("(● meaningful, ◐ possible/no particular benefit, · not appropriate)")
+		fmt.Println()
+		fmt.Println(layermodel.Render())
+	}
+	type runner struct {
+		key string
+		fn  func(int) (*experiments.Figure, error)
+	}
+	for _, r := range []runner{
+		{"fig3", experiments.RunFig3},
+		{"fig5", experiments.RunFig5},
+		{"fig6", experiments.RunFig6},
+		{"ablation", experiments.RunFig3Ablation},
+	} {
+		if !selected[r.key] {
+			continue
+		}
+		fig, err := r.fn(*runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.key, err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}

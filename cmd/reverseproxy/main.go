@@ -1,0 +1,52 @@
+// Command reverseproxy demonstrates the paper's SCION reverse proxy: an
+// IP-only origin gains SCION reachability through a reverse proxy deployed
+// in a nearby AS ("we have implemented a simple reverse proxy to add SCION
+// support to web servers", paper §5.1). The demo fetches the same origin
+// directly over the (slow) legacy route and over SCION via the reverse
+// proxy, and compares.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"tango/internal/experiments"
+)
+
+func main() {
+	flag.Parse()
+	w, client, err := experiments.Demo(4)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building world: %v\n", err)
+		os.Exit(1)
+	}
+	defer w.Close()
+
+	const page = "http://www.proxied.example/index.html"
+
+	// Over SCION via the reverse proxy (extension enabled).
+	pl, err := client.Browser.LoadPage(context.Background(), page)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "SCION load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("via SCION reverse proxy: PLT %-12v indicator %s\n", pl.PLT, pl.Indicator)
+
+	// Direct over legacy IP (extension disabled).
+	client.Browser.SetExtensionEnabled(false)
+	pl2, err := client.Browser.LoadPage(context.Background(), page)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "IP load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("via legacy BGP/IP:       PLT %-12v indicator %s\n", pl2.PLT, pl2.Indicator)
+
+	if pl.PLT < pl2.PLT {
+		fmt.Printf("\nSCION wins by %v: path-aware forwarding routes around the slow BGP route,\n", pl2.PLT-pl.PLT)
+		fmt.Println("even though the origin itself never deployed SCION (the reverse proxy did).")
+	} else {
+		fmt.Printf("\nlegacy IP wins by %v on this route.\n", pl.PLT-pl2.PLT)
+	}
+}

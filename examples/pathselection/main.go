@@ -1,0 +1,61 @@
+// Pathselection: enumerate the decorated path choices SCION offers between
+// two ASes and apply the property policies of the paper's Table 1 — low
+// latency, high bandwidth, fewest hops, green (CO2) routing, and a PPL
+// sequence constraint.
+//
+//	go run ./examples/pathselection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tango/internal/experiments"
+	"tango/internal/pan"
+	"tango/internal/policy"
+	"tango/internal/ppl"
+	"tango/internal/topology"
+)
+
+func main() {
+	world, _, err := experiments.Demo(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+
+	host := world.PANHost(topology.AS111, "10.0.8.1")
+	dst := topology.AS211
+
+	paths := host.Paths(dst)
+	fmt.Printf("the network offers %d paths from %s to %s:\n\n", len(paths), topology.AS111, dst)
+	fmt.Printf("%-4s %-9s %-6s %-6s %-10s %s\n", "#", "latency", "hops", "MTU", "gCO2/GB", "route")
+	for i, p := range paths {
+		fmt.Printf("%-4d %-9v %-6d %-6d %-10.0f %s\n",
+			i+1, p.Meta.Latency, len(p.Hops), p.Meta.MTU, p.Meta.CarbonPerGB, p)
+	}
+
+	fmt.Println("\npolicy-driven selection:")
+	show := func(name string, pol *ppl.Policy) {
+		sel, err := host.SelectPath(dst, pol, nil, pan.Strict)
+		if err != nil {
+			fmt.Printf("  %-16s -> no compliant path (%v)\n", name, err)
+			return
+		}
+		fmt.Printf("  %-16s -> %v over %s\n", name, sel.Path.Meta.Latency, sel.Path)
+	}
+	show("low latency", policy.LowLatency())
+	show("high bandwidth", policy.HighBandwidth())
+	show("fewest hops", policy.FewestHops())
+	show("green routing", policy.GreenRouting(0))
+
+	// PPL: pin the route through core AS 1-ff00:0:110 and cap latency.
+	seq, err := ppl.ParseSequence("1-ff00:0:111 1-ff00:0:110 0*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("via 1-ff00:0:110", &ppl.Policy{Sequence: seq, Orderings: []ppl.Ordering{ppl.OrderLatency}})
+	show("lat < 100ms, green", ppl.Intersect("combo",
+		&ppl.Policy{MaxLatency: 100_000_000},
+		policy.GreenRouting(0)))
+}

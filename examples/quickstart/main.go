@@ -1,0 +1,105 @@
+// Quickstart: bring up a minimal SCION world from scratch — topology,
+// beaconing, data plane, host stacks — then serve a page over
+// HTTP/squic/SCION and fetch it with policy-driven path selection.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/netip"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/beacon"
+	"tango/internal/dataplane"
+	"tango/internal/netsim"
+	"tango/internal/pan"
+	"tango/internal/pathdb"
+	"tango/internal/policy"
+	"tango/internal/shttp"
+	"tango/internal/snet"
+	"tango/internal/squic"
+	"tango/internal/topology"
+)
+
+func main() {
+	// 1. A topology: two ISDs, ten ASes, core/parent/peering links.
+	topo := topology.Default()
+
+	// 2. Control-plane credentials and one round of beaconing, which
+	//    discovers and registers all path segments.
+	epoch := time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC)
+	infra, err := beacon.NewInfra(topo, epoch, epoch.Add(24*time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	registry := pathdb.NewRegistry(infra.Store)
+	if err := beacon.NewService(topo, infra, registry, 12*time.Hour).Run(epoch); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The data plane on a virtual clock: border routers and links.
+	clock := netsim.NewSimClock(epoch.Add(time.Hour))
+	world, err := dataplane.NewWorld(topo, infra.ForwardingKeys, clock, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stop := clock.AutoAdvance(0)
+	defer stop()
+
+	// 4. Host stacks: one server in ISD 2, one client in ISD 1.
+	combiner := pathdb.NewCombiner(registry)
+	pool := squic.NewCertPool()
+	newHost := func(ia addr.IA, ip string) *pan.Host {
+		disp := snet.NewDispatcher(world.Router(ia), clock)
+		return pan.NewHost(disp.Host(netip.MustParseAddr(ip), world.Router(ia)), combiner, pool)
+	}
+	server := newHost(topology.AS211, "10.0.0.2")
+	client := newHost(topology.AS111, "10.0.0.1")
+
+	// 5. Serve HTTP over SCION.
+	identity, err := squic.NewIdentity("hello.scion")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool.AddIdentity(identity)
+	lis, err := server.Listen(443, identity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lis.Close()
+	go shttp.Serve(lis, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "hello from %s over SCION!", server.Local())
+	}))
+
+	// 6. Fetch it, selecting the lowest-latency policy-compliant path.
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 443}
+	transport := shttp.NewTransport(func(ctx context.Context, authority string) (*squic.Conn, error) {
+		conn, sel, err := client.Dial(ctx, remote, "hello.scion", policy.LowLatency(), nil, pan.Strict)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("selected path: %s\n", sel.Path)
+		fmt.Printf("  latency %v, MTU %d, carbon %.0f gCO2/GB, countries %v\n",
+			sel.Path.Meta.Latency, sel.Path.Meta.MTU, sel.Path.Meta.CarbonPerGB, sel.Path.Meta.Countries)
+		fmt.Printf("  (%d paths offered, %d policy-compliant)\n", sel.Options, sel.CompliantOptions)
+		return conn, nil
+	})
+	defer transport.CloseIdleConnections()
+
+	resp, err := (&http.Client{Transport: transport}).Get("http://hello.scion/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("response: %s\n", body)
+}

@@ -1,0 +1,238 @@
+// Package beacon implements the SCION path-discovery control plane: core
+// ASes originate path-construction beacons (PCBs) which propagate AS to AS,
+// "iteratively accumulating information during construction — similar to a
+// BGP update traversing the Internet" (paper §2). Each AS extends the beacon
+// with a signed, metadata-decorated entry; terminal extensions are
+// registered at the path-server registry as up-, down-, and core-segments.
+package beacon
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/cppki"
+	"tango/internal/pathdb"
+	"tango/internal/segment"
+	"tango/internal/topology"
+)
+
+// Infra holds the per-AS credentials of a simulated SCION internetwork: the
+// control-plane signers (certified by each ISD's authority) and the data
+// plane forwarding keys used to MAC hop fields.
+type Infra struct {
+	Authorities    map[addr.ISD]*cppki.Authority
+	Signers        map[addr.IA]*cppki.Signer
+	ForwardingKeys map[addr.IA][]byte
+	// Store trusts every ISD in the topology.
+	Store *cppki.Store
+}
+
+// NewInfra generates authorities, AS certificates, and forwarding keys for
+// every AS in the topology, valid over [notBefore, notAfter].
+func NewInfra(topo *topology.Topology, notBefore, notAfter time.Time) (*Infra, error) {
+	inf := &Infra{
+		Authorities:    make(map[addr.ISD]*cppki.Authority),
+		Signers:        make(map[addr.IA]*cppki.Signer),
+		ForwardingKeys: make(map[addr.IA][]byte),
+		Store:          cppki.NewStore(),
+	}
+	for _, isd := range topo.ISDs() {
+		auth, err := cppki.NewAuthority(isd, notBefore, notAfter)
+		if err != nil {
+			return nil, err
+		}
+		inf.Authorities[isd] = auth
+		inf.Store.AddTRC(auth.TRC())
+	}
+	for _, as := range topo.ASes() {
+		signer, err := inf.Authorities[as.IA.ISD].Issue(as.IA, notBefore, notAfter)
+		if err != nil {
+			return nil, err
+		}
+		inf.Signers[as.IA] = signer
+		if err := inf.Store.AddCertificate(signer.Certificate(), notBefore); err != nil {
+			return nil, err
+		}
+		inf.ForwardingKeys[as.IA] = []byte(fmt.Sprintf("forwarding-key-%s", as.IA))
+	}
+	return inf, nil
+}
+
+// Service runs beaconing over a topology and registers the resulting
+// segments.
+type Service struct {
+	topo   *topology.Topology
+	infra  *Infra
+	reg    *pathdb.Registry
+	expiry time.Duration
+	segID  uint16
+}
+
+// NewService creates a beaconing service. Segments expire after the given
+// duration (the paper's prototype relies on standard SCION expiries; we
+// default to 6h if zero).
+func NewService(topo *topology.Topology, infra *Infra, reg *pathdb.Registry, expiry time.Duration) *Service {
+	if expiry == 0 {
+		expiry = 6 * time.Hour
+	}
+	return &Service{topo: topo, infra: infra, reg: reg, expiry: expiry}
+}
+
+// Run performs one full beaconing round at the given instant: every core AS
+// originates intra-ISD PCBs (flooded down parent-child links, registered as
+// up- and down-segments) and core PCBs (flooded across core links,
+// registered as core segments).
+func (s *Service) Run(at time.Time) error {
+	for _, core := range s.topo.CoreASes(addr.WildcardISD) {
+		if err := s.beaconIntraISD(core, at); err != nil {
+			return err
+		}
+		if err := s.beaconCore(core, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// beaconIntraISD floods one PCB from the core AS down its ISD.
+func (s *Service) beaconIntraISD(origin *topology.ASInfo, at time.Time) error {
+	s.segID++
+	seg := segment.NewSegment(at, s.segID, origin.IA)
+	return s.propagateDown(seg, origin.IA, 0, at)
+}
+
+// propagateDown extends the beacon at cur (entered via interface in;
+// 0 at the origin) and both registers the terminal copy and floods extended
+// copies to all children.
+func (s *Service) propagateDown(seg *segment.Segment, cur addr.IA, in addr.IfID, at time.Time) error {
+	// Terminal copy: register as up segment for cur and down segment toward
+	// cur. The origin itself registers nothing (paths to the core AS are
+	// built from up/core segments alone).
+	if in != 0 {
+		term, err := s.extend(seg, cur, in, 0, at)
+		if err != nil {
+			return err
+		}
+		if err := s.reg.RegisterUp(term, at); err != nil {
+			return err
+		}
+		if err := s.reg.RegisterDown(term, at); err != nil {
+			return err
+		}
+	}
+	for _, intf := range s.topo.ChildInterfaces(cur) {
+		if seg.ContainsIA(intf.Remote) {
+			continue
+		}
+		ext, err := s.extend(seg, cur, in, intf.ID, at)
+		if err != nil {
+			return err
+		}
+		if err := s.propagateDown(ext, intf.Remote, intf.RemoteID, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// beaconCore floods one core PCB from the origin across core links.
+func (s *Service) beaconCore(origin *topology.ASInfo, at time.Time) error {
+	s.segID++
+	seg := segment.NewSegment(at, s.segID, origin.IA)
+	return s.propagateCore(seg, origin.IA, 0, at)
+}
+
+func (s *Service) propagateCore(seg *segment.Segment, cur addr.IA, in addr.IfID, at time.Time) error {
+	if in != 0 {
+		term, err := s.extend(seg, cur, in, 0, at)
+		if err != nil {
+			return err
+		}
+		if err := s.reg.RegisterCore(term, at); err != nil {
+			return err
+		}
+	}
+	for _, intf := range s.topo.CoreInterfaces(cur) {
+		if seg.ContainsIA(intf.Remote) {
+			continue
+		}
+		ext, err := s.extend(seg, cur, in, intf.ID, at)
+		if err != nil {
+			return err
+		}
+		if err := s.propagateCore(ext, intf.Remote, intf.RemoteID, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extend builds cur's signed entry with hop field (in -> out), metadata
+// decoration, and peer entries, and appends it to a copy of seg.
+func (s *Service) extend(seg *segment.Segment, cur addr.IA, in, out addr.IfID, at time.Time) (*segment.Segment, error) {
+	as := s.topo.AS(cur)
+	if as == nil {
+		return nil, fmt.Errorf("beacon: unknown AS %s", cur)
+	}
+	key := s.infra.ForwardingKeys[cur]
+	signer := s.infra.Signers[cur]
+	if key == nil || signer == nil {
+		return nil, fmt.Errorf("beacon: no credentials for %s", cur)
+	}
+	exp := at.Add(s.expiry)
+
+	hf := segment.HopField{ConsIngress: in, ConsEgress: out, ExpTime: exp}
+	hf.MAC = segment.ComputeMAC(key, seg.Info, hf)
+
+	entry := segment.ASEntry{
+		Local:    cur,
+		HopField: hf,
+		Static: segment.StaticInfo{
+			InternalMTU:     as.MTU,
+			Geo:             as.Geo,
+			CarbonIntensity: as.CarbonIntensity,
+		},
+	}
+	if in != 0 {
+		ingress := as.Interfaces[in]
+		if ingress == nil {
+			return nil, fmt.Errorf("beacon: AS %s has no interface %d", cur, in)
+		}
+		entry.Static.IngressLatency = ingress.Props.Latency
+		entry.Static.IngressBandwidth = ingress.Props.Bandwidth
+		entry.Static.IngressMTU = ingress.Props.MTU
+	}
+	if out != 0 {
+		egress := as.Interfaces[out]
+		if egress == nil {
+			return nil, fmt.Errorf("beacon: AS %s has no interface %d", cur, out)
+		}
+		entry.Next = egress.Remote
+	}
+	// Advertise peering links; their hop fields share the entry's egress.
+	for _, intf := range sortedPeering(as) {
+		phf := segment.HopField{ConsIngress: intf.ID, ConsEgress: out, ExpTime: exp}
+		phf.MAC = segment.ComputeMAC(key, seg.Info, phf)
+		entry.Peers = append(entry.Peers, segment.PeerEntry{
+			Peer:          intf.Remote,
+			PeerInterface: intf.RemoteID,
+			HopField:      phf,
+			Latency:       intf.Props.Latency,
+			MTU:           intf.Props.MTU,
+		})
+	}
+	return seg.Extend(entry, signer)
+}
+
+func sortedPeering(as *topology.ASInfo) []*topology.Interface {
+	var out []*topology.Interface
+	for _, intf := range as.Interfaces {
+		if intf.Type == topology.Peering {
+			out = append(out, intf)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

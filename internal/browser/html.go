@@ -1,0 +1,109 @@
+// Package browser simulates the browser host of the paper's prototype: a
+// page fetcher that loads a document and its subresources through the
+// (optional) extension + proxy pipeline, the WebExtensions-style
+// interception logic (strict mode, Strict-SCION pinning, proxy
+// configuration), and page-load-time measurement — the metric of Figures 3,
+// 5, and 6.
+package browser
+
+import (
+	"net/url"
+	"strings"
+)
+
+// ExtractResourceURLs scans an HTML document for subresources a browser
+// fetches automatically: script src, link href, and img src attributes.
+// Relative URLs are resolved against base. The scanner is a small
+// state-free tokenizer sufficient for the static sites of the experiments.
+func ExtractResourceURLs(base *url.URL, html string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	rest := html
+	for {
+		lt := strings.IndexByte(rest, '<')
+		if lt < 0 {
+			break
+		}
+		rest = rest[lt+1:]
+		gt := strings.IndexByte(rest, '>')
+		if gt < 0 {
+			break
+		}
+		tag := rest[:gt]
+		rest = rest[gt+1:]
+		name, attrs, _ := strings.Cut(tag, " ")
+		var wanted string
+		switch strings.ToLower(name) {
+		case "script", "img":
+			wanted = "src"
+		case "link":
+			wanted = "href"
+		default:
+			continue
+		}
+		val, ok := attrValue(attrs, wanted)
+		if !ok || val == "" {
+			continue
+		}
+		ref, err := url.Parse(val)
+		if err != nil {
+			continue
+		}
+		abs := base.ResolveReference(ref).String()
+		if !seen[abs] {
+			seen[abs] = true
+			out = append(out, abs)
+		}
+	}
+	return out
+}
+
+// attrValue extracts a quoted attribute value from a tag's attribute list.
+func attrValue(attrs, name string) (string, bool) {
+	lower := strings.ToLower(attrs)
+	idx := 0
+	for {
+		i := strings.Index(lower[idx:], name)
+		if i < 0 {
+			return "", false
+		}
+		i += idx
+		// Must be a standalone attribute name followed by '='.
+		if i > 0 && !isSpace(lower[i-1]) {
+			idx = i + len(name)
+			continue
+		}
+		j := i + len(name)
+		for j < len(attrs) && isSpace(attrs[j]) {
+			j++
+		}
+		if j >= len(attrs) || attrs[j] != '=' {
+			idx = i + len(name)
+			continue
+		}
+		j++
+		for j < len(attrs) && isSpace(attrs[j]) {
+			j++
+		}
+		if j >= len(attrs) {
+			return "", false
+		}
+		quote := attrs[j]
+		if quote != '"' && quote != '\'' {
+			// Unquoted value: read to whitespace.
+			end := j
+			for end < len(attrs) && !isSpace(attrs[end]) {
+				end++
+			}
+			return attrs[j:end], true
+		}
+		j++
+		end := strings.IndexByte(attrs[j:], quote)
+		if end < 0 {
+			return "", false
+		}
+		return attrs[j : j+end], true
+	}
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }

@@ -1,0 +1,90 @@
+package browser
+
+import (
+	"net/url"
+	"testing"
+)
+
+func mustURL(t *testing.T, s string) *url.URL {
+	t.Helper()
+	u, err := url.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestExtractResourceURLs(t *testing.T) {
+	base := mustURL(t, "http://site.test/index.html")
+	html := `<!DOCTYPE html>
+<html><head>
+  <title>x</title>
+  <script src="/static/app.js"></script>
+  <link rel="stylesheet" href="style.css">
+  <script src="http://cdn.test/lib.js"></script>
+</head><body>
+  <img src="/img/a.png">
+  <img src='/img/b.png'>
+  <img src=/img/unquoted.gif>
+  <p>src="not-a-tag.js"</p>
+  <a href="/page2.html">link</a>
+</body></html>`
+	got := ExtractResourceURLs(base, html)
+	want := []string{
+		"http://site.test/static/app.js",
+		"http://site.test/style.css",
+		"http://cdn.test/lib.js",
+		"http://site.test/img/a.png",
+		"http://site.test/img/b.png",
+		"http://site.test/img/unquoted.gif",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("resource %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExtractDeduplicates(t *testing.T) {
+	base := mustURL(t, "http://s.test/")
+	html := `<img src="/a.png"><img src="/a.png"><script src="/a.png"></script>`
+	if got := ExtractResourceURLs(base, html); len(got) != 1 {
+		t.Fatalf("got %v, want one deduplicated URL", got)
+	}
+}
+
+func TestExtractIgnoresAnchorsAndMalformed(t *testing.T) {
+	base := mustURL(t, "http://s.test/")
+	cases := []string{
+		`<a href="/x">l</a>`,
+		`<script></script>`,
+		`<img>`,
+		`<img src="">`,
+		`<img data-src="/lazy.png">`,
+		`<`,
+		`<img src="/a.png"`, // unterminated tag
+	}
+	for _, html := range cases {
+		if got := ExtractResourceURLs(base, html); len(got) != 0 {
+			t.Errorf("ExtractResourceURLs(%q) = %v, want none", html, got)
+		}
+	}
+}
+
+func TestExtractCaseInsensitiveTags(t *testing.T) {
+	base := mustURL(t, "http://s.test/")
+	html := `<IMG SRC="/a.png"><Script Src="/b.js"></Script>`
+	got := ExtractResourceURLs(base, html)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIndicatorString(t *testing.T) {
+	if AllSCION.String() != "all-scion" || SomeSCION.String() != "some-scion" || NoSCION.String() != "no-scion" {
+		t.Fatal("indicator strings wrong")
+	}
+}

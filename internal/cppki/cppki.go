@@ -1,0 +1,198 @@
+// Package cppki implements a miniature SCION control-plane PKI: each
+// isolation domain has a trust root (TRC) whose key certifies the ASes in
+// that ISD, and ASes sign control-plane messages (beacons) with their
+// certified keys. Verification is anchored in a trust store holding the TRCs
+// of all ISDs the host trusts.
+//
+// The design follows the paper's description of SCION ISDs as "local trust
+// roots for SCION's control plane PKI": signatures are ed25519, certificates
+// are minimal, and chains are exactly TRC root -> AS certificate -> message.
+package cppki
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+)
+
+// TRC is the trust root configuration of one ISD.
+type TRC struct {
+	ISD       addr.ISD
+	Serial    uint64
+	NotBefore time.Time
+	NotAfter  time.Time
+	RootKey   ed25519.PublicKey
+}
+
+// Validity reports whether the TRC covers the instant t.
+func (t *TRC) Validity(at time.Time) bool {
+	return !at.Before(t.NotBefore) && !at.After(t.NotAfter)
+}
+
+// Certificate binds an AS to its control-plane public key, signed by the
+// ISD's trust root.
+type Certificate struct {
+	IA        addr.IA
+	PublicKey ed25519.PublicKey
+	NotBefore time.Time
+	NotAfter  time.Time
+	Signature []byte
+}
+
+// Validity reports whether the certificate covers the instant t.
+func (c *Certificate) Validity(at time.Time) bool {
+	return !at.Before(c.NotBefore) && !at.After(c.NotAfter)
+}
+
+// signedBytes is the deterministic byte encoding covered by the TRC root
+// signature.
+func (c *Certificate) signedBytes() []byte {
+	buf := make([]byte, 0, 2+8+8+8+len(c.PublicKey))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.IA.ISD))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.IA.AS))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.NotBefore.UnixNano()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.NotAfter.UnixNano()))
+	buf = append(buf, c.PublicKey...)
+	return buf
+}
+
+// Authority is the certificate authority of one ISD; it owns the TRC root
+// private key and issues AS certificates.
+type Authority struct {
+	trc  *TRC
+	priv ed25519.PrivateKey
+}
+
+// NewAuthority generates a fresh trust root for the ISD, valid over the
+// given window.
+func NewAuthority(isd addr.ISD, notBefore, notAfter time.Time) (*Authority, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generating ISD %d root key: %w", isd, err)
+	}
+	return &Authority{
+		trc:  &TRC{ISD: isd, Serial: 1, NotBefore: notBefore, NotAfter: notAfter, RootKey: pub},
+		priv: priv,
+	}, nil
+}
+
+// TRC returns the authority's trust root configuration.
+func (a *Authority) TRC() *TRC { return a.trc }
+
+// Issue creates and signs a certificate plus matching signer for the AS.
+func (a *Authority) Issue(ia addr.IA, notBefore, notAfter time.Time) (*Signer, error) {
+	if ia.ISD != a.trc.ISD {
+		return nil, fmt.Errorf("issuing cert for %s: wrong ISD (authority is ISD %d)", ia, a.trc.ISD)
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generating key for %s: %w", ia, err)
+	}
+	cert := &Certificate{IA: ia, PublicKey: pub, NotBefore: notBefore, NotAfter: notAfter}
+	cert.Signature = ed25519.Sign(a.priv, cert.signedBytes())
+	return &Signer{cert: cert, priv: priv}, nil
+}
+
+// Signer signs control-plane messages on behalf of one AS.
+type Signer struct {
+	cert *Certificate
+	priv ed25519.PrivateKey
+}
+
+// IA returns the signing AS.
+func (s *Signer) IA() addr.IA { return s.cert.IA }
+
+// Certificate returns the signer's certificate for distribution.
+func (s *Signer) Certificate() *Certificate { return s.cert }
+
+// Sign produces a detached signature over msg.
+func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+
+// Errors returned by the trust store.
+var (
+	ErrUnknownISD       = errors.New("cppki: no TRC for ISD")
+	ErrUnknownAS        = errors.New("cppki: no certificate for AS")
+	ErrExpired          = errors.New("cppki: credential not valid at this time")
+	ErrBadCertSignature = errors.New("cppki: certificate signature invalid")
+	ErrBadSignature     = errors.New("cppki: message signature invalid")
+)
+
+// Store is a trust store: TRCs for the trusted ISDs plus a cache of verified
+// AS certificates. It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	trcs  map[addr.ISD]*TRC
+	certs map[addr.IA]*Certificate
+}
+
+// NewStore builds a trust store seeded with the given TRCs.
+func NewStore(trcs ...*TRC) *Store {
+	s := &Store{
+		trcs:  make(map[addr.ISD]*TRC),
+		certs: make(map[addr.IA]*Certificate),
+	}
+	for _, t := range trcs {
+		s.trcs[t.ISD] = t
+	}
+	return s
+}
+
+// AddTRC installs (or replaces) the TRC of an ISD.
+func (s *Store) AddTRC(t *TRC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trcs[t.ISD] = t
+}
+
+// AddCertificate verifies cert against the ISD's TRC and caches it.
+func (s *Store) AddCertificate(cert *Certificate, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	trc, ok := s.trcs[cert.IA.ISD]
+	if !ok {
+		return fmt.Errorf("%w %d", ErrUnknownISD, cert.IA.ISD)
+	}
+	if !trc.Validity(at) || !cert.Validity(at) {
+		return fmt.Errorf("verifying certificate of %s: %w", cert.IA, ErrExpired)
+	}
+	if !ed25519.Verify(trc.RootKey, cert.signedBytes(), cert.Signature) {
+		return fmt.Errorf("verifying certificate of %s: %w", cert.IA, ErrBadCertSignature)
+	}
+	s.certs[cert.IA] = cert
+	return nil
+}
+
+// Certificate returns the cached certificate for ia, if any.
+func (s *Store) Certificate(ia addr.IA) (*Certificate, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.certs[ia]
+	return c, ok
+}
+
+// Verify checks a detached signature by ia over msg at the given instant.
+func (s *Store) Verify(ia addr.IA, msg, sig []byte, at time.Time) error {
+	s.mu.RLock()
+	cert, ok := s.certs[ia]
+	trc := s.trcs[ia.ISD]
+	s.mu.RUnlock()
+	if trc == nil {
+		return fmt.Errorf("%w %d", ErrUnknownISD, ia.ISD)
+	}
+	if !ok {
+		return fmt.Errorf("%w %s", ErrUnknownAS, ia)
+	}
+	if !cert.Validity(at) || !trc.Validity(at) {
+		return fmt.Errorf("verifying signature of %s: %w", ia, ErrExpired)
+	}
+	if !ed25519.Verify(cert.PublicKey, msg, sig) {
+		return fmt.Errorf("verifying signature of %s: %w", ia, ErrBadSignature)
+	}
+	return nil
+}

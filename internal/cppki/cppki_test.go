@@ -1,0 +1,139 @@
+package cppki
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+)
+
+var (
+	t0     = time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC)
+	t1     = t0.Add(24 * time.Hour)
+	during = t0.Add(time.Hour)
+	ia110  = addr.MustIA(1, 0xff00_0000_0110)
+	ia120  = addr.MustIA(1, 0xff00_0000_0120)
+	ia210  = addr.MustIA(2, 0xff00_0000_0210)
+)
+
+func newISD1(t *testing.T) (*Authority, *Signer, *Store) {
+	t.Helper()
+	auth, err := NewAuthority(1, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := auth.Issue(ia110, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(auth.TRC())
+	if err := store.AddCertificate(signer.Certificate(), during); err != nil {
+		t.Fatal(err)
+	}
+	return auth, signer, store
+}
+
+func TestSignAndVerify(t *testing.T) {
+	_, signer, store := newISD1(t)
+	msg := []byte("path segment payload")
+	sig := signer.Sign(msg)
+	if err := store.Verify(ia110, msg, sig, during); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	_, signer, store := newISD1(t)
+	sig := signer.Sign([]byte("original"))
+	if err := store.Verify(ia110, []byte("forged"), sig, during); err == nil {
+		t.Fatal("tampered message verified")
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	auth, _, store := newISD1(t)
+	other, err := auth.Issue(ia120, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddCertificate(other.Certificate(), during); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	sig := other.Sign(msg)
+	if err := store.Verify(ia110, msg, sig, during); err == nil {
+		t.Fatal("signature attributed to wrong AS verified")
+	}
+}
+
+func TestAddCertificateRejectsForgery(t *testing.T) {
+	auth, signer, _ := newISD1(t)
+	// A store trusting a different root must reject the certificate.
+	otherAuth, err := NewAuthority(1, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(otherAuth.TRC())
+	if err := store.AddCertificate(signer.Certificate(), during); err == nil {
+		t.Fatal("certificate from untrusted root accepted")
+	}
+	_ = auth
+}
+
+func TestAddCertificateRejectsTampering(t *testing.T) {
+	_, signer, _ := newISD1(t)
+	auth2, err := NewAuthority(1, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(auth2.TRC())
+	cert := *signer.Certificate()
+	cert.IA = ia120 // rebind the key to another AS
+	if err := store.AddCertificate(&cert, during); err == nil {
+		t.Fatal("tampered certificate accepted")
+	}
+}
+
+func TestExpiryEnforced(t *testing.T) {
+	_, signer, store := newISD1(t)
+	msg := []byte("m")
+	sig := signer.Sign(msg)
+	if err := store.Verify(ia110, msg, sig, t1.Add(time.Hour)); err == nil {
+		t.Fatal("expired certificate verified")
+	}
+	if err := store.Verify(ia110, msg, sig, t0.Add(-time.Hour)); err == nil {
+		t.Fatal("not-yet-valid certificate verified")
+	}
+}
+
+func TestUnknownISDAndAS(t *testing.T) {
+	_, signer, store := newISD1(t)
+	msg := []byte("m")
+	sig := signer.Sign(msg)
+	if err := store.Verify(ia210, msg, sig, during); err == nil {
+		t.Fatal("verify for untrusted ISD succeeded")
+	}
+	if err := store.Verify(ia120, msg, sig, during); err == nil {
+		t.Fatal("verify for unknown AS succeeded")
+	}
+}
+
+func TestIssueWrongISD(t *testing.T) {
+	auth, _, _ := newISD1(t)
+	if _, err := auth.Issue(ia210, t0, t1); err == nil {
+		t.Fatal("ISD-1 authority issued ISD-2 certificate")
+	}
+}
+
+func TestCertificateLookup(t *testing.T) {
+	_, signer, store := newISD1(t)
+	if _, ok := store.Certificate(ia110); !ok {
+		t.Fatal("cached certificate not found")
+	}
+	if _, ok := store.Certificate(ia120); ok {
+		t.Fatal("phantom certificate found")
+	}
+	if signer.IA() != ia110 {
+		t.Fatalf("signer IA = %v", signer.IA())
+	}
+}

@@ -1,0 +1,187 @@
+// Package dataplane implements the SCION data plane of the simulation:
+// a wire format for SCION/UDP packets whose headers carry the full
+// forwarding path (hop fields included), and per-AS border routers that
+// validate hop-field MACs and forward packets across simulated links.
+package dataplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/segment"
+)
+
+// Packet is a SCION/UDP datagram: addressing, the packet-carried forwarding
+// path, and the UDP payload.
+type Packet struct {
+	Src addr.UDPAddr
+	Dst addr.UDPAddr
+	// Hops is the forwarding path in travel order; empty for AS-local
+	// delivery.
+	Hops []segment.Hop
+	// CurrHop indexes the hop being processed.
+	CurrHop uint8
+	Payload []byte
+}
+
+// Wire-format constants.
+const (
+	version        = 1
+	fixedHeaderLen = 4 // version, currHop, numHops, reserved
+	udpAddrLen     = 2 + 8 + 16 + 2
+	hopFixedLen    = 2 + 8 + 2 + 2 + 1 // isd, as, in, out, numAuth
+	authFieldLen   = 8 + 2 + 2 + 8 + 8 + 2 + 2 + segment.MACLen
+)
+
+// HeaderLen returns the encoded header size for the packet's path length,
+// letting transports compute payload budgets against path MTUs.
+func HeaderLen(hops []segment.Hop) int {
+	n := fixedHeaderLen + 2*udpAddrLen + 2 // +2 payload length
+	for _, h := range hops {
+		n += hopFixedLen + h.NumAuth*authFieldLen
+	}
+	return n
+}
+
+// Unmarshal errors.
+var (
+	ErrTruncated  = errors.New("dataplane: truncated packet")
+	ErrBadVersion = errors.New("dataplane: unsupported version")
+	ErrBadPacket  = errors.New("dataplane: malformed packet")
+)
+
+// Marshal encodes the packet.
+func (p *Packet) Marshal() ([]byte, error) {
+	if len(p.Hops) > 255 {
+		return nil, fmt.Errorf("%w: %d hops", ErrBadPacket, len(p.Hops))
+	}
+	buf := make([]byte, 0, HeaderLen(p.Hops)+len(p.Payload))
+	buf = append(buf, version, p.CurrHop, byte(len(p.Hops)), 0)
+	buf = appendUDPAddr(buf, p.Src)
+	buf = appendUDPAddr(buf, p.Dst)
+	for i := range p.Hops {
+		h := &p.Hops[i]
+		if h.NumAuth > 2 {
+			return nil, fmt.Errorf("%w: hop with %d auth fields", ErrBadPacket, h.NumAuth)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(h.IA.ISD))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(h.IA.AS))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(h.Ingress))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(h.Egress))
+		buf = append(buf, byte(h.NumAuth))
+		for _, a := range h.AuthFields() {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(a.SegInfo.Timestamp.UnixNano()))
+			buf = binary.BigEndian.AppendUint16(buf, a.SegInfo.SegID)
+			buf = binary.BigEndian.AppendUint16(buf, uint16(a.HopField.ConsIngress))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(a.HopField.ExpTime.UnixNano()))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(a.SegInfo.Origin.AS))
+			buf = binary.BigEndian.AppendUint16(buf, uint16(a.SegInfo.Origin.ISD))
+			buf = binary.BigEndian.AppendUint16(buf, uint16(a.HopField.ConsEgress))
+			buf = append(buf, a.HopField.MAC[:]...)
+		}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
+	buf = append(buf, p.Payload...)
+	return buf, nil
+}
+
+func appendUDPAddr(buf []byte, a addr.UDPAddr) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(a.IA.ISD))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.IA.AS))
+	host := a.Host.As16()
+	buf = append(buf, host[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, a.Port)
+	return buf
+}
+
+// Unmarshal decodes a packet from buf.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < fixedHeaderLen {
+		return nil, ErrTruncated
+	}
+	if buf[0] != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
+	}
+	p := &Packet{CurrHop: buf[1]}
+	numHops := int(buf[2])
+	buf = buf[fixedHeaderLen:]
+
+	var err error
+	p.Src, buf, err = readUDPAddr(buf)
+	if err != nil {
+		return nil, err
+	}
+	p.Dst, buf, err = readUDPAddr(buf)
+	if err != nil {
+		return nil, err
+	}
+	p.Hops = make([]segment.Hop, numHops)
+	for i := 0; i < numHops; i++ {
+		if len(buf) < hopFixedLen {
+			return nil, ErrTruncated
+		}
+		h := &p.Hops[i]
+		h.IA = addr.IA{ISD: addr.ISD(binary.BigEndian.Uint16(buf[0:2])), AS: addr.AS(binary.BigEndian.Uint64(buf[2:10]))}
+		h.Ingress = addr.IfID(binary.BigEndian.Uint16(buf[10:12]))
+		h.Egress = addr.IfID(binary.BigEndian.Uint16(buf[12:14]))
+		h.NumAuth = int(buf[14])
+		buf = buf[hopFixedLen:]
+		if h.NumAuth > 2 {
+			return nil, fmt.Errorf("%w: hop with %d auth fields", ErrBadPacket, h.NumAuth)
+		}
+		for j := 0; j < h.NumAuth; j++ {
+			if len(buf) < authFieldLen {
+				return nil, ErrTruncated
+			}
+			a := &h.Auth[j]
+			a.SegInfo.Timestamp = time.Unix(0, int64(binary.BigEndian.Uint64(buf[0:8]))).UTC()
+			a.SegInfo.SegID = binary.BigEndian.Uint16(buf[8:10])
+			a.HopField.ConsIngress = addr.IfID(binary.BigEndian.Uint16(buf[10:12]))
+			a.HopField.ExpTime = time.Unix(0, int64(binary.BigEndian.Uint64(buf[12:20]))).UTC()
+			a.SegInfo.Origin = addr.IA{
+				AS:  addr.AS(binary.BigEndian.Uint64(buf[20:28])),
+				ISD: addr.ISD(binary.BigEndian.Uint16(buf[28:30])),
+			}
+			a.HopField.ConsEgress = addr.IfID(binary.BigEndian.Uint16(buf[30:32]))
+			copy(a.HopField.MAC[:], buf[32:32+segment.MACLen])
+			buf = buf[authFieldLen:]
+		}
+	}
+	if len(buf) < 2 {
+		return nil, ErrTruncated
+	}
+	plen := int(binary.BigEndian.Uint16(buf[0:2]))
+	buf = buf[2:]
+	if len(buf) < plen {
+		return nil, ErrTruncated
+	}
+	p.Payload = append([]byte(nil), buf[:plen]...)
+	return p, nil
+}
+
+func readUDPAddr(buf []byte) (addr.UDPAddr, []byte, error) {
+	if len(buf) < udpAddrLen {
+		return addr.UDPAddr{}, nil, ErrTruncated
+	}
+	var a addr.UDPAddr
+	a.IA = addr.IA{ISD: addr.ISD(binary.BigEndian.Uint16(buf[0:2])), AS: addr.AS(binary.BigEndian.Uint64(buf[2:10]))}
+	var host [16]byte
+	copy(host[:], buf[10:26])
+	a.Host = netip.AddrFrom16(host).Unmap()
+	a.Port = binary.BigEndian.Uint16(buf[26:28])
+	return a, buf[udpAddrLen:], nil
+}
+
+// ReplyPath derives the path a response should take: the remaining traversed
+// hops reversed. It is valid for delivered packets (CurrHop == last).
+func (p *Packet) ReplyPath() *segment.Path {
+	if len(p.Hops) == 0 {
+		return &segment.Path{Src: p.Dst.IA, Dst: p.Src.IA, Meta: segment.Metadata{ASes: []addr.IA{p.Dst.IA}}}
+	}
+	fwd := &segment.Path{Src: p.Src.IA, Dst: p.Dst.IA, Hops: p.Hops}
+	return fwd.Reversed()
+}

@@ -1,0 +1,207 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/segment"
+)
+
+// DeliveryHandler receives packets destined for hosts inside an AS.
+type DeliveryHandler func(pkt *Packet)
+
+// RouterStats counts packet outcomes at one border router.
+type RouterStats struct {
+	Forwarded    uint64
+	Delivered    uint64
+	BadMAC       uint64
+	Expired      uint64
+	WrongIA      uint64
+	NoInterface  uint64
+	ParseError   uint64
+	WrongIngress uint64
+	Unauthorized uint64
+	NoLocalHosts uint64
+	SendRejected uint64
+}
+
+// Router is the (collapsed) border-router plane of one AS: it validates
+// hop-field MACs with the AS's forwarding key and forwards packets between
+// the AS's inter-domain links, or delivers them to local hosts.
+type Router struct {
+	ia    addr.IA
+	key   []byte
+	clock netsim.Clock
+
+	mu      sync.RWMutex
+	ifaces  map[addr.IfID]linkEnd
+	deliver DeliveryHandler
+	stats   RouterStats
+}
+
+type linkEnd struct {
+	link *netsim.Link
+	end  int
+}
+
+// NewRouter creates the router for ia using the AS forwarding key.
+func NewRouter(ia addr.IA, key []byte, clock netsim.Clock) *Router {
+	return &Router{ia: ia, key: key, clock: clock, ifaces: make(map[addr.IfID]linkEnd)}
+}
+
+// IA returns the router's AS.
+func (r *Router) IA() addr.IA { return r.ia }
+
+// AttachInterface wires a local interface ID to one end of a simulated link
+// and registers the router as that end's receiver.
+func (r *Router) AttachInterface(id addr.IfID, link *netsim.Link, end int) {
+	r.mu.Lock()
+	r.ifaces[id] = linkEnd{link: link, end: end}
+	r.mu.Unlock()
+	link.Attach(end, func(buf []byte) { r.handleFromWire(id, buf) })
+}
+
+// SetDeliveryHandler registers the local host stack.
+func (r *Router) SetDeliveryHandler(h DeliveryHandler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deliver = h
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stats
+}
+
+func (r *Router) count(f func(*RouterStats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// handleFromWire processes a packet arriving on interface in.
+func (r *Router) handleFromWire(in addr.IfID, buf []byte) {
+	pkt, err := Unmarshal(buf)
+	if err != nil {
+		r.count(func(s *RouterStats) { s.ParseError++ })
+		return
+	}
+	r.process(pkt, in)
+}
+
+// localDelay models AS-internal forwarding time for AS-local (empty path)
+// packets. Keeping it positive also makes local delivery asynchronous, which
+// transports running synchronous handlers rely on to avoid lock recursion.
+const localDelay = 20 * time.Microsecond
+
+// InjectLocal accepts a packet originated by a host inside this AS.
+// The packet's CurrHop must index this AS's hop (or the path be empty for
+// AS-local delivery). It returns an error for immediately-detectable
+// problems; forwarding failures beyond the first hop are silent, as in a
+// real network.
+func (r *Router) InjectLocal(pkt *Packet) error {
+	if len(pkt.Hops) == 0 {
+		if pkt.Dst.IA != r.ia {
+			return fmt.Errorf("dataplane: empty path but destination %s is not local to %s", pkt.Dst.IA, r.ia)
+		}
+		r.clock.AfterFunc(localDelay, func() { r.deliverLocal(pkt) })
+		return nil
+	}
+	if int(pkt.CurrHop) >= len(pkt.Hops) || pkt.Hops[pkt.CurrHop].IA != r.ia {
+		return fmt.Errorf("dataplane: current hop is not %s", r.ia)
+	}
+	if pkt.Hops[pkt.CurrHop].Ingress != 0 {
+		return fmt.Errorf("dataplane: locally injected packet must start with ingress 0")
+	}
+	r.process(pkt, 0)
+	return nil
+}
+
+// process validates and forwards/delivers one packet that entered via
+// interface in (0 = local origin).
+func (r *Router) process(pkt *Packet, in addr.IfID) {
+	if int(pkt.CurrHop) >= len(pkt.Hops) {
+		r.count(func(s *RouterStats) { s.ParseError++ })
+		return
+	}
+	hop := &pkt.Hops[pkt.CurrHop]
+	if hop.IA != r.ia {
+		r.count(func(s *RouterStats) { s.WrongIA++ })
+		return
+	}
+	if hop.Ingress != in {
+		r.count(func(s *RouterStats) { s.WrongIngress++ })
+		return
+	}
+	now := r.clock.Now()
+	// Validate every carried authorization: MAC under our forwarding key
+	// and hop expiry. End hosts cannot forge or extend hop fields.
+	inOK := in == 0
+	outOK := hop.Egress == 0
+	for _, a := range hop.AuthFields() {
+		if !segment.VerifyMAC(r.key, a.SegInfo, a.HopField) {
+			r.count(func(s *RouterStats) { s.BadMAC++ })
+			return
+		}
+		if !a.HopField.ExpTime.After(now) {
+			r.count(func(s *RouterStats) { s.Expired++ })
+			return
+		}
+		if a.Authorizes(hop.Ingress) {
+			inOK = true
+		}
+		if a.Authorizes(hop.Egress) {
+			outOK = true
+		}
+	}
+	if hop.NumAuth == 0 || !inOK || !outOK {
+		r.count(func(s *RouterStats) { s.Unauthorized++ })
+		return
+	}
+
+	if int(pkt.CurrHop) == len(pkt.Hops)-1 {
+		// Final AS: deliver to the local host stack.
+		if hop.Egress != 0 || pkt.Dst.IA != r.ia {
+			r.count(func(s *RouterStats) { s.WrongIA++ })
+			return
+		}
+		r.deliverLocal(pkt)
+		return
+	}
+
+	r.mu.RLock()
+	le, ok := r.ifaces[hop.Egress]
+	r.mu.RUnlock()
+	if !ok {
+		r.count(func(s *RouterStats) { s.NoInterface++ })
+		return
+	}
+	pkt.CurrHop++
+	buf, err := pkt.Marshal()
+	if err != nil {
+		r.count(func(s *RouterStats) { s.ParseError++ })
+		return
+	}
+	if !le.link.Send(le.end, buf) {
+		r.count(func(s *RouterStats) { s.SendRejected++ })
+		return
+	}
+	r.count(func(s *RouterStats) { s.Forwarded++ })
+}
+
+func (r *Router) deliverLocal(pkt *Packet) {
+	r.mu.RLock()
+	h := r.deliver
+	r.mu.RUnlock()
+	if h == nil {
+		r.count(func(s *RouterStats) { s.NoLocalHosts++ })
+		return
+	}
+	r.count(func(s *RouterStats) { s.Delivered++ })
+	h(pkt)
+}

@@ -1,0 +1,227 @@
+// Package dnssim implements the DNS substrate for SCION detection (paper
+// §4.3): an authoritative server with A and TXT records ("additional TXT
+// records indicating a SCION address can be configured in existing DNS
+// records") served over the simulated legacy network with the standard
+// DNS-over-TCP framing, plus a caching client resolver.
+//
+// The wire codec implements the RFC 1035 message format for the record
+// types the system needs (A, TXT). Name compression is not emitted and not
+// accepted; both ends of the simulation speak this dialect.
+package dnssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record types.
+const (
+	TypeA   uint16 = 1
+	TypeTXT uint16 = 16
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Response codes.
+const (
+	RcodeNoError  = 0
+	RcodeNXDomain = 3
+)
+
+// Question is one DNS question.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// Record is one resource record.
+type Record struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	// A holds the address for TypeA records.
+	A netip.Addr
+	// TXT holds the strings for TypeTXT records.
+	TXT []string
+}
+
+// Message is a DNS message (header + sections).
+type Message struct {
+	ID        uint16
+	Response  bool
+	Rcode     uint8
+	Questions []Question
+	Answers   []Record
+}
+
+// codec errors
+var (
+	ErrTruncatedMsg = errors.New("dnssim: truncated message")
+	ErrBadName      = errors.New("dnssim: malformed name")
+)
+
+// appendName encodes a domain name as length-prefixed labels.
+func appendName(buf []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+			}
+			buf = append(buf, byte(len(label)))
+			buf = append(buf, label...)
+		}
+	}
+	return append(buf, 0), nil
+}
+
+func readName(buf []byte) (string, []byte, error) {
+	var labels []string
+	for {
+		if len(buf) < 1 {
+			return "", nil, ErrTruncatedMsg
+		}
+		n := int(buf[0])
+		buf = buf[1:]
+		if n == 0 {
+			break
+		}
+		if n >= 0xC0 {
+			return "", nil, fmt.Errorf("%w: compression pointers unsupported", ErrBadName)
+		}
+		if len(buf) < n {
+			return "", nil, ErrTruncatedMsg
+		}
+		labels = append(labels, string(buf[:n]))
+		buf = buf[n:]
+	}
+	return strings.Join(labels, "."), buf, nil
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	buf := make([]byte, 0, 128)
+	buf = binary.BigEndian.AppendUint16(buf, m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Rcode) & 0xF
+	buf = binary.BigEndian.AppendUint16(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Questions)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Answers)))
+	buf = binary.BigEndian.AppendUint16(buf, 0) // authority
+	buf = binary.BigEndian.AppendUint16(buf, 0) // additional
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, q.Type)
+		buf = binary.BigEndian.AppendUint16(buf, q.Class)
+	}
+	for _, r := range m.Answers {
+		if buf, err = appendName(buf, r.Name); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, r.Type)
+		buf = binary.BigEndian.AppendUint16(buf, r.Class)
+		buf = binary.BigEndian.AppendUint32(buf, r.TTL)
+		var rdata []byte
+		switch r.Type {
+		case TypeA:
+			if !r.A.Is4() {
+				return nil, fmt.Errorf("dnssim: A record %q without IPv4 address", r.Name)
+			}
+			a4 := r.A.As4()
+			rdata = a4[:]
+		case TypeTXT:
+			for _, s := range r.TXT {
+				if len(s) > 255 {
+					return nil, fmt.Errorf("dnssim: TXT string too long in %q", r.Name)
+				}
+				rdata = append(rdata, byte(len(s)))
+				rdata = append(rdata, s...)
+			}
+		default:
+			return nil, fmt.Errorf("dnssim: unsupported record type %d", r.Type)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(rdata)))
+		buf = append(buf, rdata...)
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a message.
+func Unmarshal(buf []byte) (*Message, error) {
+	if len(buf) < 12 {
+		return nil, ErrTruncatedMsg
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(buf[0:2])}
+	flags := binary.BigEndian.Uint16(buf[2:4])
+	m.Response = flags&(1<<15) != 0
+	m.Rcode = uint8(flags & 0xF)
+	qd := int(binary.BigEndian.Uint16(buf[4:6]))
+	an := int(binary.BigEndian.Uint16(buf[6:8]))
+	buf = buf[12:]
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, buf, err = readName(buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < 4 {
+			return nil, ErrTruncatedMsg
+		}
+		q.Type = binary.BigEndian.Uint16(buf[0:2])
+		q.Class = binary.BigEndian.Uint16(buf[2:4])
+		buf = buf[4:]
+		m.Questions = append(m.Questions, q)
+	}
+	for i := 0; i < an; i++ {
+		var r Record
+		r.Name, buf, err = readName(buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < 10 {
+			return nil, ErrTruncatedMsg
+		}
+		r.Type = binary.BigEndian.Uint16(buf[0:2])
+		r.Class = binary.BigEndian.Uint16(buf[2:4])
+		r.TTL = binary.BigEndian.Uint32(buf[4:8])
+		rdlen := int(binary.BigEndian.Uint16(buf[8:10]))
+		buf = buf[10:]
+		if len(buf) < rdlen {
+			return nil, ErrTruncatedMsg
+		}
+		rdata := buf[:rdlen]
+		buf = buf[rdlen:]
+		switch r.Type {
+		case TypeA:
+			if rdlen != 4 {
+				return nil, fmt.Errorf("dnssim: A record with %d-byte rdata", rdlen)
+			}
+			r.A = netip.AddrFrom4([4]byte(rdata))
+		case TypeTXT:
+			for len(rdata) > 0 {
+				n := int(rdata[0])
+				rdata = rdata[1:]
+				if len(rdata) < n {
+					return nil, ErrTruncatedMsg
+				}
+				r.TXT = append(r.TXT, string(rdata[:n]))
+				rdata = rdata[n:]
+			}
+		}
+		m.Answers = append(m.Answers, r)
+	}
+	return m, nil
+}

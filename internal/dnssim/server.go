@@ -1,0 +1,280 @@
+package dnssim
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"tango/internal/netsim"
+)
+
+// Zone is an authoritative record set keyed by lowercase name.
+type Zone struct {
+	mu      sync.RWMutex
+	records map[string][]Record
+}
+
+// NewZone creates an empty zone.
+func NewZone() *Zone {
+	return &Zone{records: make(map[string][]Record)}
+}
+
+// AddA registers an A record.
+func (z *Zone) AddA(name string, ip netip.Addr, ttl time.Duration) {
+	z.add(Record{Name: name, Type: TypeA, Class: ClassIN, TTL: uint32(ttl / time.Second), A: ip})
+}
+
+// AddTXT registers a TXT record.
+func (z *Zone) AddTXT(name string, ttl time.Duration, strs ...string) {
+	z.add(Record{Name: name, Type: TypeTXT, Class: ClassIN, TTL: uint32(ttl / time.Second), TXT: strs})
+}
+
+func (z *Zone) add(r Record) {
+	key := strings.ToLower(r.Name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.records[key] = append(z.records[key], r)
+}
+
+// Lookup returns matching records.
+func (z *Zone) Lookup(name string, qtype uint16) []Record {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var out []Record
+	for _, r := range z.records[strings.ToLower(name)] {
+		if r.Type == qtype {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Server answers DNS-over-TCP queries (2-byte length framing per RFC 1035
+// §4.2.2) from a zone.
+type Server struct {
+	zone *Zone
+	lis  net.Listener
+}
+
+// Serve starts the server on the legacy network at hostport (conventionally
+// "dns:53"). It returns once listening; the accept loop runs in background.
+func Serve(n *netsim.StreamNetwork, hostport string, zone *Zone) (*Server, error) {
+	lis, err := n.Listen(hostport)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{zone: zone, lis: lis}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.lis.Close() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		query, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		q, err := Unmarshal(query)
+		if err != nil {
+			return
+		}
+		resp := s.answer(q)
+		buf, err := resp.Marshal()
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, buf); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) answer(q *Message) *Message {
+	resp := &Message{ID: q.ID, Response: true, Questions: q.Questions}
+	found := false
+	for _, question := range q.Questions {
+		recs := s.zone.Lookup(question.Name, question.Type)
+		resp.Answers = append(resp.Answers, recs...)
+		if len(recs) > 0 {
+			found = true
+		}
+		// Distinguish NXDOMAIN from empty answer: any record type present?
+		if !found {
+			if len(s.zone.Lookup(question.Name, TypeA))+len(s.zone.Lookup(question.Name, TypeTXT)) > 0 {
+				found = true // name exists, just no records of this type
+			}
+		}
+	}
+	if !found {
+		resp.Rcode = RcodeNXDomain
+	}
+	return resp
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, buf []byte) error {
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(buf)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Resolver is a caching stub resolver querying one server over the legacy
+// network.
+type Resolver struct {
+	net     *netsim.StreamNetwork
+	from    string // local host name for routing
+	server  string // server hostport
+	clock   netsim.Clock
+	rng     *rand.Rand
+	mu      sync.Mutex
+	cache   map[cacheKey]cacheEntry
+	Queries int // wire queries issued (for tests and stats)
+}
+
+type cacheKey struct {
+	name  string
+	qtype uint16
+}
+
+type cacheEntry struct {
+	records  []Record
+	expires  time.Time
+	nxdomain bool
+}
+
+// NewResolver builds a resolver for a host on the legacy network.
+func NewResolver(n *netsim.StreamNetwork, fromHost, server string, clock netsim.Clock) *Resolver {
+	return &Resolver{
+		net:    n,
+		from:   fromHost,
+		server: server,
+		clock:  clock,
+		rng:    rand.New(rand.NewSource(1)),
+		cache:  make(map[cacheKey]cacheEntry),
+	}
+}
+
+// ErrNXDomain reports a nonexistent name.
+var ErrNXDomain = fmt.Errorf("dnssim: no such domain")
+
+// LookupA resolves A records.
+func (r *Resolver) LookupA(ctx context.Context, name string) ([]netip.Addr, error) {
+	recs, err := r.lookup(ctx, name, TypeA)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]netip.Addr, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, rec.A)
+	}
+	return out, nil
+}
+
+// LookupTXT resolves TXT records, returning each string.
+func (r *Resolver) LookupTXT(ctx context.Context, name string) ([]string, error) {
+	recs, err := r.lookup(ctx, name, TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rec := range recs {
+		out = append(out, rec.TXT...)
+	}
+	return out, nil
+}
+
+func (r *Resolver) lookup(ctx context.Context, name string, qtype uint16) ([]Record, error) {
+	key := cacheKey{name: strings.ToLower(name), qtype: qtype}
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok && r.clock.Now().Before(e.expires) {
+		r.mu.Unlock()
+		if e.nxdomain {
+			return nil, fmt.Errorf("%w: %s", ErrNXDomain, name)
+		}
+		return e.records, nil
+	}
+	id := uint16(r.rng.Intn(1 << 16))
+	r.mu.Unlock()
+
+	conn, err := r.net.Dial(ctx, r.from, r.server)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: reaching resolver: %w", err)
+	}
+	defer conn.Close()
+	query := &Message{ID: id, Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}}}
+	buf, err := query.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, buf); err != nil {
+		return nil, err
+	}
+	respBuf, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Unmarshal(respBuf)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != id || !resp.Response {
+		return nil, fmt.Errorf("dnssim: mismatched response")
+	}
+
+	r.mu.Lock()
+	r.Queries++
+	entry := cacheEntry{records: resp.Answers, nxdomain: resp.Rcode == RcodeNXDomain}
+	ttl := time.Duration(300) * time.Second
+	for _, a := range resp.Answers {
+		if t := time.Duration(a.TTL) * time.Second; t < ttl {
+			ttl = t
+		}
+	}
+	if entry.nxdomain {
+		ttl = 30 * time.Second
+	}
+	entry.expires = r.clock.Now().Add(ttl)
+	r.cache[key] = entry
+	r.mu.Unlock()
+
+	if entry.nxdomain {
+		return nil, fmt.Errorf("%w: %s", ErrNXDomain, name)
+	}
+	return resp.Answers, nil
+}

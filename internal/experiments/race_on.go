@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active. Virtual-time
+// measurements depend on compute being fast relative to the advancer's
+// quiescence window; the race detector slows compute ~10x and distorts the
+// timing shapes, so timing-assertion tests skip under it.
+const raceEnabled = true

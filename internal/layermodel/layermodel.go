@@ -1,0 +1,259 @@
+// Package layermodel reproduces the paper's Table 1: for each path-aware-
+// networking property, which layer (OS, application, user) can meaningfully
+// make the path decision.
+//
+// The paper's argument (§2) is mechanized as a capability model: each layer
+// possesses inputs — network metrics at full or abstracted fidelity, and
+// decision context (application semantics, elicitable user intent, durable
+// user values). A property requires certain inputs; the layer's mark follows
+// from coverage:
+//
+//   - Full    (paper's filled mark): all required inputs at full fidelity.
+//   - Partial (paper's half mark "no particular benefits are expected"): the
+//     decision is possible but degraded or adds nothing over a lower layer.
+//   - None    (paper's empty mark): a required input is fundamentally
+//     unavailable, so the layer "would not be the appropriate place to
+//     perform the path selection".
+package layermodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Layer is a decision locus.
+type Layer string
+
+// The three candidate layers of Table 1.
+const (
+	OS   Layer = "OS"
+	App  Layer = "App"
+	User Layer = "User"
+)
+
+// Layers in table column order.
+var Layers = []Layer{OS, App, User}
+
+// Input is something a layer may possess to make path decisions.
+type Input string
+
+// Network metrics and decision context inputs.
+const (
+	// Fine-grained transport metrics, abstracted away from upper layers:
+	// "Metrics such as loss and MTU get abstracted by lower layers, since
+	// they are directly impacted by their interactions with the transport
+	// layer and OS" (paper §2).
+	MetricLoss Input = "loss-rate"
+	MetricMTU  Input = "path-mtu"
+	// Performance metrics visible (at least coarsely) everywhere.
+	MetricLatency   Input = "latency"
+	MetricBandwidth Input = "bandwidth"
+	MetricJitter    Input = "jitter"
+	MetricQoS       Input = "qos-class"
+	// Path decorations from beaconing.
+	MetricASList Input = "as-list"
+	MetricCarbon Input = "carbon-footprint"
+	MetricPrice  Input = "price"
+	// Decision context. Intent is elicitable preference ("geofence these
+	// sites away from ISD X") — an application with a UI, like a browser,
+	// can capture it natively. Values are durable judgments (which ASes are
+	// ethical, what CO2 premium is acceptable) that only the user holds
+	// natively: "an application can hardly figure out automatically for
+	// which destinations CO2 optimization is desired" (paper §2).
+	ContextAppSemantics Input = "app-semantics"
+	ContextUserIntent   Input = "user-intent"
+	ContextUserValues   Input = "user-values"
+)
+
+// Fidelity grades how well a layer possesses an input.
+type Fidelity int
+
+const (
+	// Absent: the layer cannot obtain the input at all.
+	Absent Fidelity = iota
+	// Approximate: obtainable only coarsely or by inference.
+	Approximate
+	// Native: available at full fidelity.
+	Native
+)
+
+// Capability describes one layer's inputs.
+type Capability map[Input]Fidelity
+
+// Capabilities encodes §2's argument about each layer.
+var Capabilities = map[Layer]Capability{
+	// The OS networking stack sees every transport metric natively but has
+	// no visibility into application purpose or user values: "the OS
+	// generally lacks context to determine that traffic is privacy
+	// sensitive, or how much performance the user is willing to trade".
+	OS: {
+		MetricLoss: Native, MetricMTU: Native, MetricLatency: Native,
+		MetricBandwidth: Native, MetricJitter: Native, MetricQoS: Native,
+		MetricASList: Native, MetricCarbon: Native, MetricPrice: Native,
+		ContextAppSemantics: Absent, ContextUserIntent: Absent, ContextUserValues: Absent,
+	},
+	// The application sees path metadata through the network API, knows its
+	// own semantics, and — when it has a user interface, as the browser
+	// does — can elicit user intent directly; durable user values it can
+	// only approximate.
+	App: {
+		MetricLoss: Native, MetricMTU: Native, MetricLatency: Native,
+		MetricBandwidth: Native, MetricJitter: Native, MetricQoS: Native,
+		MetricASList: Native, MetricCarbon: Native, MetricPrice: Native,
+		ContextAppSemantics: Native, ContextUserIntent: Native, ContextUserValues: Approximate,
+	},
+	// The user holds intent and values natively but sees network metrics
+	// only as abstracted summaries — and loss/MTU not at all.
+	User: {
+		MetricLoss: Absent, MetricMTU: Absent, MetricLatency: Approximate,
+		MetricBandwidth: Approximate, MetricJitter: Approximate, MetricQoS: Approximate,
+		MetricASList: Native, MetricCarbon: Native, MetricPrice: Native,
+		ContextAppSemantics: Absent, ContextUserIntent: Native, ContextUserValues: Native,
+	},
+}
+
+// Property is one row of Table 1.
+type Property struct {
+	Name  string
+	Class string
+	// Requires lists the inputs a meaningful decision needs.
+	Requires []Input
+	// AppValueAdd reports whether application-level selection adds benefit
+	// over the OS for this property (per-traffic-class differentiation).
+	// Purely transparent optimizations (latency, MTU) are best left below,
+	// so the App column shows "no particular benefit".
+	AppValueAdd bool
+}
+
+// Properties lists Table 1's rows in order.
+var Properties = []Property{
+	{"Low latency", "Performance properties", []Input{MetricLatency}, false},
+	{"Loss rate", "Performance properties", []Input{MetricLoss}, true},
+	{"Path MTU information", "Performance properties", []Input{MetricMTU}, false},
+	{"Bandwidth", "Performance properties", []Input{MetricBandwidth}, true},
+	{"QoS", "Quality properties", []Input{MetricQoS}, true},
+	{"Jitter optimization", "Quality properties", []Input{MetricJitter}, true},
+	{"Geofencing (Alibi routing)", "Privacy / Anonymity", []Input{MetricASList, ContextUserIntent}, true},
+	{"Onion routing", "Privacy / Anonymity", []Input{MetricASList, ContextUserIntent}, true},
+	{"Carbon footprint reduction", "ESG Routing", []Input{MetricCarbon, ContextUserIntent}, true},
+	{"Ethical routing", "ESG Routing", []Input{MetricASList, ContextUserValues}, true},
+	{"Allied AS routing", "Economic aspects", []Input{MetricASList, ContextUserIntent}, true},
+	{"Price optimization", "Economic aspects", []Input{MetricPrice}, true},
+}
+
+// Mark is a cell of the matrix.
+type Mark int
+
+const (
+	// None: the layer is not an appropriate decision point.
+	None Mark = iota
+	// Partial: possible but degraded, or no benefit over a lower layer.
+	Partial
+	// Full: the layer can meaningfully select on this property.
+	Full
+)
+
+// Glyph renders the mark with table symbols.
+func (m Mark) Glyph() string {
+	switch m {
+	case Full:
+		return "●"
+	case Partial:
+		return "◐"
+	default:
+		return "·"
+	}
+}
+
+// String implements fmt.Stringer.
+func (m Mark) String() string {
+	switch m {
+	case Full:
+		return "full"
+	case Partial:
+		return "partial"
+	default:
+		return "none"
+	}
+}
+
+// Evaluate derives the mark for one layer and property from the capability
+// model.
+func Evaluate(layer Layer, prop Property) Mark {
+	cap := Capabilities[layer]
+	mark := Full
+	for _, in := range prop.Requires {
+		switch cap[in] {
+		case Absent:
+			if isContext(in) {
+				// The layer can still enforce a preconfigured preference on
+				// the metric it observes (the OS can be handed a geofence),
+				// but cannot originate the decision: degraded, not absent.
+				mark = markMin(mark, Partial)
+			} else {
+				// A missing metric is disqualifying: there is nothing to
+				// decide on.
+				return None
+			}
+		case Approximate:
+			mark = markMin(mark, Partial)
+		}
+	}
+	// Transparent optimizations add nothing above the OS.
+	if layer == App && !prop.AppValueAdd {
+		mark = markMin(mark, Partial)
+	}
+	return mark
+}
+
+func isContext(in Input) bool {
+	switch in {
+	case ContextAppSemantics, ContextUserIntent, ContextUserValues:
+		return true
+	}
+	return false
+}
+
+func markMin(a, b Mark) Mark {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Matrix computes the full Table 1.
+func Matrix() map[string]map[Layer]Mark {
+	out := make(map[string]map[Layer]Mark, len(Properties))
+	for _, p := range Properties {
+		row := make(map[Layer]Mark, len(Layers))
+		for _, l := range Layers {
+			row[l] = Evaluate(l, p)
+		}
+		out[p.Name] = row
+	}
+	return out
+}
+
+// Render prints the matrix in the paper's table layout.
+func Render() string {
+	m := Matrix()
+	var b strings.Builder
+	nameW := 0
+	for _, p := range Properties {
+		if len(p.Name) > nameW {
+			nameW = len(p.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-4s %-4s %-4s\n", nameW, "Property", "OS", "App", "User")
+	lastClass := ""
+	for _, p := range Properties {
+		if p.Class != lastClass {
+			fmt.Fprintf(&b, "%s\n", p.Class)
+			lastClass = p.Class
+		}
+		row := m[p.Name]
+		fmt.Fprintf(&b, "%-*s  %-4s %-4s %-4s\n", nameW, p.Name,
+			row[OS].Glyph(), row[App].Glyph(), row[User].Glyph())
+	}
+	return b.String()
+}

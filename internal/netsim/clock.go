@@ -1,0 +1,281 @@
+// Package netsim provides the simulated network substrate every other layer
+// of this repository runs on: a pluggable clock (real or virtual), lossy
+// latency/bandwidth-shaped datagram links, and latency-shaped in-memory
+// stream connections that model the legacy BGP/IP path.
+//
+// netsim is deliberately SCION-agnostic: the SCION data plane
+// (internal/dataplane) builds border routers on top of netsim links, and the
+// legacy IP fallback path (internal/proxy) dials netsim stream connections,
+// so both worlds share one simulated substrate and one clock, as in the
+// paper's testbeds (Figures 2 and 4).
+package netsim
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time so experiments can run on a fast, deterministic
+// virtual clock while production binaries use the real one. All latency
+// injection in this repository flows through a Clock.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Sleep blocks for d of clock time.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock time after d.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run after d and returns a cancel function
+	// that reports whether the call was stopped before f ran.
+	AfterFunc(d time.Duration, f func()) (cancel func() bool)
+	// Since returns the clock time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// RealClock is the production Clock backed by package time.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc implements Clock.
+func (RealClock) AfterFunc(d time.Duration, f func()) func() bool {
+	t := time.AfterFunc(d, f)
+	return t.Stop
+}
+
+// Since implements Clock.
+func (RealClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// simTimer is one pending virtual-clock timer.
+type simTimer struct {
+	deadline time.Time
+	seq      uint64 // tie-break so equal deadlines fire in schedule order
+	fn       func()
+	index    int // heap index, -1 once removed
+}
+
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// SimClock is a virtual clock. Time only moves when Advance, AdvanceToNext,
+// or the auto-advancer (see AutoAdvance) moves it, so durations measured with
+// a SimClock are exactly the sums of scheduled delays on the critical path —
+// compute time contributes zero. This is what makes the page-load-time
+// experiments deterministic and fast.
+//
+// The zero value is not usable; construct with NewSimClock.
+type SimClock struct {
+	mu       sync.Mutex
+	now      time.Time
+	timers   timerHeap
+	seq      uint64
+	activity atomic.Uint64 // bumped on every schedule/fire, used by AutoAdvance
+}
+
+// NewSimClock returns a SimClock starting at the given epoch.
+func NewSimClock(epoch time.Time) *SimClock {
+	return &SimClock{now: epoch}
+}
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock. It blocks until virtual time has advanced past
+// now+d, which requires some other party (another goroutine, or the
+// auto-advancer) to move the clock.
+func (c *SimClock) Sleep(d time.Duration) {
+	done := make(chan struct{})
+	c.AfterFunc(d, func() { close(done) })
+	<-done
+}
+
+// After implements Clock.
+func (c *SimClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.AfterFunc(d, func() { ch <- c.Now() })
+	return ch
+}
+
+// AfterFunc implements Clock. Timers scheduled with non-positive delay fire
+// at the current virtual instant on the next advance — never synchronously,
+// so callers may schedule while holding locks their callbacks take.
+func (c *SimClock) AfterFunc(d time.Duration, f func()) func() bool {
+	c.mu.Lock()
+	c.activity.Add(1)
+	t := &simTimer{deadline: c.now.Add(d), seq: c.seq, fn: f}
+	c.seq++
+	heap.Push(&c.timers, t)
+	c.mu.Unlock()
+	return func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.activity.Add(1)
+		if t.index < 0 {
+			return false
+		}
+		heap.Remove(&c.timers, t.index)
+		return true
+	}
+}
+
+// Since implements Clock.
+func (c *SimClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Advance moves virtual time forward by d, firing every timer whose deadline
+// falls within the window, in deadline order.
+func (c *SimClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	c.mu.Unlock()
+	c.advanceTo(target)
+}
+
+// AdvanceToNext jumps virtual time to the earliest pending timer deadline and
+// fires every timer due at that instant. It reports whether any timer fired.
+func (c *SimClock) AdvanceToNext() bool {
+	c.mu.Lock()
+	if len(c.timers) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	target := c.timers[0].deadline
+	c.mu.Unlock()
+	c.advanceTo(target)
+	return true
+}
+
+// PendingTimers returns the number of timers not yet fired.
+func (c *SimClock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// advanceTo moves the clock to target (if later than now), firing due timers
+// in order. Timer callbacks run synchronously in this goroutine so that a
+// chain of zero-delay work completes before time moves again; callbacks that
+// need to block must spawn their own goroutines.
+func (c *SimClock) advanceTo(target time.Time) {
+	for {
+		c.mu.Lock()
+		if target.After(c.now) && (len(c.timers) == 0 || c.timers[0].deadline.After(target)) {
+			c.now = target
+		}
+		if len(c.timers) == 0 || c.timers[0].deadline.After(target) {
+			c.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&c.timers).(*simTimer)
+		if t.deadline.After(c.now) {
+			c.now = t.deadline
+		}
+		c.activity.Add(1)
+		c.mu.Unlock()
+		t.fn()
+	}
+}
+
+// AutoAdvance starts a background advancer that jumps the clock to the next
+// pending timer whenever the system is quiescent (no timer scheduled, fired,
+// or cancelled across a window of scheduler yields). This lets ordinary
+// goroutine code — QUIC handshakes, HTTP exchanges — run unmodified against
+// virtual time: when everyone is blocked waiting for a (virtual) packet
+// delivery or timeout, the advancer moves time forward. It returns a stop
+// function.
+//
+// Most packet processing in this repository runs synchronously inside timer
+// callbacks (handler-based delivery), so an advance returns only after the
+// whole causal cascade of an instant has completed; the yield window only
+// covers application goroutines (HTTP handlers, stream readers) that react
+// to that cascade. The grace parameter bounds how long the advancer sleeps
+// when no timers are pending at all.
+func (c *SimClock) AutoAdvance(grace time.Duration) (stop func()) {
+	if grace <= 0 {
+		grace = 200 * time.Microsecond
+	}
+	// quietYields is the number of consecutive scheduler yields without
+	// timer activity required before advancing. Large enough for woken
+	// application goroutines to run; small enough to keep advances cheap.
+	const quietYields = 96
+	done := make(chan struct{})
+	go func() {
+		last := c.activity.Load()
+		quiet := 0
+		idle := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			cur := c.activity.Load()
+			if cur != last {
+				last = cur
+				quiet = 0
+				idle = 0
+				runtime.Gosched()
+				continue
+			}
+			quiet++
+			if quiet < quietYields {
+				runtime.Gosched()
+				continue
+			}
+			if c.AdvanceToNext() {
+				last = c.activity.Load()
+				quiet = 0
+				idle = 0
+				continue
+			}
+			// Nothing pending: sleep politely, backing off while idle.
+			idle++
+			d := grace
+			if idle > 16 {
+				d = 4 * grace
+			}
+			time.Sleep(d)
+			quiet = 0
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC)
+
+func TestSimClockAdvanceFiresInOrder(t *testing.T) {
+	c := NewSimClock(epoch)
+	var mu sync.Mutex
+	var order []int
+	c.AfterFunc(30*time.Millisecond, func() { mu.Lock(); order = append(order, 3); mu.Unlock() })
+	c.AfterFunc(10*time.Millisecond, func() { mu.Lock(); order = append(order, 1); mu.Unlock() })
+	c.AfterFunc(20*time.Millisecond, func() { mu.Lock(); order = append(order, 2); mu.Unlock() })
+	c.Advance(25 * time.Millisecond)
+	mu.Lock()
+	got := append([]int(nil), order...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", got)
+	}
+	if want := epoch.Add(25 * time.Millisecond); !c.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), want)
+	}
+	c.Advance(10 * time.Millisecond)
+	mu.Lock()
+	got = append([]int(nil), order...)
+	mu.Unlock()
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("fired %v, want [1 2 3]", got)
+	}
+}
+
+func TestSimClockEqualDeadlinesFIFO(t *testing.T) {
+	c := NewSimClock(epoch)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.AfterFunc(time.Millisecond, func() { order = append(order, i) })
+	}
+	c.Advance(time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestSimClockCancel(t *testing.T) {
+	c := NewSimClock(epoch)
+	fired := false
+	cancel := c.AfterFunc(time.Millisecond, func() { fired = true })
+	if !cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if cancel() {
+		t.Fatal("second cancel should report already stopped")
+	}
+	c.Advance(time.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestSimClockZeroDelayFiresOnNextAdvance(t *testing.T) {
+	c := NewSimClock(epoch)
+	var fired atomic.Bool
+	c.AfterFunc(0, func() { fired.Store(true) })
+	if fired.Load() {
+		t.Fatal("zero-delay timer fired synchronously; must wait for an advance")
+	}
+	if !c.AdvanceToNext() {
+		t.Fatal("no timer pending")
+	}
+	if !fired.Load() {
+		t.Fatal("zero-delay timer did not fire on advance")
+	}
+	if !c.Now().Equal(epoch) {
+		t.Fatal("zero-delay advance moved time")
+	}
+}
+
+func TestSimClockAdvanceToNext(t *testing.T) {
+	c := NewSimClock(epoch)
+	if c.AdvanceToNext() {
+		t.Fatal("AdvanceToNext with no timers should report false")
+	}
+	done := false
+	c.AfterFunc(42*time.Millisecond, func() { done = true })
+	if !c.AdvanceToNext() {
+		t.Fatal("AdvanceToNext should fire")
+	}
+	if !done {
+		t.Fatal("timer did not run")
+	}
+	if want := epoch.Add(42 * time.Millisecond); !c.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestSimClockSleepWithAutoAdvance(t *testing.T) {
+	c := NewSimClock(epoch)
+	stop := c.AutoAdvance(100 * time.Microsecond)
+	defer stop()
+	start := c.Now()
+	c.Sleep(5 * time.Millisecond)
+	if got := c.Since(start); got != 5*time.Millisecond {
+		t.Fatalf("virtual sleep advanced %v, want exactly 5ms", got)
+	}
+}
+
+func TestSimClockConcurrentSleepersMeasureExactDelays(t *testing.T) {
+	c := NewSimClock(epoch)
+	stop := c.AutoAdvance(100 * time.Microsecond)
+	defer stop()
+	var wg sync.WaitGroup
+	results := make([]time.Duration, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := c.Now()
+			c.Sleep(time.Duration(i+1) * time.Millisecond)
+			results[i] = c.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		want := time.Duration(i+1) * time.Millisecond
+		if got < want {
+			t.Errorf("sleeper %d measured %v, want >= %v", i, got, want)
+		}
+	}
+}
+
+func TestSimClockAfter(t *testing.T) {
+	c := NewSimClock(epoch)
+	ch := c.After(7 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired before advance")
+	default:
+	}
+	c.Advance(7 * time.Millisecond)
+	select {
+	case at := <-ch:
+		if want := epoch.Add(7 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("After delivered %v, want %v", at, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = RealClock{}
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(start) < time.Millisecond {
+		t.Fatal("real clock did not advance")
+	}
+	fired := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("AfterFunc never fired")
+	}
+}

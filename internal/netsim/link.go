@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LinkProps describes the physical characteristics of a simulated link.
+type LinkProps struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per packet.
+	Jitter time.Duration
+	// Bandwidth in bits per second; zero means unlimited. Packets are
+	// serialized FIFO per direction, modelling transmission delay and
+	// queueing.
+	Bandwidth int64
+	// LossRate is the independent per-packet drop probability in [0, 1].
+	LossRate float64
+	// MTU is the maximum packet size in bytes; larger packets are dropped.
+	// Zero means unlimited.
+	MTU int
+}
+
+// LinkStats counts per-direction packet outcomes on a link.
+type LinkStats struct {
+	Delivered uint64
+	Lost      uint64
+	TooBig    uint64
+	Bytes     uint64
+}
+
+// Link is a bidirectional point-to-point datagram link between two attached
+// receivers. Ends are numbered 0 and 1. Sends never block: delivery is
+// scheduled on the link's clock after serialization + propagation delay, and
+// lossy links silently drop.
+type Link struct {
+	clock Clock
+	props LinkProps
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	ends     [2]func([]byte)
+	nextFree [2]time.Time // when the transmitter in each direction frees up
+	stats    [2]LinkStats
+}
+
+// NewLink creates a link with the given properties. The seed drives loss and
+// jitter so scenarios are reproducible.
+func NewLink(clock Clock, props LinkProps, seed int64) *Link {
+	return &Link{
+		clock: clock,
+		props: props,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Props returns the link's configured properties.
+func (l *Link) Props() LinkProps { return l.props }
+
+// Attach registers the receiver for packets arriving at the given end (0 or
+// 1). Attach must be called for both ends before traffic flows toward them.
+func (l *Link) Attach(end int, recv func(pkt []byte)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ends[end] = recv
+}
+
+// Send transmits pkt from the given end toward the other. It reports whether
+// the packet was accepted for (eventual) delivery; false means it was dropped
+// by loss, MTU, or a missing receiver. The packet is copied, so the caller
+// may reuse the buffer.
+func (l *Link) Send(from int, pkt []byte) bool {
+	to := 1 - from
+	l.mu.Lock()
+	recv := l.ends[to]
+	if recv == nil {
+		l.mu.Unlock()
+		return false
+	}
+	if l.props.MTU > 0 && len(pkt) > l.props.MTU {
+		l.stats[from].TooBig++
+		l.mu.Unlock()
+		return false
+	}
+	if l.props.LossRate > 0 && l.rng.Float64() < l.props.LossRate {
+		l.stats[from].Lost++
+		l.mu.Unlock()
+		return false
+	}
+	now := l.clock.Now()
+	start := now
+	if l.nextFree[from].After(start) {
+		start = l.nextFree[from]
+	}
+	var tx time.Duration
+	if l.props.Bandwidth > 0 {
+		tx = time.Duration(int64(len(pkt)) * 8 * int64(time.Second) / l.props.Bandwidth)
+	}
+	l.nextFree[from] = start.Add(tx)
+	delay := start.Sub(now) + tx + l.props.Latency
+	if l.props.Jitter > 0 {
+		delay += time.Duration(l.rng.Int63n(int64(l.props.Jitter)))
+	}
+	l.stats[from].Delivered++
+	l.stats[from].Bytes += uint64(len(pkt))
+	l.mu.Unlock()
+
+	buf := make([]byte, len(pkt))
+	copy(buf, pkt)
+	l.clock.AfterFunc(delay, func() { recv(buf) })
+	return true
+}
+
+// Stats returns a snapshot of the transmit statistics for the given end.
+func (l *Link) Stats(from int) LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats[from]
+}

@@ -1,0 +1,163 @@
+// Package pan is the paper's core contribution as a library: policy-driven,
+// user-controllable path-aware networking for applications. It glues path
+// lookup (pathdb), user policies (ppl/policy), and the secure transport
+// (squic) behind a small API with the paper's two operational modes:
+//
+//   - Opportunistic: "the user's path policy is interpreted as a preference.
+//     If a website is available via SCION but no policy-compliant path is
+//     available... the website will still load" — Dial falls back to a
+//     non-compliant path and flags it.
+//   - Strict: "only allows policy-compliant paths and the browser will
+//     display a connection error if no such path is found."
+package pan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/pathdb"
+	"tango/internal/policy"
+	"tango/internal/ppl"
+	"tango/internal/segment"
+	"tango/internal/snet"
+	"tango/internal/squic"
+)
+
+// Mode is the paper's operational mode (§4.2).
+type Mode int
+
+const (
+	// Opportunistic treats the policy as a preference.
+	Opportunistic Mode = iota
+	// Strict requires a policy-compliant SCION path.
+	Strict
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Strict {
+		return "strict"
+	}
+	return "opportunistic"
+}
+
+// Selection describes how a path was chosen, feeding the UI indicator and
+// the statistics module.
+type Selection struct {
+	// Path is the chosen forwarding path.
+	Path *segment.Path
+	// Compliant reports whether the path satisfies the active policy.
+	Compliant bool
+	// Options is the number of candidate paths the network offered.
+	Options int
+	// CompliantOptions is how many of them satisfied the policy.
+	CompliantOptions int
+}
+
+// Errors returned by selection and dialing.
+var (
+	// ErrNoPath means the destination is not reachable over SCION at all.
+	ErrNoPath = errors.New("pan: no SCION path to destination")
+	// ErrNoCompliantPath means paths exist but none satisfies the policy
+	// (strict mode refuses; opportunistic mode falls back).
+	ErrNoCompliantPath = errors.New("pan: no policy-compliant SCION path")
+)
+
+// Host is a PAN-enabled endpoint: an snet stack plus the control-plane
+// machinery needed to select paths.
+type Host struct {
+	stack *snet.Stack
+	comb  *pathdb.Combiner
+	clock netsim.Clock
+	pool  *squic.CertPool
+}
+
+// NewHost assembles a PAN host.
+func NewHost(stack *snet.Stack, comb *pathdb.Combiner, pool *squic.CertPool) *Host {
+	return &Host{stack: stack, comb: comb, clock: stack.Clock(), pool: pool}
+}
+
+// Local returns the host's SCION address.
+func (h *Host) Local() addr.Addr { return h.stack.Local() }
+
+// Clock returns the host's clock.
+func (h *Host) Clock() netsim.Clock { return h.clock }
+
+// Paths returns all current paths to dst, unfiltered.
+func (h *Host) Paths(dst addr.IA) []*segment.Path {
+	return h.comb.Paths(h.stack.Local().IA, dst, h.clock.Now())
+}
+
+// SelectPath picks the best path to dst under the policy and geofence. In
+// Strict mode it fails with ErrNoCompliantPath when only non-compliant paths
+// exist; in Opportunistic mode it returns the best non-compliant path with
+// Compliant=false instead.
+func (h *Host) SelectPath(dst addr.IA, pol *ppl.Policy, fence *policy.Geofence, mode Mode) (Selection, error) {
+	paths := h.Paths(dst)
+	if len(paths) == 0 {
+		return Selection{}, fmt.Errorf("%w: %s", ErrNoPath, dst)
+	}
+	compliant := make([]*segment.Path, 0, len(paths))
+	for _, p := range paths {
+		if fence.Compliant(p) && (pol == nil || pol.Accepts(p)) {
+			compliant = append(compliant, p)
+		}
+	}
+	if pol != nil {
+		compliant = pol.Filter(compliant) // apply orderings
+	}
+	sel := Selection{Options: len(paths), CompliantOptions: len(compliant)}
+	if len(compliant) > 0 {
+		sel.Path = compliant[0]
+		sel.Compliant = true
+		return sel, nil
+	}
+	if mode == Strict {
+		return sel, fmt.Errorf("%w: %s (%d paths offered)", ErrNoCompliantPath, dst, len(paths))
+	}
+	// Opportunistic fallback: best available path, flagged non-compliant,
+	// and surfaced to the user via the indicator (paper §4.2).
+	sel.Path = paths[0]
+	sel.Compliant = false
+	return sel, nil
+}
+
+// Dial connects to a remote SCION endpoint with policy-driven path
+// selection and returns the connection plus the selection record.
+func (h *Host) Dial(ctx context.Context, remote addr.UDPAddr, serverName string, pol *ppl.Policy, fence *policy.Geofence, mode Mode) (*squic.Conn, Selection, error) {
+	sel, err := h.SelectPath(remote.IA, pol, fence, mode)
+	if err != nil {
+		return nil, sel, err
+	}
+	sock, err := h.stack.Listen(0)
+	if err != nil {
+		return nil, sel, fmt.Errorf("pan: allocating socket: %w", err)
+	}
+	conn, err := squic.Dial(sock, remote, sel.Path, serverName, &squic.Config{Clock: h.clock, Pool: h.pool})
+	if err != nil {
+		return nil, sel, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = deadline // handshake timeouts are governed by squic.Config
+	}
+	return conn, sel, nil
+}
+
+// Listen starts a PAN server with the given identity on a fixed port,
+// mirroring the paper's "Go-based web servers can be compiled with our PAN
+// library to include SCION support directly".
+func (h *Host) Listen(port uint16, identity *squic.Identity) (*squic.Listener, error) {
+	sock, err := h.stack.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	lis, err := squic.Listen(sock, &squic.Config{Clock: h.clock, Identity: identity})
+	if err != nil {
+		sock.Close()
+		return nil, err
+	}
+	return lis, nil
+}

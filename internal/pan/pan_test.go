@@ -1,0 +1,195 @@
+package pan_test
+
+import (
+	"context"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/beacon"
+	"tango/internal/dataplane"
+	"tango/internal/netsim"
+	"tango/internal/pan"
+	"tango/internal/pathdb"
+	"tango/internal/policy"
+	"tango/internal/ppl"
+	"tango/internal/snet"
+	"tango/internal/squic"
+	"tango/internal/topology"
+)
+
+var (
+	t0 = time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC)
+	t1 = t0.Add(24 * time.Hour)
+)
+
+type world struct {
+	clock *netsim.SimClock
+	comb  *pathdb.Combiner
+	dw    *dataplane.World
+	disp  map[addr.IA]*snet.Dispatcher
+	pool  *squic.CertPool
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	topo := topology.Default()
+	infra, err := beacon.NewInfra(topo, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := pathdb.NewRegistry(infra.Store)
+	if err := beacon.NewService(topo, infra, reg, 12*time.Hour).Run(t0); err != nil {
+		t.Fatal(err)
+	}
+	clock := netsim.NewSimClock(t0.Add(time.Hour))
+	dw, err := dataplane.NewWorld(topo, infra.ForwardingKeys, clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := make(map[addr.IA]*snet.Dispatcher)
+	for _, as := range topo.ASes() {
+		disp[as.IA] = snet.NewDispatcher(dw.Router(as.IA), clock)
+	}
+	t.Cleanup(clock.AutoAdvance(150 * time.Microsecond))
+	return &world{clock: clock, comb: pathdb.NewCombiner(reg), dw: dw, disp: disp, pool: squic.NewCertPool()}
+}
+
+func (w *world) host(ia addr.IA, ip string) *pan.Host {
+	stack := w.disp[ia].Host(netip.MustParseAddr(ip), w.dw.Router(ia))
+	return pan.NewHost(stack, w.comb, w.pool)
+}
+
+func TestSelectPathCompliant(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	sel, err := h.SelectPath(topology.AS211, policy.LowLatency(), nil, pan.Opportunistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Compliant || sel.Path == nil {
+		t.Fatalf("selection %+v", sel)
+	}
+	if sel.Path.Meta.Latency != 91*time.Millisecond {
+		t.Fatalf("low-latency selection picked %v", sel.Path.Meta.Latency)
+	}
+	if sel.Options < 2 || sel.CompliantOptions != sel.Options {
+		t.Fatalf("options %d/%d", sel.CompliantOptions, sel.Options)
+	}
+}
+
+func TestSelectPathGeofenceStrictFails(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	fence := policy.NewBlockGeofence(2) // destination ISD is blocked
+	if _, err := h.SelectPath(topology.AS211, nil, fence, pan.Strict); err == nil {
+		t.Fatal("strict selection through blocked ISD succeeded")
+	}
+	// Opportunistic: falls back to a non-compliant path, flagged.
+	sel, err := h.SelectPath(topology.AS211, nil, fence, pan.Opportunistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Compliant || sel.Path == nil || sel.CompliantOptions != 0 {
+		t.Fatalf("opportunistic fallback selection %+v", sel)
+	}
+}
+
+func TestSelectPathGeofenceReroutes(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	// 111->121: fastest is the peering path; blocking nothing picks it.
+	sel, _ := h.SelectPath(topology.AS121, policy.LowLatency(), nil, pan.Opportunistic)
+	if len(sel.Path.Hops) != 2 {
+		t.Fatalf("expected peering path, got %s", sel.Path)
+	}
+	// A sequence policy forbidding the peering link forces the core route.
+	seq, err := ppl.ParseSequence("0 1-ff00:0:110 0*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err = h.SelectPath(topology.AS121, &ppl.Policy{Sequence: seq, Orderings: []ppl.Ordering{ppl.OrderLatency}}, nil, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Compliant || sel.Path.Meta.Latency != 11*time.Millisecond {
+		t.Fatalf("rerouted selection %+v lat=%v", sel, sel.Path.Meta.Latency)
+	}
+}
+
+func TestSelectPathNoPath(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	if _, err := h.SelectPath(addr.MustIA(9, 9), nil, nil, pan.Opportunistic); err == nil {
+		t.Fatal("selection to unknown AS succeeded")
+	}
+}
+
+func TestDialAndServe(t *testing.T) {
+	w := newWorld(t)
+	server := w.host(topology.AS211, "10.0.0.2")
+	id, err := squic.NewIdentity("pan.server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.pool.AddIdentity(id)
+	lis, err := server.Listen(7000, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		s, err := conn.AcceptStream()
+		if err != nil {
+			return
+		}
+		io.Copy(s, s)
+	}()
+
+	client := w.host(topology.AS111, "10.0.0.1")
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 7000}
+	conn, sel, err := client.Dial(context.Background(), remote, "pan.server", policy.GreenRouting(0), policy.NewBlockGeofence(), pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if !sel.Compliant {
+		t.Fatal("selection not compliant")
+	}
+	s, err := conn.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Write([]byte("green"))
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "green" {
+		t.Fatalf("echo %q", buf)
+	}
+	// Green routing orders by carbon: the chosen path must be the
+	// carbon-minimal one among the offered paths.
+	paths := client.Paths(topology.AS211)
+	minCarbon := paths[0].Meta.CarbonPerGB
+	for _, p := range paths {
+		if p.Meta.CarbonPerGB < minCarbon {
+			minCarbon = p.Meta.CarbonPerGB
+		}
+	}
+	if sel.Path.Meta.CarbonPerGB != minCarbon {
+		t.Fatalf("green routing picked %v g/GB, min is %v", sel.Path.Meta.CarbonPerGB, minCarbon)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if pan.Opportunistic.String() != "opportunistic" || pan.Strict.String() != "strict" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,106 @@
+package ppl
+
+import (
+	"fmt"
+	"strings"
+
+	"tango/internal/segment"
+)
+
+// ACLEntry is one ordered allow/deny rule.
+type ACLEntry struct {
+	Allow bool
+	HP    HopPredicate
+}
+
+// ParseACLEntry parses "+ <predicate>", "- <predicate>", or the bare
+// defaults "+" / "-".
+func ParseACLEntry(s string) (ACLEntry, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ACLEntry{}, fmt.Errorf("parsing ACL entry: empty")
+	}
+	var allow bool
+	switch s[0] {
+	case '+':
+		allow = true
+	case '-':
+		allow = false
+	default:
+		return ACLEntry{}, fmt.Errorf("parsing ACL entry %q: must start with '+' or '-'", s)
+	}
+	rest := strings.TrimSpace(s[1:])
+	if rest == "" {
+		// Bare default entry: matches every hop.
+		return ACLEntry{Allow: allow}, nil
+	}
+	hp, err := ParseHopPredicate(rest)
+	if err != nil {
+		return ACLEntry{}, err
+	}
+	return ACLEntry{Allow: allow, HP: hp}, nil
+}
+
+// String renders the canonical form.
+func (e ACLEntry) String() string {
+	sign := "-"
+	if e.Allow {
+		sign = "+"
+	}
+	if e.HP.IA.IsZero() && len(e.HP.IfIDs) == 0 {
+		return sign
+	}
+	return sign + " " + e.HP.String()
+}
+
+// ACL is an ordered first-match allow/deny list over path hops: a path is
+// accepted iff every hop's first matching entry allows it. The last entry
+// should be a bare default; if none is, a trailing deny-all is implied
+// (fail closed).
+type ACL struct {
+	Entries []ACLEntry
+}
+
+// ParseACL parses one entry per element.
+func ParseACL(entries ...string) (*ACL, error) {
+	acl := &ACL{}
+	for _, s := range entries {
+		e, err := ParseACLEntry(s)
+		if err != nil {
+			return nil, err
+		}
+		acl.Entries = append(acl.Entries, e)
+	}
+	return acl, nil
+}
+
+// Eval reports whether the path satisfies the ACL.
+func (a *ACL) Eval(p *segment.Path) bool {
+	for _, hop := range p.Hops {
+		allowed := false
+		matched := false
+		for _, e := range a.Entries {
+			if e.HP.MatchesHop(hop) {
+				allowed = e.Allow
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			allowed = false // implicit deny-all
+		}
+		if !allowed {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the entries separated by commas.
+func (a *ACL) String() string {
+	parts := make([]string, len(a.Entries))
+	for i, e := range a.Entries {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

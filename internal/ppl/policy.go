@@ -1,0 +1,268 @@
+package ppl
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"tango/internal/segment"
+)
+
+// Ordering names a path-sorting criterion.
+type Ordering string
+
+// Supported orderings.
+const (
+	OrderLatency   Ordering = "latency"   // ascending one-way latency
+	OrderBandwidth Ordering = "bandwidth" // descending bottleneck bandwidth
+	OrderHops      Ordering = "hops"      // ascending AS count
+	OrderCarbon    Ordering = "carbon"    // ascending g CO2 / GB
+	OrderMTU       Ordering = "mtu"       // descending MTU
+)
+
+// less compares two paths under the ordering; 0 means equal.
+func (o Ordering) compare(a, b *segment.Path) int {
+	switch o {
+	case OrderLatency:
+		return cmp(int64(a.Meta.Latency), int64(b.Meta.Latency))
+	case OrderBandwidth:
+		return cmp(b.Meta.Bandwidth, a.Meta.Bandwidth)
+	case OrderHops:
+		return cmp(int64(len(a.Hops)), int64(len(b.Hops)))
+	case OrderCarbon:
+		switch {
+		case a.Meta.CarbonPerGB < b.Meta.CarbonPerGB:
+			return -1
+		case a.Meta.CarbonPerGB > b.Meta.CarbonPerGB:
+			return 1
+		}
+		return 0
+	case OrderMTU:
+		return cmp(int64(b.Meta.MTU), int64(a.Meta.MTU))
+	default:
+		return 0
+	}
+}
+
+func cmp[T int64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// valid reports whether the ordering is known.
+func (o Ordering) valid() bool {
+	switch o {
+	case OrderLatency, OrderBandwidth, OrderHops, OrderCarbon, OrderMTU:
+		return true
+	}
+	return false
+}
+
+// Policy combines filters and orderings, matching the paper's description:
+// exclude regions with the ACL, shape the route with a sequence, constrain
+// metrics, and sort what remains (e.g. by CO2 footprint). The zero Policy
+// accepts every path in its original order.
+type Policy struct {
+	// Name identifies the policy in configuration and statistics.
+	Name string
+	// ACL filters hops (nil = allow all).
+	ACL *ACL
+	// Sequence constrains the hop sequence (nil = any).
+	Sequence *Sequence
+	// MaxLatency rejects slower paths (0 = unbounded).
+	MaxLatency time.Duration
+	// MinBandwidth rejects narrower paths, bits/s (0 = unbounded).
+	MinBandwidth int64
+	// MaxCarbon rejects dirtier paths, g CO2/GB (0 = unbounded).
+	MaxCarbon float64
+	// MaxHops rejects longer paths (0 = unbounded).
+	MaxHops int
+	// Orderings sort accepted paths lexicographically by criteria.
+	Orderings []Ordering
+
+	// extraSeqs holds additional sequence constraints created by Intersect;
+	// all must match.
+	extraSeqs []*Sequence
+}
+
+// Accepts reports whether a single path satisfies all filters.
+func (p *Policy) Accepts(path *segment.Path) bool {
+	if p == nil {
+		return true
+	}
+	if p.ACL != nil && !p.ACL.Eval(path) {
+		return false
+	}
+	if p.Sequence != nil && !p.Sequence.Eval(path) {
+		return false
+	}
+	for _, seq := range p.extraSeqs {
+		if !seq.Eval(path) {
+			return false
+		}
+	}
+	if p.MaxLatency > 0 && path.Meta.Latency > p.MaxLatency {
+		return false
+	}
+	if p.MinBandwidth > 0 && path.Meta.Bandwidth > 0 && path.Meta.Bandwidth < p.MinBandwidth {
+		return false
+	}
+	if p.MaxCarbon > 0 && path.Meta.CarbonPerGB > p.MaxCarbon {
+		return false
+	}
+	if p.MaxHops > 0 && len(path.Hops) > p.MaxHops {
+		return false
+	}
+	return true
+}
+
+// Filter returns the accepted paths, sorted by the policy's orderings
+// (stable, so unspecified criteria preserve the input order).
+func (p *Policy) Filter(paths []*segment.Path) []*segment.Path {
+	var out []*segment.Path
+	for _, path := range paths {
+		if p.Accepts(path) {
+			out = append(out, path)
+		}
+	}
+	if p != nil && len(p.Orderings) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, o := range p.Orderings {
+				if c := o.compare(out[i], out[j]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+// policyJSON is the document form of a Policy.
+type policyJSON struct {
+	Name         string   `json:"name,omitempty"`
+	ACL          []string `json:"acl,omitempty"`
+	Sequence     string   `json:"sequence,omitempty"`
+	MaxLatencyMs int64    `json:"max_latency_ms,omitempty"`
+	MinBandwidth int64    `json:"min_bandwidth_bps,omitempty"`
+	MaxCarbon    float64  `json:"max_carbon_g_per_gb,omitempty"`
+	MaxHops      int      `json:"max_hops,omitempty"`
+	Orderings    []string `json:"ordering,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Policy) MarshalJSON() ([]byte, error) {
+	doc := policyJSON{
+		Name:         p.Name,
+		MaxLatencyMs: int64(p.MaxLatency / time.Millisecond),
+		MinBandwidth: p.MinBandwidth,
+		MaxCarbon:    p.MaxCarbon,
+		MaxHops:      p.MaxHops,
+	}
+	if p.ACL != nil {
+		for _, e := range p.ACL.Entries {
+			doc.ACL = append(doc.ACL, e.String())
+		}
+	}
+	if p.Sequence != nil {
+		doc.Sequence = p.Sequence.String()
+	}
+	for _, o := range p.Orderings {
+		doc.Orderings = append(doc.Orderings, string(o))
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var doc policyJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	out := Policy{
+		Name:         doc.Name,
+		MaxLatency:   time.Duration(doc.MaxLatencyMs) * time.Millisecond,
+		MinBandwidth: doc.MinBandwidth,
+		MaxCarbon:    doc.MaxCarbon,
+		MaxHops:      doc.MaxHops,
+	}
+	if len(doc.ACL) > 0 {
+		acl, err := ParseACL(doc.ACL...)
+		if err != nil {
+			return err
+		}
+		out.ACL = acl
+	}
+	if doc.Sequence != "" {
+		seq, err := ParseSequence(doc.Sequence)
+		if err != nil {
+			return err
+		}
+		out.Sequence = seq
+	}
+	for _, o := range doc.Orderings {
+		ord := Ordering(o)
+		if !ord.valid() {
+			return fmt.Errorf("parsing policy: unknown ordering %q", o)
+		}
+		out.Orderings = append(out.Orderings, ord)
+	}
+	*p = out
+	return nil
+}
+
+// Intersect combines policies: a path must satisfy all of them; orderings
+// concatenate in argument order. This is the paper's "multiple policies can
+// be combined for fine-grained configuration".
+func Intersect(name string, policies ...*Policy) *Policy {
+	out := &Policy{Name: name}
+	var aclEntries []ACLEntry
+	for _, p := range policies {
+		if p == nil {
+			continue
+		}
+		if p.ACL != nil {
+			// First-match semantics compose by concatenating allow lists:
+			// strip bare allow-all defaults except on the last ACL.
+			aclEntries = append(aclEntries, p.ACL.Entries...)
+		}
+		if p.Sequence != nil {
+			if out.Sequence != nil {
+				// Multiple sequences rarely compose meaningfully; keep the
+				// strictest semantics by requiring both via lookahead-free
+				// conjunction: evaluate both at Accepts time.
+				prev := out.Sequence
+				cur := p.Sequence
+				out.Sequence = nil
+				out.extraSeqs = append(out.extraSeqs, prev, cur)
+			} else if len(out.extraSeqs) > 0 {
+				out.extraSeqs = append(out.extraSeqs, p.Sequence)
+			} else {
+				out.Sequence = p.Sequence
+			}
+		}
+		if p.MaxLatency > 0 && (out.MaxLatency == 0 || p.MaxLatency < out.MaxLatency) {
+			out.MaxLatency = p.MaxLatency
+		}
+		if p.MinBandwidth > out.MinBandwidth {
+			out.MinBandwidth = p.MinBandwidth
+		}
+		if p.MaxCarbon > 0 && (out.MaxCarbon == 0 || p.MaxCarbon < out.MaxCarbon) {
+			out.MaxCarbon = p.MaxCarbon
+		}
+		if p.MaxHops > 0 && (out.MaxHops == 0 || p.MaxHops < out.MaxHops) {
+			out.MaxHops = p.MaxHops
+		}
+		out.Orderings = append(out.Orderings, p.Orderings...)
+	}
+	if len(aclEntries) > 0 {
+		out.ACL = &ACL{Entries: aclEntries}
+	}
+	return out
+}

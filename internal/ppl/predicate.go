@@ -1,0 +1,105 @@
+// Package ppl implements the Path Policy Language the paper's prototype
+// uses to express user path policies (paper §4.1, citing the Anapaya PPL
+// design): hop predicates, ordered ACLs, sequence expressions, orderings,
+// and JSON policy documents combining them.
+//
+// "Path policies are rules to filter the available SCION paths to a
+// particular destination... policies can be designed to sort and select
+// paths depending on specified criteria, such as bandwidth, latency or
+// included hops. Multiple policies can be combined for fine-grained
+// configuration, e.g., optimizing the CO2 footprint while excluding
+// particular regions."
+package ppl
+
+import (
+	"fmt"
+	"strings"
+
+	"tango/internal/addr"
+	"tango/internal/segment"
+)
+
+// HopPredicate matches one AS hop of a path, in the standard
+// "ISD-AS#IF,IF" notation. Zero components are wildcards:
+//
+//	0            any hop
+//	1            any hop in ISD 1
+//	1-ff00:0:110 that AS, any interfaces
+//	1-ff00:0:110#0    same
+//	1-ff00:0:110#1    that AS, either interface 1
+//	1-ff00:0:110#1,2  that AS entered via 1 and left via 2
+type HopPredicate struct {
+	IA addr.IA
+	// IfIDs holds 0, 1, or 2 interface constraints (0 = wildcard).
+	IfIDs []addr.IfID
+}
+
+// ParseHopPredicate parses the textual form.
+func ParseHopPredicate(s string) (HopPredicate, error) {
+	iaStr, ifStr, hasIf := strings.Cut(s, "#")
+	var hp HopPredicate
+	var err error
+	if strings.Contains(iaStr, "-") {
+		hp.IA, err = addr.ParseIA(iaStr)
+	} else {
+		var isd addr.ISD
+		isd, err = addr.ParseISD(iaStr)
+		hp.IA = addr.IA{ISD: isd}
+	}
+	if err != nil {
+		return HopPredicate{}, fmt.Errorf("parsing hop predicate %q: %w", s, err)
+	}
+	if !hasIf {
+		return hp, nil
+	}
+	parts := strings.Split(ifStr, ",")
+	if len(parts) > 2 {
+		return HopPredicate{}, fmt.Errorf("parsing hop predicate %q: more than two interfaces", s)
+	}
+	for _, p := range parts {
+		var v uint64
+		if _, err := fmt.Sscanf(p, "%d", &v); err != nil || v > 65535 {
+			return HopPredicate{}, fmt.Errorf("parsing hop predicate %q: bad interface %q", s, p)
+		}
+		hp.IfIDs = append(hp.IfIDs, addr.IfID(v))
+	}
+	if len(hp.IfIDs) == 2 && hp.IA.IsWildcard() {
+		return HopPredicate{}, fmt.Errorf("parsing hop predicate %q: interface pair requires a concrete ISD-AS", s)
+	}
+	return hp, nil
+}
+
+// String renders the canonical textual form.
+func (hp HopPredicate) String() string {
+	var b strings.Builder
+	b.WriteString(hp.IA.String())
+	if len(hp.IfIDs) > 0 {
+		b.WriteByte('#')
+		for i, id := range hp.IfIDs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(id.String())
+		}
+	}
+	return b.String()
+}
+
+// MatchesHop reports whether the predicate matches a path hop.
+func (hp HopPredicate) MatchesHop(h segment.Hop) bool {
+	if !hp.IA.Matches(h.IA) {
+		return false
+	}
+	switch len(hp.IfIDs) {
+	case 0:
+		return true
+	case 1:
+		id := hp.IfIDs[0]
+		return id == 0 || h.Ingress == id || h.Egress == id
+	default:
+		in, out := hp.IfIDs[0], hp.IfIDs[1]
+		inOK := in == 0 || h.Ingress == in
+		outOK := out == 0 || h.Egress == out
+		return inOK && outOK
+	}
+}

@@ -1,0 +1,118 @@
+package ppl
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"tango/internal/segment"
+)
+
+// Sequence is a regular expression over the hop sequence of a path. Each
+// token is a hop predicate; the operators ? + * | ( ) have their usual
+// regex meaning over hops:
+//
+//	"1-ff00:0:110 0* 2-ff00:0:210"   via 110, anything, ending at 210
+//	"1 1 0*"                          at least two ISD-1 hops first
+//	"0* (1-ff00:0:120|1-ff00:0:110) 0*"  through either core AS
+//
+// Following the Anapaya PPL design, sequences are compiled to a string
+// regexp over the path's canonical hop rendering.
+type Sequence struct {
+	src string
+	re  *regexp.Regexp
+}
+
+// ParseSequence compiles a sequence expression.
+func ParseSequence(s string) (*Sequence, error) {
+	var b strings.Builder
+	b.WriteString(`^`)
+	tok := strings.Builder{}
+	flushTok := func() error {
+		if tok.Len() == 0 {
+			return nil
+		}
+		frag, err := predicateRegexp(tok.String())
+		if err != nil {
+			return err
+		}
+		b.WriteString(frag)
+		tok.Reset()
+		return nil
+	}
+	for _, r := range s {
+		switch r {
+		case ' ', '\t':
+			if err := flushTok(); err != nil {
+				return nil, err
+			}
+		case '(', ')', '|', '?', '+', '*':
+			if err := flushTok(); err != nil {
+				return nil, err
+			}
+			b.WriteRune(r)
+		default:
+			tok.WriteRune(r)
+		}
+	}
+	if err := flushTok(); err != nil {
+		return nil, err
+	}
+	b.WriteString(`$`)
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("parsing sequence %q: %w", s, err)
+	}
+	return &Sequence{src: s, re: re}, nil
+}
+
+// predicateRegexp converts one hop predicate token into a regexp fragment
+// matching a single rendered hop (a non-capturing group, so operators apply
+// to whole hops).
+func predicateRegexp(tok string) (string, error) {
+	hp, err := ParseHopPredicate(tok)
+	if err != nil {
+		return "", fmt.Errorf("in sequence: %w", err)
+	}
+	isd := `[0-9]+`
+	if hp.IA.ISD != 0 {
+		isd = regexp.QuoteMeta(hp.IA.ISD.String())
+	}
+	as := `[0-9a-f:]+`
+	if hp.IA.AS != 0 {
+		as = regexp.QuoteMeta(hp.IA.AS.String())
+	}
+	ifc := func(i int) string {
+		if i < len(hp.IfIDs) && hp.IfIDs[i] != 0 {
+			return regexp.QuoteMeta(hp.IfIDs[i].String())
+		}
+		return `[0-9]+`
+	}
+	in, out := `[0-9]+`, `[0-9]+`
+	switch len(hp.IfIDs) {
+	case 1:
+		// A single interface constraint matches either side.
+		one := ifc(0)
+		return fmt.Sprintf(`(?:%s-%s#(?:%s,%s|%s,%s) )`, isd, as, one, out, in, one), nil
+	case 2:
+		in, out = ifc(0), ifc(1)
+	}
+	return fmt.Sprintf(`(?:%s-%s#%s,%s )`, isd, as, in, out), nil
+}
+
+// renderPath produces the canonical hop string a Sequence matches against.
+func renderPath(p *segment.Path) string {
+	var b strings.Builder
+	for _, h := range p.Hops {
+		fmt.Fprintf(&b, "%s#%d,%d ", h.IA, h.Ingress, h.Egress)
+	}
+	return b.String()
+}
+
+// Eval reports whether the path's hop sequence matches.
+func (s *Sequence) Eval(p *segment.Path) bool {
+	return s.re.MatchString(renderPath(p))
+}
+
+// String returns the source expression.
+func (s *Sequence) String() string { return s.src }

@@ -1,0 +1,278 @@
+// Package proxy implements the paper's local HTTP proxy ("SKIP", Figure 1):
+// the component that "intercepts requests initiated by the browser...
+// selects path(s) and adds a SCION packet header if needed", switching each
+// request between SCION and legacy IP (the "IP/SCION Switch"), applying the
+// user's path policies, and collecting per-path statistics.
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/dnssim"
+	"tango/internal/netsim"
+	"tango/internal/pan"
+	"tango/internal/policy"
+	"tango/internal/ppl"
+	"tango/internal/sciondetect"
+	"tango/internal/shttp"
+	"tango/internal/squic"
+)
+
+// Annotation headers the proxy adds to responses so the extension (and
+// tests) can render the UI indicator.
+const (
+	HeaderVia       = "X-Skip-Via"       // "scion" or "ip"
+	HeaderPath      = "X-Skip-Path"      // path fingerprint
+	HeaderCompliant = "X-Skip-Compliant" // "true"/"false"
+)
+
+// Config assembles a proxy.
+type Config struct {
+	// Host is the SCION side (the proxy runs on the browser's machine).
+	Host *pan.Host
+	// Legacy is the IP side; LegacyHost is this machine's legacy identity.
+	Legacy     *netsim.StreamNetwork
+	LegacyHost string
+	// Resolver resolves legacy A records.
+	Resolver *dnssim.Resolver
+	// Detector decides SCION availability per domain.
+	Detector *sciondetect.Detector
+	// Processing, when set, is invoked per proxied request to model the
+	// proxy's per-request processing cost (the prototype overhead measured
+	// in the paper's Figure 3). Implementations typically sleep on the
+	// simulation clock.
+	Processing func()
+}
+
+// Proxy is the SKIP HTTP proxy.
+type Proxy struct {
+	cfg   Config
+	stats *Stats
+
+	mu      sync.Mutex
+	pol     *ppl.Policy
+	fence   *policy.Geofence
+	lastSel map[string]pan.Selection // per authority, for annotation
+
+	scion  *shttp.Transport
+	legacy *http.Transport
+}
+
+// New builds the proxy.
+func New(cfg Config) *Proxy {
+	p := &Proxy{cfg: cfg, stats: NewStats(), lastSel: make(map[string]pan.Selection)}
+	p.scion = shttp.NewTransport(p.dialSCION)
+	p.legacy = &http.Transport{
+		DialContext:        p.dialLegacy,
+		DisableCompression: true,
+	}
+	return p
+}
+
+// Stats returns the proxy's statistics aggregator.
+func (p *Proxy) Stats() *Stats { return p.stats }
+
+// SetPolicy installs the user's path policy; pooled SCION connections are
+// dropped so new requests re-select paths ("the browser extension uses
+// specific API calls to the HTTP proxy to apply path policies chosen by
+// users").
+func (p *Proxy) SetPolicy(pol *ppl.Policy) {
+	p.mu.Lock()
+	p.pol = pol
+	p.lastSel = make(map[string]pan.Selection)
+	p.mu.Unlock()
+	p.scion.CloseIdleConnections()
+}
+
+// SetGeofence installs the user's geofence, dropping pooled connections.
+func (p *Proxy) SetGeofence(g *policy.Geofence) {
+	p.mu.Lock()
+	p.fence = g
+	p.lastSel = make(map[string]pan.Selection)
+	p.mu.Unlock()
+	p.scion.CloseIdleConnections()
+}
+
+// Close releases pooled connections.
+func (p *Proxy) Close() {
+	p.scion.CloseIdleConnections()
+	p.legacy.CloseIdleConnections()
+}
+
+// CheckSCION reports whether host is reachable over SCION right now and
+// whether a policy-compliant path exists — the API the extension's strict
+// mode consults before forwarding a request (paper §5.1).
+func (p *Proxy) CheckSCION(ctx context.Context, host string) (available, compliant bool) {
+	scionAddr, ok := p.cfg.Detector.Detect(ctx, hostOnly(host))
+	if !ok {
+		return false, false
+	}
+	p.mu.Lock()
+	pol, fence := p.pol, p.fence
+	p.mu.Unlock()
+	sel, err := p.cfg.Host.SelectPath(scionAddr.IA, pol, fence, pan.Opportunistic)
+	if err != nil {
+		return false, false
+	}
+	return true, sel.Compliant
+}
+
+// dialSCION is the shttp dial hook: detect, select a path under the current
+// policy (opportunistic: non-compliant paths are used but flagged), and open
+// a squic connection. The server's identity name is the bare hostname.
+func (p *Proxy) dialSCION(ctx context.Context, authority string) (*squic.Conn, error) {
+	host := hostOnly(authority)
+	// SCION services listen on the same port as their legacy URL (80 for
+	// plain http in the experiments).
+	port := portOf(authority, 80)
+	scionAddr, ok := p.cfg.Detector.Detect(ctx, host)
+	if !ok {
+		return nil, fmt.Errorf("proxy: %s not SCION-reachable", host)
+	}
+	p.mu.Lock()
+	pol, fence := p.pol, p.fence
+	p.mu.Unlock()
+	remote := addr.UDPAddr{Addr: scionAddr, Port: port}
+	conn, sel, err := p.cfg.Host.Dial(ctx, remote, host, pol, fence, pan.Opportunistic)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.lastSel[authority] = sel
+	p.mu.Unlock()
+	return conn, nil
+}
+
+// ServeHTTP implements the proxy protocol: absolute-form requests from the
+// browser are forwarded over SCION when the destination is SCION-reachable,
+// over legacy IP otherwise, with annotation headers either way.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if host == "" {
+		http.Error(w, "proxy: missing host", http.StatusBadRequest)
+		return
+	}
+	clock := p.cfg.Host.Clock()
+	start := clock.Now()
+	if f := p.cfg.Processing; f != nil {
+		f()
+	}
+
+	outReq := r.Clone(r.Context())
+	outReq.RequestURI = ""
+	if outReq.URL.Scheme == "" {
+		outReq.URL.Scheme = "http"
+	}
+	outReq.URL.Host = host
+
+	if _, ok := p.cfg.Detector.Detect(r.Context(), hostOnly(host)); ok {
+		resp, err := p.scion.RoundTrip(outReq)
+		if err == nil {
+			p.mu.Lock()
+			sel := p.lastSel[authorityOf(outReq)]
+			p.mu.Unlock()
+			w.Header().Set(HeaderVia, string(ViaSCION))
+			if sel.Path != nil {
+				w.Header().Set(HeaderPath, sel.Path.Fingerprint())
+			}
+			w.Header().Set(HeaderCompliant, strconv.FormatBool(sel.Compliant))
+			n := copyResponse(w, resp)
+			p.stats.Record(RequestRecord{
+				Host: host, Via: ViaSCION, Compliant: sel.Compliant,
+				Path:     fingerprintOf(sel),
+				Duration: clock.Since(start), Bytes: n, Status: resp.StatusCode,
+			})
+			return
+		}
+		// SCION attempt failed: fall back to legacy IP ("In case the client
+		// or server lacks SCION connectivity, the browser falls back to
+		// loading the resources over IPv4/6", paper §4).
+	}
+	p.forwardLegacy(w, outReq, start)
+}
+
+func (p *Proxy) forwardLegacy(w http.ResponseWriter, r *http.Request, start time.Time) {
+	clock := p.cfg.Host.Clock()
+	resp, err := p.legacy.RoundTrip(r)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("proxy: upstream error: %v", err), http.StatusBadGateway)
+		p.stats.Record(RequestRecord{Host: r.Host, Via: ViaError, Status: http.StatusBadGateway})
+		return
+	}
+	w.Header().Set(HeaderVia, string(ViaIP))
+	n := copyResponse(w, resp)
+	p.stats.Record(RequestRecord{
+		Host: r.Host, Via: ViaIP, Duration: clock.Since(start), Bytes: n, Status: resp.StatusCode,
+	})
+}
+
+func fingerprintOf(sel pan.Selection) string {
+	if sel.Path == nil {
+		return ""
+	}
+	return sel.Path.Fingerprint()
+}
+
+func authorityOf(r *http.Request) string {
+	host := hostOnly(r.URL.Host)
+	port := portOf(r.URL.Host, 80)
+	return fmt.Sprintf("%s:%d", host, port)
+}
+
+func hostOnly(hostport string) string {
+	if h, _, err := net.SplitHostPort(hostport); err == nil {
+		return h
+	}
+	return hostport
+}
+
+func portOf(hostport string, def uint16) uint16 {
+	if _, ps, err := net.SplitHostPort(hostport); err == nil {
+		if v, err := strconv.ParseUint(ps, 10, 16); err == nil {
+			return uint16(v)
+		}
+	}
+	return def
+}
+
+// dialLegacy resolves the authority's A record and dials the legacy network.
+func (p *Proxy) dialLegacy(ctx context.Context, network, authority string) (net.Conn, error) {
+	host := hostOnly(authority)
+	port := portOf(authority, 80)
+	var target netip.Addr
+	if ip, err := netip.ParseAddr(host); err == nil {
+		target = ip
+	} else {
+		addrs, err := p.cfg.Resolver.LookupA(ctx, host)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: resolving %s: %w", host, err)
+		}
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("proxy: no A records for %s", host)
+		}
+		target = addrs[0]
+	}
+	return p.cfg.Legacy.Dial(ctx, p.cfg.LegacyHost, fmt.Sprintf("%s:%d", target, port))
+}
+
+// copyResponse relays a backend response to the client.
+func copyResponse(w http.ResponseWriter, resp *http.Response) int64 {
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	n, _ := io.Copy(w, resp.Body)
+	resp.Body.Close()
+	return n
+}

@@ -1,0 +1,122 @@
+package proxy
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Via classifies how a request was served.
+type Via string
+
+// Via values.
+const (
+	ViaSCION   Via = "scion"
+	ViaIP      Via = "ip"
+	ViaBlocked Via = "blocked"
+	ViaError   Via = "error"
+)
+
+// RequestRecord is one proxied request's outcome, the raw material for the
+// "statistics on path usage and performance of particular paths [that] are
+// provided as feedback to users" (paper §4).
+type RequestRecord struct {
+	Host      string
+	Via       Via
+	Path      string // path fingerprint for SCION requests
+	Compliant bool
+	Duration  time.Duration
+	Bytes     int64
+	Status    int
+}
+
+// Stats aggregates proxied-request outcomes. It is safe for concurrent use.
+type Stats struct {
+	mu      sync.Mutex
+	byVia   map[Via]int
+	byHost  map[string]map[Via]int
+	byPath  map[string]*PathUsage
+	records []RequestRecord
+}
+
+// PathUsage aggregates per-path feedback.
+type PathUsage struct {
+	Fingerprint string
+	Requests    int
+	Bytes       int64
+	TotalTime   time.Duration
+	Compliant   bool
+}
+
+// NewStats creates an empty aggregator.
+func NewStats() *Stats {
+	return &Stats{
+		byVia:  make(map[Via]int),
+		byHost: make(map[string]map[Via]int),
+		byPath: make(map[string]*PathUsage),
+	}
+}
+
+// Record ingests one request outcome.
+func (s *Stats) Record(r RequestRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byVia[r.Via]++
+	if s.byHost[r.Host] == nil {
+		s.byHost[r.Host] = make(map[Via]int)
+	}
+	s.byHost[r.Host][r.Via]++
+	if r.Via == ViaSCION && r.Path != "" {
+		u := s.byPath[r.Path]
+		if u == nil {
+			u = &PathUsage{Fingerprint: r.Path, Compliant: r.Compliant}
+			s.byPath[r.Path] = u
+		}
+		u.Requests++
+		u.Bytes += r.Bytes
+		u.TotalTime += r.Duration
+		u.Compliant = u.Compliant && r.Compliant
+	}
+	s.records = append(s.records, r)
+}
+
+// Snapshot is an immutable copy of the aggregates.
+type Snapshot struct {
+	ByVia  map[Via]int            `json:"by_via"`
+	ByHost map[string]map[Via]int `json:"by_host"`
+	Paths  []PathUsage            `json:"paths"`
+	Total  int                    `json:"total"`
+}
+
+// Snapshot copies the current aggregates.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Snapshot{
+		ByVia:  make(map[Via]int, len(s.byVia)),
+		ByHost: make(map[string]map[Via]int, len(s.byHost)),
+		Total:  len(s.records),
+	}
+	for v, n := range s.byVia {
+		out.ByVia[v] = n
+	}
+	for h, m := range s.byHost {
+		hm := make(map[Via]int, len(m))
+		for v, n := range m {
+			hm[v] = n
+		}
+		out.ByHost[h] = hm
+	}
+	for _, u := range s.byPath {
+		out.Paths = append(out.Paths, *u)
+	}
+	sort.Slice(out.Paths, func(i, j int) bool { return out.Paths[i].Requests > out.Paths[j].Requests })
+	return out
+}
+
+// Records returns a copy of all raw records.
+func (s *Stats) Records() []RequestRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RequestRecord(nil), s.records...)
+}

@@ -1,0 +1,199 @@
+// Package sciondetect implements SCION availability detection for domains
+// (paper §4.3): a curated list as the "reasonable starting point", dynamic
+// detection via DNS TXT records ("scion=<ISD-AS>,<host>"), and an HSTS-like
+// store for Strict-SCION pins received in HTTP responses (paper §4.2).
+package sciondetect
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/dnssim"
+	"tango/internal/netsim"
+)
+
+// TXTPrefix introduces a SCION address in a TXT record.
+const TXTPrefix = "scion="
+
+// FormatTXT renders the TXT record value for a SCION host address.
+func FormatTXT(a addr.Addr) string { return TXTPrefix + a.String() }
+
+// ParseTXT extracts a SCION address from a TXT record value.
+func ParseTXT(s string) (addr.Addr, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(s), TXTPrefix)
+	if !ok {
+		return addr.Addr{}, false
+	}
+	a, err := addr.ParseAddr(rest)
+	if err != nil {
+		return addr.Addr{}, false
+	}
+	return a, true
+}
+
+// Detector resolves whether (and where) a domain is reachable over SCION.
+type Detector struct {
+	resolver *dnssim.Resolver
+	clock    netsim.Clock
+
+	mu      sync.Mutex
+	curated map[string]addr.Addr
+	cache   map[string]detection
+}
+
+type detection struct {
+	addr    addr.Addr
+	ok      bool
+	expires time.Time
+}
+
+// detectionTTL caches dynamic detection results.
+const detectionTTL = 5 * time.Minute
+
+// NewDetector builds a detector; resolver may be nil (curated list only).
+func NewDetector(resolver *dnssim.Resolver, clock netsim.Clock) *Detector {
+	return &Detector{
+		resolver: resolver,
+		clock:    clock,
+		curated:  make(map[string]addr.Addr),
+		cache:    make(map[string]detection),
+	}
+}
+
+// AddCurated pins a domain to a SCION address (the curated-list mechanism).
+func (d *Detector) AddCurated(host string, a addr.Addr) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.curated[strings.ToLower(host)] = a
+}
+
+// Detect returns the SCION address of host if it is SCION-reachable. The
+// curated list takes precedence; otherwise a DNS TXT lookup decides, with
+// caching.
+func (d *Detector) Detect(ctx context.Context, host string) (addr.Addr, bool) {
+	key := strings.ToLower(host)
+	d.mu.Lock()
+	if a, ok := d.curated[key]; ok {
+		d.mu.Unlock()
+		return a, true
+	}
+	if e, ok := d.cache[key]; ok && d.clock.Now().Before(e.expires) {
+		d.mu.Unlock()
+		return e.addr, e.ok
+	}
+	d.mu.Unlock()
+
+	var result detection
+	result.expires = d.clock.Now().Add(detectionTTL)
+	if d.resolver != nil {
+		txts, err := d.resolver.LookupTXT(ctx, host)
+		if err == nil {
+			for _, t := range txts {
+				if a, ok := ParseTXT(t); ok {
+					result.addr = a
+					result.ok = true
+					break
+				}
+			}
+		}
+	}
+	d.mu.Lock()
+	d.cache[key] = result
+	d.mu.Unlock()
+	return result.addr, result.ok
+}
+
+// StrictStore remembers Strict-SCION pins per host, "similar in spirit to
+// the response header for the HTTP Strict Transport Security (HSTS)
+// mechanism": once a host pins, strict mode is enforced for it "until the
+// included max-age expiration".
+type StrictStore struct {
+	clock netsim.Clock
+
+	mu   sync.Mutex
+	pins map[string]time.Time
+}
+
+// NewStrictStore creates an empty store.
+func NewStrictStore(clock netsim.Clock) *StrictStore {
+	return &StrictStore{clock: clock, pins: make(map[string]time.Time)}
+}
+
+// Pin records (or refreshes) a host's strict pin. A zero maxAge clears it,
+// as in HSTS.
+func (s *StrictStore) Pin(host string, maxAge time.Duration) {
+	key := strings.ToLower(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if maxAge <= 0 {
+		delete(s.pins, key)
+		return
+	}
+	s.pins[key] = s.clock.Now().Add(maxAge)
+}
+
+// Active reports whether the host currently has a strict pin, evicting it
+// lazily on expiry.
+func (s *StrictStore) Active(host string) bool {
+	key := strings.ToLower(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exp, ok := s.pins[key]
+	if !ok {
+		return false
+	}
+	if !s.clock.Now().Before(exp) {
+		delete(s.pins, key)
+		return false
+	}
+	return true
+}
+
+// Len returns the number of (possibly expired) pins held.
+func (s *StrictStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pins)
+}
+
+// persistedPins is the JSON persistence form.
+type persistedPins struct {
+	Pins map[string]time.Time `json:"pins"`
+}
+
+// Save persists unexpired pins as JSON.
+func (s *StrictStore) Save(w io.Writer) error {
+	s.mu.Lock()
+	out := persistedPins{Pins: make(map[string]time.Time, len(s.pins))}
+	now := s.clock.Now()
+	for host, exp := range s.pins {
+		if exp.After(now) {
+			out.Pins[host] = exp
+		}
+	}
+	s.mu.Unlock()
+	return json.NewEncoder(w).Encode(&out)
+}
+
+// Load merges persisted pins, dropping expired ones.
+func (s *StrictStore) Load(r io.Reader) error {
+	var in persistedPins
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("sciondetect: loading pins: %w", err)
+	}
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for host, exp := range in.Pins {
+		if exp.After(now) {
+			s.pins[strings.ToLower(host)] = exp
+		}
+	}
+	return nil
+}

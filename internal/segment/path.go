@@ -1,0 +1,132 @@
+package segment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"tango/internal/addr"
+)
+
+// AuthField is one hop-field authorization together with the segment info it
+// was minted under; border routers recompute the MAC from these.
+type AuthField struct {
+	HopField HopField
+	SegInfo  Info
+}
+
+// Pair reports whether the travel interface id is one of the two
+// construction-direction interfaces this field authorizes.
+func (a AuthField) Authorizes(id addr.IfID) bool {
+	return a.HopField.ConsIngress == id || a.HopField.ConsEgress == id
+}
+
+// Hop is one AS traversal of an end-to-end path, in *travel direction*:
+// packets enter through Ingress and leave through Egress (0 at the path
+// endpoints). Auth carries the construction-direction authorizations the
+// AS's border router validates — two at segment joints (cross-over ASes),
+// one elsewhere.
+type Hop struct {
+	IA      addr.IA
+	Ingress addr.IfID
+	Egress  addr.IfID
+
+	NumAuth int
+	Auth    [2]AuthField
+}
+
+// AuthFields returns the populated authorization fields.
+func (h *Hop) AuthFields() []AuthField { return h.Auth[:h.NumAuth] }
+
+// Metadata aggregates the decorations of a path — what policies (and users)
+// select on.
+type Metadata struct {
+	// Latency is the one-way propagation delay summed over inter-AS links.
+	Latency time.Duration
+	// Bandwidth is the bottleneck (minimum) link capacity in bits/s.
+	Bandwidth int64
+	// MTU is the end-to-end minimum MTU in bytes.
+	MTU int
+	// ASes lists the traversed ASes in travel order (including endpoints).
+	ASes []addr.IA
+	// Countries is the sorted deduplicated set of traversed countries.
+	Countries []string
+	// CarbonPerGB sums the carbon intensity (g CO2 / GB) of traversed ASes.
+	CarbonPerGB float64
+	// Expiry is the earliest hop expiry.
+	Expiry time.Time
+}
+
+// ISDs returns the deduplicated set of traversed ISDs in travel order.
+func (m *Metadata) ISDs() []addr.ISD {
+	var out []addr.ISD
+	seen := make(map[addr.ISD]bool)
+	for _, ia := range m.ASes {
+		if !seen[ia.ISD] {
+			seen[ia.ISD] = true
+			out = append(out, ia.ISD)
+		}
+	}
+	return out
+}
+
+// Path is a complete forwarding path between two SCION ASes together with
+// its metadata. Paths are immutable once built.
+type Path struct {
+	Src, Dst addr.IA
+	Hops     []Hop
+	Meta     Metadata
+}
+
+// Fingerprint returns a short stable identifier of the AS/interface
+// sequence, used for dedup and for pinning paths in statistics.
+func (p *Path) Fingerprint() string {
+	h := sha256.New()
+	var buf [2]byte
+	for _, hop := range p.Hops {
+		h.Write([]byte(hop.IA.String()))
+		binary.BigEndian.PutUint16(buf[:], uint16(hop.Ingress))
+		h.Write(buf[:])
+		binary.BigEndian.PutUint16(buf[:], uint16(hop.Egress))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// Reversed returns the reply path: hops in reverse travel order with
+// ingress/egress swapped. Hop-field authorizations are direction-agnostic,
+// so the reversed path forwards without new control-plane state.
+func (p *Path) Reversed() *Path {
+	out := &Path{Src: p.Dst, Dst: p.Src, Meta: p.Meta}
+	out.Hops = make([]Hop, len(p.Hops))
+	for i, h := range p.Hops {
+		h.Ingress, h.Egress = h.Egress, h.Ingress
+		out.Hops[len(p.Hops)-1-i] = h
+	}
+	ases := make([]addr.IA, len(p.Meta.ASes))
+	for i, ia := range p.Meta.ASes {
+		ases[len(ases)-1-i] = ia
+	}
+	out.Meta.ASes = ases
+	return out
+}
+
+// String renders the path in the conventional "IA if>if IA" notation.
+func (p *Path) String() string {
+	if len(p.Hops) == 0 {
+		return p.Src.String() + " (empty path)"
+	}
+	var b strings.Builder
+	for i, h := range p.Hops {
+		if i > 0 {
+			fmt.Fprintf(&b, " %d>%d ", p.Hops[i-1].Egress, h.Ingress)
+		}
+		b.WriteString(h.IA.String())
+	}
+	return b.String()
+}
+
+// HopCount returns the number of traversed ASes.
+func (p *Path) HopCount() int { return len(p.Hops) }

@@ -1,0 +1,287 @@
+package segment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/cppki"
+	"tango/internal/topology"
+)
+
+// Type classifies a registered segment by its role in path combination.
+type Type int
+
+const (
+	// Up segments lead from a non-core AS up to a core AS (stored in
+	// construction direction: core first).
+	Up Type = iota
+	// Core segments connect core ASes.
+	CoreSeg
+	// Down segments lead from a core AS down to a non-core AS.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Up:
+		return "up"
+	case CoreSeg:
+		return "core"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("segtype(%d)", int(t))
+	}
+}
+
+// Info identifies a segment: when and where beaconing originated it.
+type Info struct {
+	Timestamp time.Time
+	SegID     uint16
+	Origin    addr.IA
+}
+
+// StaticInfo is the per-AS metadata decoration accumulated during beaconing
+// (the paper's "path decorations": latency, bandwidth, MTU, geography, and
+// ESG data).
+type StaticInfo struct {
+	// IngressLatency is the propagation delay of the link through which the
+	// beacon entered this AS (zero at the origin AS).
+	IngressLatency time.Duration
+	// IngressBandwidth is that link's capacity in bits per second.
+	IngressBandwidth int64
+	// IngressMTU is that link's MTU in bytes.
+	IngressMTU int
+	// InternalMTU is the AS-internal MTU.
+	InternalMTU int
+	// Geo locates the AS.
+	Geo topology.Geo
+	// CarbonIntensity is grams CO2 per GB forwarded through this AS.
+	CarbonIntensity float64
+}
+
+// PeerEntry advertises a peering link usable for shortcut path combination.
+type PeerEntry struct {
+	// Peer is the AS on the other side of the peering link.
+	Peer addr.IA
+	// PeerInterface is the peer's interface ID on this link.
+	PeerInterface addr.IfID
+	// HopField authorizes entering this AS through the peering interface
+	// (ConsIngress = local peering interface, ConsEgress = the regular
+	// up-link egress of this entry).
+	HopField HopField
+	// Latency and MTU of the peering link itself.
+	Latency time.Duration
+	MTU     int
+}
+
+// ASEntry is one AS's contribution to a segment.
+type ASEntry struct {
+	// Local is the AS that appended this entry.
+	Local addr.IA
+	// Next is the AS the beacon was propagated to (zero IA at the end).
+	Next addr.IA
+	// HopField authorizes forwarding through Local.
+	HopField HopField
+	// Peers lists peering links available at this AS.
+	Peers []PeerEntry
+	// Static carries the metadata decoration.
+	Static StaticInfo
+	// Signature by Local over the segment contents up to and including this
+	// entry, binding the whole prefix (like SCION's nested signatures).
+	Signature []byte
+}
+
+// Segment is a chain of signed AS entries in construction direction.
+type Segment struct {
+	Info    Info
+	Entries []ASEntry
+}
+
+// NewSegment originates a segment at a core AS.
+func NewSegment(ts time.Time, segID uint16, origin addr.IA) *Segment {
+	return &Segment{Info: Info{Timestamp: ts, SegID: segID, Origin: origin}}
+}
+
+// FirstIA returns the origin (first) AS of the segment.
+func (s *Segment) FirstIA() addr.IA {
+	if len(s.Entries) == 0 {
+		return s.Info.Origin
+	}
+	return s.Entries[0].Local
+}
+
+// LastIA returns the final AS of the segment.
+func (s *Segment) LastIA() addr.IA {
+	if len(s.Entries) == 0 {
+		return s.Info.Origin
+	}
+	return s.Entries[len(s.Entries)-1].Local
+}
+
+// ContainsIA reports whether ia appears in the segment.
+func (s *Segment) ContainsIA(ia addr.IA) bool {
+	for _, e := range s.Entries {
+		if e.Local == ia {
+			return true
+		}
+	}
+	return false
+}
+
+// Expiry returns the earliest hop-field expiry, the instant the segment
+// becomes unusable.
+func (s *Segment) Expiry() time.Time {
+	var min time.Time
+	for i, e := range s.Entries {
+		if i == 0 || e.HopField.ExpTime.Before(min) {
+			min = e.HopField.ExpTime
+		}
+	}
+	return min
+}
+
+// signedBytes returns the deterministic encoding of the segment prefix
+// entries[0:n] that entry n-1's signature covers. Each entry's encoding
+// includes the previous entry's signature, chaining authenticity.
+func (s *Segment) signedBytes(n int) []byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(s.Info.Timestamp.UnixNano()))
+	h.Write(buf[:])
+	binary.BigEndian.PutUint16(buf[:2], s.Info.SegID)
+	h.Write(buf[:2])
+	h.Write([]byte(s.Info.Origin.String()))
+	for i := 0; i < n; i++ {
+		e := &s.Entries[i]
+		h.Write([]byte(e.Local.String()))
+		h.Write([]byte(e.Next.String()))
+		binary.BigEndian.PutUint16(buf[:2], uint16(e.HopField.ConsIngress))
+		h.Write(buf[:2])
+		binary.BigEndian.PutUint16(buf[:2], uint16(e.HopField.ConsEgress))
+		h.Write(buf[:2])
+		binary.BigEndian.PutUint64(buf[:], uint64(e.HopField.ExpTime.UnixNano()))
+		h.Write(buf[:])
+		h.Write(e.HopField.MAC[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(e.Static.IngressLatency))
+		h.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(e.Static.IngressBandwidth))
+		h.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(e.Static.IngressMTU))
+		h.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(e.Static.InternalMTU))
+		h.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(e.Static.CarbonIntensity))
+		h.Write(buf[:])
+		h.Write([]byte(e.Static.Geo.Country))
+		for _, p := range e.Peers {
+			h.Write([]byte(p.Peer.String()))
+			binary.BigEndian.PutUint16(buf[:2], uint16(p.PeerInterface))
+			h.Write(buf[:2])
+			binary.BigEndian.PutUint16(buf[:2], uint16(p.HopField.ConsIngress))
+			h.Write(buf[:2])
+			binary.BigEndian.PutUint16(buf[:2], uint16(p.HopField.ConsEgress))
+			h.Write(buf[:2])
+			h.Write(p.HopField.MAC[:])
+		}
+		if i < n-1 {
+			h.Write(e.Signature)
+		}
+	}
+	return h.Sum(nil)
+}
+
+// Extend appends a signed entry for the AS owning the signer. The entry must
+// already carry its hop field, metadata, and peers; Extend fills the
+// signature. It returns a deep copy, leaving the receiver unchanged, so one
+// beacon can be propagated to many children.
+func (s *Segment) Extend(entry ASEntry, signer *cppki.Signer) (*Segment, error) {
+	if signer.IA() != entry.Local {
+		return nil, fmt.Errorf("extending segment: signer %s cannot sign for %s", signer.IA(), entry.Local)
+	}
+	if len(s.Entries) > 0 && s.Entries[len(s.Entries)-1].Next != entry.Local {
+		return nil, fmt.Errorf("extending segment: previous entry points to %s, not %s",
+			s.Entries[len(s.Entries)-1].Next, entry.Local)
+	}
+	if s.ContainsIA(entry.Local) {
+		return nil, fmt.Errorf("extending segment: AS loop at %s", entry.Local)
+	}
+	out := s.clone()
+	out.Entries = append(out.Entries, entry)
+	out.Entries[len(out.Entries)-1].Signature = signer.Sign(out.signedBytes(len(out.Entries)))
+	return out, nil
+}
+
+// clone deep-copies the segment.
+func (s *Segment) clone() *Segment {
+	out := &Segment{Info: s.Info, Entries: make([]ASEntry, len(s.Entries))}
+	copy(out.Entries, s.Entries)
+	for i := range out.Entries {
+		if p := out.Entries[i].Peers; p != nil {
+			out.Entries[i].Peers = append([]PeerEntry(nil), p...)
+		}
+		if sig := out.Entries[i].Signature; sig != nil {
+			out.Entries[i].Signature = append([]byte(nil), sig...)
+		}
+	}
+	return out
+}
+
+// Verification errors.
+var (
+	ErrEmptySegment = errors.New("segment: empty")
+	ErrBrokenChain  = errors.New("segment: AS chain broken")
+)
+
+// Verify checks every entry's signature against the trust store, the
+// next-pointer chain, and loop freedom. It authenticates the full metadata
+// decoration, addressing the paper's "how is the information authenticated"
+// question.
+func (s *Segment) Verify(store *cppki.Store, at time.Time) error {
+	if len(s.Entries) == 0 {
+		return ErrEmptySegment
+	}
+	if s.Entries[0].Local != s.Info.Origin {
+		return fmt.Errorf("%w: first entry %s is not origin %s", ErrBrokenChain, s.Entries[0].Local, s.Info.Origin)
+	}
+	seen := make(map[addr.IA]bool, len(s.Entries))
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if seen[e.Local] {
+			return fmt.Errorf("%w: AS loop at %s", ErrBrokenChain, e.Local)
+		}
+		seen[e.Local] = true
+		if i > 0 && s.Entries[i-1].Next != e.Local {
+			return fmt.Errorf("%w: entry %d (%s) does not follow %s", ErrBrokenChain, i, e.Local, s.Entries[i-1].Next)
+		}
+		if err := store.Verify(e.Local, s.signedBytes(i+1), e.Signature, at); err != nil {
+			return fmt.Errorf("segment entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ID returns a stable identifier of the segment's AS-level content, usable
+// as a dedup key in segment databases.
+func (s *Segment) ID() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(s.Info.Timestamp.UnixNano()))
+	h.Write(buf[:])
+	binary.BigEndian.PutUint16(buf[:2], s.Info.SegID)
+	h.Write(buf[:2])
+	for _, e := range s.Entries {
+		h.Write([]byte(e.Local.String()))
+		binary.BigEndian.PutUint16(buf[:2], uint16(e.HopField.ConsIngress))
+		h.Write(buf[:2])
+		binary.BigEndian.PutUint16(buf[:2], uint16(e.HopField.ConsEgress))
+		h.Write(buf[:2])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

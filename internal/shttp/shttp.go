@@ -1,0 +1,227 @@
+// Package shttp maps HTTP onto squic streams, mirroring the paper's §5.1:
+// "For HTTP/1 and HTTP/2, we map the TCP data stream into a single
+// bidirectional QUIC stream... based on the quic-go library as well as Go's
+// built-in HTTP implementation." Here, each HTTP connection is one squic
+// stream, and Go's net/http does all HTTP semantics on both ends.
+//
+// The package also implements the Strict-SCION response header (paper §4.2),
+// the HSTS-like signal with which operators advertise full SCION
+// availability.
+package shttp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tango/internal/squic"
+)
+
+// Serve runs an HTTP server over a squic listener: every peer-opened stream
+// is served as one HTTP/1.1 connection.
+func Serve(lis *squic.Listener, handler http.Handler) error {
+	srv := &http.Server{Handler: handler}
+	return srv.Serve(NewStreamListener(lis))
+}
+
+// StreamListener adapts a squic.Listener into a net.Listener whose Accept
+// yields one net.Conn per incoming stream (across all connections).
+type StreamListener struct {
+	lis     *squic.Listener
+	streams chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewStreamListener starts accepting connections and streams.
+func NewStreamListener(lis *squic.Listener) *StreamListener {
+	sl := &StreamListener{
+		lis:     lis,
+		streams: make(chan net.Conn, 64),
+		done:    make(chan struct{}),
+	}
+	go sl.acceptConns()
+	return sl
+}
+
+func (sl *StreamListener) acceptConns() {
+	for {
+		conn, err := sl.lis.Accept()
+		if err != nil {
+			sl.Close()
+			return
+		}
+		go sl.acceptStreams(conn)
+	}
+}
+
+func (sl *StreamListener) acceptStreams(conn *squic.Conn) {
+	for {
+		s, err := conn.AcceptStream()
+		if err != nil {
+			return
+		}
+		select {
+		case sl.streams <- s:
+		case <-sl.done:
+			return
+		}
+	}
+}
+
+// Accept implements net.Listener.
+func (sl *StreamListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-sl.streams:
+		return c, nil
+	case <-sl.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (sl *StreamListener) Close() error {
+	sl.once.Do(func() {
+		close(sl.done)
+		sl.lis.Close()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (sl *StreamListener) Addr() net.Addr { return sl.lis.Addr() }
+
+// DialFunc establishes (or reuses) a squic connection for an HTTP authority
+// ("host:port"). The PAN layer supplies this, folding in SCION detection and
+// policy-based path selection.
+type DialFunc func(ctx context.Context, authority string) (*squic.Conn, error)
+
+// NewTransport builds an http.RoundTripper that carries each HTTP connection
+// over one squic stream, dialing squic connections with dial and pooling
+// them per authority.
+func NewTransport(dial DialFunc) *Transport {
+	t := &Transport{dial: dial, conns: make(map[string]*squic.Conn)}
+	t.http = &http.Transport{
+		DialContext:         t.dialStream,
+		MaxIdleConnsPerHost: 6,
+		DisableCompression:  true,
+	}
+	return t
+}
+
+// Transport is the client side of shttp.
+type Transport struct {
+	dial DialFunc
+	http *http.Transport
+
+	mu    sync.Mutex
+	conns map[string]*squic.Conn
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	return t.http.RoundTrip(req)
+}
+
+// CloseIdleConnections releases pooled streams and connections.
+func (t *Transport) CloseIdleConnections() {
+	t.http.CloseIdleConnections()
+	t.mu.Lock()
+	conns := t.conns
+	t.conns = make(map[string]*squic.Conn)
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// dialStream returns a fresh stream on the authority's pooled connection.
+func (t *Transport) dialStream(ctx context.Context, network, authority string) (net.Conn, error) {
+	conn, err := t.connFor(ctx, authority)
+	if err != nil {
+		return nil, err
+	}
+	s, err := conn.OpenStream()
+	if err == nil {
+		return s, nil
+	}
+	// The pooled connection died; drop it and retry once with a new one.
+	t.dropConn(authority, conn)
+	conn, err = t.connFor(ctx, authority)
+	if err != nil {
+		return nil, err
+	}
+	return conn.OpenStream()
+}
+
+func (t *Transport) connFor(ctx context.Context, authority string) (*squic.Conn, error) {
+	t.mu.Lock()
+	conn := t.conns[authority]
+	t.mu.Unlock()
+	if conn != nil {
+		return conn, nil
+	}
+	conn, err := t.dial(ctx, authority)
+	if err != nil {
+		return nil, fmt.Errorf("shttp: dialing %s: %w", authority, err)
+	}
+	t.mu.Lock()
+	if existing := t.conns[authority]; existing != nil {
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[authority] = conn
+	t.mu.Unlock()
+	return conn, nil
+}
+
+func (t *Transport) dropConn(authority string, conn *squic.Conn) {
+	t.mu.Lock()
+	if t.conns[authority] == conn {
+		delete(t.conns, authority)
+	}
+	t.mu.Unlock()
+	conn.Close()
+}
+
+// HeaderStrictSCION is the response header advertising that a site (and all
+// its resources) is reachable over SCION, analogous to HSTS (paper §4.2).
+const HeaderStrictSCION = "Strict-SCION"
+
+// FormatStrictSCION renders the header value for a max-age.
+func FormatStrictSCION(maxAge time.Duration) string {
+	return fmt.Sprintf("max-age=%d", int64(maxAge/time.Second))
+}
+
+// ParseStrictSCION extracts the max-age from a Strict-SCION header value.
+// It reports ok=false for absent or malformed values.
+func ParseStrictSCION(value string) (maxAge time.Duration, ok bool) {
+	for _, part := range strings.Split(value, ";") {
+		part = strings.TrimSpace(part)
+		k, v, found := strings.Cut(part, "=")
+		if !found || !strings.EqualFold(strings.TrimSpace(k), "max-age") {
+			continue
+		}
+		secs, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil || secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	return 0, false
+}
+
+// StrictSCION wraps a handler, attaching the Strict-SCION header to every
+// response — the server-side opt-in for strict mode.
+func StrictSCION(h http.Handler, maxAge time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderStrictSCION, FormatStrictSCION(maxAge))
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,872 @@
+package squic
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/segment"
+	"tango/internal/snet"
+)
+
+// PacketConn is the datagram substrate a Conn runs on. snet.Conn implements
+// it; tests may supply in-memory fakes.
+type PacketConn interface {
+	WriteTo(payload []byte, dst addr.UDPAddr, path *segment.Path) error
+	ReadFrom() (*snet.Datagram, error)
+	LocalAddr() addr.UDPAddr
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// Config parameterizes connections. The zero value is usable after
+// withDefaults; Clock is required.
+type Config struct {
+	// Clock drives all timers (virtual in experiments).
+	Clock netsim.Clock
+	// Pool is the client's trust anchor for server identities.
+	Pool *CertPool
+	// Identity is the server's identity (server side only).
+	Identity *Identity
+	// HandshakeTimeout aborts Dial if the handshake does not complete.
+	HandshakeTimeout time.Duration
+	// StreamWindow is the per-stream flow-control window in bytes.
+	StreamWindow uint64
+	// WriteBuffer bounds per-stream bytes buffered ahead of packetization.
+	WriteBuffer int
+	// InitialCwnd is the initial congestion window in bytes.
+	InitialCwnd int
+	// MaxPacketSize caps datagram payloads when the path MTU is unknown.
+	MaxPacketSize int
+}
+
+func (cfg *Config) withDefaults() *Config {
+	out := *cfg
+	if out.Clock == nil {
+		out.Clock = netsim.RealClock{}
+	}
+	if out.HandshakeTimeout == 0 {
+		out.HandshakeTimeout = 10 * time.Second
+	}
+	if out.StreamWindow == 0 {
+		out.StreamWindow = 1 << 20
+	}
+	if out.WriteBuffer == 0 {
+		out.WriteBuffer = 1 << 20
+	}
+	if out.InitialCwnd == 0 {
+		out.InitialCwnd = 256 << 10
+	}
+	if out.MaxPacketSize == 0 {
+		out.MaxPacketSize = 1200
+	}
+	return &out
+}
+
+// Connection-level errors.
+var (
+	ErrConnClosed       = errors.New("squic: connection closed")
+	ErrHandshakeTimeout = errors.New("squic: handshake timeout")
+)
+
+// sentPacket tracks an in-flight ack-eliciting packet.
+type sentPacket struct {
+	frames []frame
+	size   int
+	sentAt time.Time
+}
+
+// Conn is one squic connection.
+type Conn struct {
+	cfg       *Config
+	clock     netsim.Clock
+	pconn     PacketConn
+	ownsPconn bool
+	isClient  bool
+	connID    uint64
+	// serverName is the name the client requested (SNI equivalent).
+	serverName string
+	// onClose detaches server conns from their listener.
+	onClose func()
+
+	mu       sync.Mutex
+	readable *sync.Cond // stream readers
+	writable *sync.Cond // stream writers
+	hsCond   *sync.Cond // Dial waiting for handshake
+	acCond   *sync.Cond // AcceptStream
+
+	remote      addr.UDPAddr
+	path        *segment.Path
+	keys        *sessionKeys
+	established bool
+	confirmed   bool // server: saw a valid 1-RTT from the client
+	closed      bool
+	closeErr    error
+
+	streams      map[uint64]*Stream
+	nextStreamID uint64
+	acceptQ      []*Stream
+
+	// Client handshake state.
+	ephPriv    *ecdh.PrivateKey
+	initialBuf []byte
+	hsRetrans  func() bool
+	hsTimeout  func() bool
+
+	// Server handshake state.
+	helloBuf []byte
+
+	// Send/reliability state.
+	nextPN       uint64
+	queued       []frame
+	sent         map[uint64]*sentPacket
+	inFlight     int
+	cwnd         int
+	largestAcked int64
+	recoveryEnd  uint64 // loss events before this pn don't re-halve cwnd
+	srtt, rttvar time.Duration
+	ptoCancel    func() bool
+	ptoBackoff   uint
+
+	// Receive state.
+	recvd      rangeSet
+	ackPending bool
+}
+
+func newConn(pconn PacketConn, cfg *Config, isClient bool) *Conn {
+	c := &Conn{
+		cfg:          cfg,
+		clock:        cfg.Clock,
+		pconn:        pconn,
+		isClient:     isClient,
+		streams:      make(map[uint64]*Stream),
+		sent:         make(map[uint64]*sentPacket),
+		cwnd:         cfg.InitialCwnd,
+		largestAcked: -1,
+	}
+	if isClient {
+		c.nextStreamID = 0
+	} else {
+		c.nextStreamID = 1
+	}
+	c.readable = sync.NewCond(&c.mu)
+	c.writable = sync.NewCond(&c.mu)
+	c.hsCond = sync.NewCond(&c.mu)
+	c.acCond = sync.NewCond(&c.mu)
+	return c
+}
+
+// LocalAddr returns the local endpoint.
+func (c *Conn) LocalAddr() net.Addr { return c.pconn.LocalAddr() }
+
+// RemoteAddr returns the remote endpoint.
+func (c *Conn) RemoteAddr() net.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remote
+}
+
+// Path returns the forwarding path currently in use.
+func (c *Conn) Path() *segment.Path {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.path
+}
+
+// OpenStream opens a locally-initiated bidirectional stream.
+func (c *Conn) OpenStream() (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, c.closeErrLocked()
+	}
+	id := c.nextStreamID
+	c.nextStreamID += 2
+	s := newStream(c, id)
+	c.streams[id] = s
+	return s, nil
+}
+
+// AcceptStream blocks until the peer opens a stream or the connection
+// closes.
+func (c *Conn) AcceptStream() (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.acceptQ) == 0 && !c.closed {
+		c.acCond.Wait()
+	}
+	if len(c.acceptQ) > 0 {
+		s := c.acceptQ[0]
+		c.acceptQ = c.acceptQ[1:]
+		return s, nil
+	}
+	return nil, c.closeErrLocked()
+}
+
+func (c *Conn) closeErrLocked() error {
+	if c.closeErr != nil {
+		return c.closeErr
+	}
+	return ErrConnClosed
+}
+
+// Close tears the connection down, notifying the peer.
+func (c *Conn) Close() error {
+	c.teardown(0, "closed by application", ErrConnClosed, true)
+	return nil
+}
+
+// teardown closes the connection. If notify is set and keys exist, a CLOSE
+// frame is sent best-effort.
+func (c *Conn) teardown(code uint64, reason string, cause error, notify bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeErr = cause
+	if notify && c.keys != nil {
+		c.sendPacketLocked([]frame{&closeFrame{code: code, reason: reason}}, false)
+	}
+	if c.ptoCancel != nil {
+		c.ptoCancel()
+	}
+	if c.hsRetrans != nil {
+		c.hsRetrans()
+	}
+	if c.hsTimeout != nil {
+		c.hsTimeout()
+	}
+	for _, s := range c.streams {
+		s.failLocked(cause)
+	}
+	c.readable.Broadcast()
+	c.writable.Broadcast()
+	c.hsCond.Broadcast()
+	c.acCond.Broadcast()
+	onClose := c.onClose
+	c.mu.Unlock()
+	if c.ownsPconn {
+		c.pconn.Close()
+	}
+	if onClose != nil {
+		onClose()
+	}
+}
+
+// handlerConn is the synchronous-dispatch capability of snet sockets; when
+// available, squic processes packets inside the delivery context, which
+// keeps virtual-time experiments exact.
+type handlerConn interface {
+	SetHandler(func(*snet.Datagram))
+}
+
+// startReceiving wires packet delivery: synchronous handler mode when the
+// PacketConn supports it, a reader goroutine otherwise.
+func (c *Conn) startReceiving() {
+	if hc, ok := c.pconn.(handlerConn); ok {
+		hc.SetHandler(c.handleDatagram)
+		return
+	}
+	go c.readLoop()
+}
+
+// readLoop pulls datagrams from a dedicated PacketConn (fallback mode).
+func (c *Conn) readLoop() {
+	for {
+		dg, err := c.pconn.ReadFrom()
+		if err != nil {
+			c.teardown(1, "transport closed", fmt.Errorf("%w: %v", ErrConnClosed, err), false)
+			return
+		}
+		c.handleDatagram(dg)
+	}
+}
+
+// handleDatagram processes one received datagram (client path; the server
+// listener routes to conn.handleOneRTT/handleInitial directly).
+func (c *Conn) handleDatagram(dg *snet.Datagram) {
+	hdr, body, err := parseHeader(dg.Payload)
+	if err != nil || hdr.connID != c.connID {
+		return
+	}
+	switch hdr.ptype {
+	case ptHello:
+		c.handleHello(body)
+	case ptOneRTT:
+		c.handleOneRTT(hdr, body, dg)
+	}
+}
+
+// --- client handshake ---
+
+// dial starts the client handshake; the caller must hold no locks.
+func (c *Conn) dial(remote addr.UDPAddr, path *segment.Path, serverName string) error {
+	eph, err := newEphemeral()
+	if err != nil {
+		return err
+	}
+	var id [8]byte
+	if _, err := rand.Read(id[:]); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ephPriv = eph
+	c.connID = binary.BigEndian.Uint64(id[:])
+	c.remote = remote
+	c.path = path
+	c.serverName = serverName
+	pkt := header{ptype: ptInitial, connID: c.connID, pktNum: 0}.append(nil)
+	pkt = append(pkt, initialPayload(eph.PublicKey().Bytes(), serverName)...)
+	c.initialBuf = pkt
+	c.mu.Unlock()
+
+	c.startReceiving()
+	c.sendRaw(pkt)
+	c.armHandshakeRetransmit(200 * time.Millisecond)
+	c.mu.Lock()
+	c.hsTimeout = c.clock.AfterFunc(c.cfg.HandshakeTimeout, func() {
+		c.mu.Lock()
+		est := c.established
+		c.mu.Unlock()
+		if !est {
+			c.teardown(2, "handshake timeout", ErrHandshakeTimeout, false)
+		}
+	})
+	for !c.established && !c.closed {
+		c.hsCond.Wait()
+	}
+	closed := c.closed
+	err = c.closeErrLocked()
+	c.mu.Unlock()
+	if closed {
+		return err
+	}
+	return nil
+}
+
+func (c *Conn) armHandshakeRetransmit(interval time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.established || c.closed {
+		return
+	}
+	c.hsRetrans = c.clock.AfterFunc(interval, func() {
+		c.mu.Lock()
+		done := c.established || c.closed
+		buf := c.initialBuf
+		c.mu.Unlock()
+		if done {
+			return
+		}
+		c.sendRaw(buf)
+		c.armHandshakeRetransmit(interval * 2)
+	})
+}
+
+// handleHello completes the client handshake.
+func (c *Conn) handleHello(body []byte) {
+	serverPub, sig, err := parseHelloPayload(body)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if c.established || c.closed || c.ephPriv == nil {
+		c.mu.Unlock()
+		return
+	}
+	transcript := handshakeTranscript(c.connID, c.ephPriv.PublicKey().Bytes(), serverPub, c.serverName)
+	pool := c.cfg.Pool
+	c.mu.Unlock()
+
+	if pool == nil {
+		c.teardown(3, "no trust pool", fmt.Errorf("squic: dialing without a certificate pool"), false)
+		return
+	}
+	if err := pool.verify(c.serverName, transcript, sig); err != nil {
+		c.teardown(3, "bad handshake signature", err, false)
+		return
+	}
+	pubKey, err := ecdh.X25519().NewPublicKey(serverPub)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	shared, err := c.ephPriv.ECDH(pubKey)
+	if err != nil {
+		c.mu.Unlock()
+		return
+	}
+	keys, err := deriveKeys(shared, transcript)
+	if err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.keys = keys
+	c.established = true
+	if c.hsRetrans != nil {
+		c.hsRetrans()
+		c.hsRetrans = nil
+	}
+	if c.hsTimeout != nil {
+		c.hsTimeout()
+		c.hsTimeout = nil
+	}
+	c.hsCond.Broadcast()
+	// Confirm to the server with an immediate (possibly ACK-only) packet.
+	c.queued = append(c.queued, pingFrame{})
+	c.packetizeLocked()
+	c.mu.Unlock()
+}
+
+// --- server handshake ---
+
+// acceptInitial builds (or refreshes) a server conn from an Initial packet.
+// It returns (conn, isNew).
+func serverHandleInitial(pconn PacketConn, cfg *Config, hdr header, body []byte, dg *snet.Datagram, existing *Conn) (*Conn, bool) {
+	if existing != nil {
+		// Duplicate Initial: the Hello was lost; resend it.
+		existing.mu.Lock()
+		hello := existing.helloBuf
+		path := existing.path
+		remote := existing.remote
+		existing.mu.Unlock()
+		if hello != nil {
+			pconn.WriteTo(hello, remote, path)
+		}
+		return existing, false
+	}
+	clientPub, serverName, err := parseInitialPayload(body)
+	if err != nil || cfg.Identity == nil {
+		return nil, false
+	}
+	eph, err := newEphemeral()
+	if err != nil {
+		return nil, false
+	}
+	pubKey, err := ecdh.X25519().NewPublicKey(clientPub)
+	if err != nil {
+		return nil, false
+	}
+	shared, err := eph.ECDH(pubKey)
+	if err != nil {
+		return nil, false
+	}
+	transcript := handshakeTranscript(hdr.connID, clientPub, eph.PublicKey().Bytes(), serverName)
+	keys, err := deriveKeys(shared, transcript)
+	if err != nil {
+		return nil, false
+	}
+	sig := cfg.Identity.sign(transcript)
+
+	c := newConn(pconn, cfg, false)
+	c.connID = hdr.connID
+	c.remote = dg.Src
+	c.path = dg.ReplyPath
+	c.keys = keys
+	c.established = true
+	c.serverName = serverName
+	hello := header{ptype: ptHello, connID: hdr.connID, pktNum: 0}.append(nil)
+	hello = append(hello, helloPayload(eph.PublicKey().Bytes(), sig)...)
+	c.helloBuf = hello
+	c.sendRaw(hello)
+	return c, true
+}
+
+// --- packet receive path ---
+
+// handleOneRTT decrypts and processes an application packet.
+func (c *Conn) handleOneRTT(hdr header, body []byte, dg *snet.Datagram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.keys == nil || c.closed {
+		return
+	}
+	opener := c.keys.serverSeal
+	if !c.isClient {
+		opener = c.keys.clientSeal
+	}
+	aad := header{ptype: ptOneRTT, connID: hdr.connID, pktNum: hdr.pktNum}.append(nil)
+	plain, err := opener.Open(nil, packetNonce(hdr.pktNum), body, aad)
+	if err != nil {
+		return
+	}
+	frames, err := parseFrames(plain)
+	if err != nil {
+		c.mu.Unlock()
+		c.teardown(4, "malformed frames", err, true)
+		c.mu.Lock()
+		return
+	}
+	if c.recvd.contains(hdr.pktNum) {
+		return // duplicate
+	}
+	c.recvd.add(hdr.pktNum)
+	if !c.isClient {
+		// Track the freshest return path and confirm the handshake.
+		if dg.ReplyPath != nil {
+			c.path = dg.ReplyPath
+		}
+		c.remote = dg.Src
+		if !c.confirmed {
+			c.confirmed = true
+			c.queued = append(c.queued, handshakeDoneFrame{})
+		}
+	}
+	for _, f := range frames {
+		if c.closed {
+			return
+		}
+		if f.retransmittable() {
+			c.ackPending = true
+		}
+		switch f := f.(type) {
+		case *streamFrame:
+			c.handleStreamFrameLocked(f)
+		case *ackFrame:
+			c.handleAckLocked(f)
+		case *maxStreamDataFrame:
+			if s, ok := c.streams[f.id]; ok && f.max > s.maxSend {
+				s.maxSend = f.max
+				c.writable.Broadcast()
+			}
+		case *closeFrame:
+			cause := fmt.Errorf("%w: peer closed (code %d: %s)", ErrConnClosed, f.code, f.reason)
+			c.mu.Unlock()
+			c.teardown(f.code, "", cause, false)
+			c.mu.Lock()
+			return
+		case pingFrame, handshakeDoneFrame:
+			// ACK-eliciting only.
+		}
+	}
+	c.packetizeLocked()
+}
+
+func (c *Conn) handleStreamFrameLocked(f *streamFrame) {
+	s, ok := c.streams[f.id]
+	if !ok {
+		peerInitiated := (f.id%2 == 0) != c.isClient
+		if !peerInitiated {
+			return // stale frame for a stream we never opened
+		}
+		s = newStream(c, f.id)
+		c.streams[f.id] = s
+		c.acceptQ = append(c.acceptQ, s)
+		c.acCond.Broadcast()
+	}
+	if err := s.handleFrameLocked(f); err != nil {
+		c.mu.Unlock()
+		c.teardown(5, "flow control violation", err, true)
+		c.mu.Lock()
+	}
+}
+
+// --- reliability ---
+
+func (c *Conn) handleAckLocked(f *ackFrame) {
+	now := c.clock.Now()
+	newlyAcked := false
+	for _, r := range f.ranges {
+		for pn := r.lo; pn <= r.hi; pn++ {
+			sp, ok := c.sent[pn]
+			if !ok {
+				continue
+			}
+			delete(c.sent, pn)
+			c.inFlight -= sp.size
+			newlyAcked = true
+			if int64(pn) > c.largestAcked {
+				c.largestAcked = int64(pn)
+				c.sampleRTTLocked(now.Sub(sp.sentAt))
+			}
+			// Slow-start growth, capped.
+			if c.cwnd < 4<<20 {
+				c.cwnd += sp.size
+			}
+		}
+	}
+	if !newlyAcked {
+		return
+	}
+	c.ptoBackoff = 0
+	// Packet-threshold loss detection.
+	var lost []uint64
+	for pn := range c.sent {
+		if c.largestAcked >= 0 && pn+3 <= uint64(c.largestAcked) {
+			lost = append(lost, pn)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, pn := range lost {
+		sp := c.sent[pn]
+		delete(c.sent, pn)
+		c.inFlight -= sp.size
+		c.queued = append(c.queued, sp.frames...)
+		if pn >= c.recoveryEnd {
+			c.cwnd = maxInt(c.cwnd/2, 2*c.cfg.MaxPacketSize)
+			c.recoveryEnd = c.nextPN
+		}
+	}
+	c.armPTOLocked()
+	c.packetizeLocked()
+}
+
+func (c *Conn) sampleRTTLocked(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+		return
+	}
+	d := c.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	c.rttvar = (3*c.rttvar + d) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
+
+func (c *Conn) ptoLocked() time.Duration {
+	base := 500 * time.Millisecond
+	if c.srtt > 0 {
+		base = c.srtt + 4*c.rttvar + time.Millisecond
+	}
+	return base << c.ptoBackoff
+}
+
+func (c *Conn) armPTOLocked() {
+	if c.ptoCancel != nil {
+		c.ptoCancel()
+		c.ptoCancel = nil
+	}
+	if len(c.sent) == 0 || c.closed {
+		return
+	}
+	c.ptoCancel = c.clock.AfterFunc(c.ptoLocked(), c.onPTO)
+}
+
+// onPTO retransmits everything unacked (probe + recovery in one step).
+func (c *Conn) onPTO() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ptoCancel = nil // the timer that fired is spent
+	if c.closed || len(c.sent) == 0 {
+		return
+	}
+	c.ptoBackoff++
+	var pns []uint64
+	for pn := range c.sent {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		sp := c.sent[pn]
+		delete(c.sent, pn)
+		c.inFlight -= sp.size
+		c.queued = append(c.queued, sp.frames...)
+	}
+	c.packetizeLocked()
+}
+
+// --- packet send path ---
+
+// queueFrameLocked enqueues a control frame.
+func (c *Conn) queueFrameLocked(f frame) { c.queued = append(c.queued, f) }
+
+// scheduleSendLocked flushes pending data; named for symmetry with async
+// designs, it packetizes synchronously.
+func (c *Conn) scheduleSendLocked() { c.packetizeLocked() }
+
+// maxFramePayloadLocked is the frame budget per packet for the current path.
+func (c *Conn) maxFramePayloadLocked() int {
+	budget := snet.MaxPayload(c.path) - headerLen - aeadOverhead
+	if m := c.cfg.MaxPacketSize; budget > m {
+		budget = m
+	}
+	if budget < 256 {
+		budget = 256
+	}
+	return budget
+}
+
+func (c *Conn) sortedStreamsLocked() []*Stream {
+	ids := make([]uint64, 0, len(c.streams))
+	for id := range c.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Stream, len(ids))
+	for i, id := range ids {
+		out[i] = c.streams[id]
+	}
+	return out
+}
+
+// packetizeLocked drains acks, control frames, and stream data into as many
+// packets as congestion control allows.
+func (c *Conn) packetizeLocked() {
+	if c.closed || !c.established || c.keys == nil {
+		return
+	}
+	maxPayload := c.maxFramePayloadLocked()
+	for {
+		var frames []frame
+		size := 0
+		ackEliciting := false
+		if c.ackPending {
+			af := &ackFrame{ranges: c.recvd.ranges()}
+			frames = append(frames, af)
+			size += frameSize(af)
+			c.ackPending = false
+		}
+		for len(c.queued) > 0 {
+			f := c.queued[0]
+			fs := frameSize(f)
+			if size+fs > maxPayload && len(frames) > 0 {
+				break
+			}
+			c.queued = c.queued[1:]
+			frames = append(frames, f)
+			size += fs
+			if f.retransmittable() {
+				ackEliciting = true
+			}
+		}
+		if c.inFlight < c.cwnd {
+			const streamOverhead = 32 // type, flags, 3 varints worst case
+			for _, s := range c.sortedStreamsLocked() {
+				for s.sendableLocked() && size+streamOverhead < maxPayload && c.inFlight+size < c.cwnd {
+					f := s.nextFrameLocked(maxPayload - size - streamOverhead)
+					if f == nil {
+						break
+					}
+					frames = append(frames, f)
+					size += frameSize(f)
+					ackEliciting = true
+				}
+			}
+		}
+		if len(frames) == 0 {
+			return
+		}
+		c.sendPacketLocked(frames, ackEliciting)
+	}
+}
+
+// sendPacketLocked seals and transmits one OneRTT packet.
+func (c *Conn) sendPacketLocked(frames []frame, ackEliciting bool) {
+	pn := c.nextPN
+	c.nextPN++
+	var payload []byte
+	for _, f := range frames {
+		payload = f.append(payload)
+	}
+	sealer := c.keys.clientSeal
+	if !c.isClient {
+		sealer = c.keys.serverSeal
+	}
+	hdr := header{ptype: ptOneRTT, connID: c.connID, pktNum: pn}
+	aad := hdr.append(nil)
+	sealed := sealer.Seal(nil, packetNonce(pn), payload, aad)
+	buf := append(aad, sealed...)
+	c.pconn.WriteTo(buf, c.remote, c.path)
+	if ackEliciting {
+		var kept []frame
+		for _, f := range frames {
+			if f.retransmittable() {
+				kept = append(kept, f)
+			}
+		}
+		c.sent[pn] = &sentPacket{frames: kept, size: len(buf), sentAt: c.clock.Now()}
+		c.inFlight += len(buf)
+		if c.ptoCancel == nil {
+			c.armPTOLocked()
+		}
+	}
+}
+
+// sendRaw transmits a plaintext handshake packet.
+func (c *Conn) sendRaw(buf []byte) {
+	c.mu.Lock()
+	remote, path := c.remote, c.path
+	c.mu.Unlock()
+	c.pconn.WriteTo(buf, remote, path)
+}
+
+// rangeSet tracks received packet numbers as sorted disjoint ranges.
+type rangeSet struct {
+	rs []ackRange
+}
+
+func (r *rangeSet) contains(pn uint64) bool {
+	for _, x := range r.rs {
+		if pn >= x.lo && pn <= x.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *rangeSet) add(pn uint64) {
+	for i := range r.rs {
+		x := &r.rs[i]
+		if pn >= x.lo && pn <= x.hi {
+			return
+		}
+		if pn+1 == x.lo {
+			x.lo = pn
+			r.coalesce()
+			return
+		}
+		if x.hi+1 == pn {
+			x.hi = pn
+			r.coalesce()
+			return
+		}
+	}
+	r.rs = append(r.rs, ackRange{lo: pn, hi: pn})
+	sort.Slice(r.rs, func(i, j int) bool { return r.rs[i].lo < r.rs[j].lo })
+}
+
+func (r *rangeSet) coalesce() {
+	sort.Slice(r.rs, func(i, j int) bool { return r.rs[i].lo < r.rs[j].lo })
+	out := r.rs[:0]
+	for _, x := range r.rs {
+		if n := len(out); n > 0 && out[n-1].hi+1 >= x.lo {
+			if x.hi > out[n-1].hi {
+				out[n-1].hi = x.hi
+			}
+			continue
+		}
+		out = append(out, x)
+	}
+	r.rs = out
+}
+
+// ranges returns a copy, capped to the most recent 32 ranges.
+func (r *rangeSet) ranges() []ackRange {
+	rs := r.rs
+	if len(rs) > 32 {
+		rs = rs[len(rs)-32:]
+	}
+	return append([]ackRange(nil), rs...)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

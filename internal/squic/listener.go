@@ -1,0 +1,149 @@
+package squic
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"tango/internal/addr"
+	"tango/internal/segment"
+	"tango/internal/snet"
+)
+
+// Dial establishes a client connection to remote over the given path,
+// expecting the server to prove ownership of serverName's key (looked up in
+// cfg.Pool). The PacketConn is owned by the connection and closed with it.
+func Dial(pconn PacketConn, remote addr.UDPAddr, path *segment.Path, serverName string, cfg *Config) (*Conn, error) {
+	c := newConn(pconn, cfg.withDefaults(), true)
+	c.ownsPconn = true
+	if err := c.dial(remote, path, serverName); err != nil {
+		pconn.Close()
+		return nil, fmt.Errorf("squic: dialing %s: %w", remote, err)
+	}
+	return c, nil
+}
+
+// Listener accepts squic connections on one PacketConn, demultiplexing by
+// connection ID.
+type Listener struct {
+	pconn PacketConn
+	cfg   *Config
+
+	acceptCh chan *Conn
+	done     chan struct{}
+
+	mu     sync.Mutex
+	conns  map[uint64]*Conn
+	closed bool
+}
+
+// Listen serves connections on pconn; cfg.Identity must be set.
+func Listen(pconn PacketConn, cfg *Config) (*Listener, error) {
+	c := cfg.withDefaults()
+	if c.Identity == nil {
+		return nil, errors.New("squic: Listen requires an Identity")
+	}
+	l := &Listener{
+		pconn:    pconn,
+		cfg:      c,
+		acceptCh: make(chan *Conn, 64),
+		done:     make(chan struct{}),
+		conns:    make(map[uint64]*Conn),
+	}
+	if hc, ok := pconn.(handlerConn); ok {
+		hc.SetHandler(l.handleDatagram)
+	} else {
+		go l.readLoop()
+	}
+	return l, nil
+}
+
+// Addr returns the listening endpoint.
+func (l *Listener) Addr() net.Addr { return l.pconn.LocalAddr() }
+
+// Accept blocks for the next handshaken connection.
+func (l *Listener) Accept() (*Conn, error) {
+	select {
+	case c := <-l.acceptCh:
+		return c, nil
+	case <-l.done:
+		return nil, ErrConnClosed
+	}
+}
+
+// Close stops accepting and tears down every connection.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]*Conn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	close(l.done)
+	l.pconn.Close()
+	for _, c := range conns {
+		c.teardown(0, "listener closed", ErrConnClosed, true)
+	}
+	return nil
+}
+
+func (l *Listener) readLoop() {
+	for {
+		dg, err := l.pconn.ReadFrom()
+		if err != nil {
+			return
+		}
+		l.handleDatagram(dg)
+	}
+}
+
+// handleDatagram demultiplexes one datagram by connection ID.
+func (l *Listener) handleDatagram(dg *snet.Datagram) {
+	hdr, body, err := parseHeader(dg.Payload)
+	if err != nil {
+		return
+	}
+	switch hdr.ptype {
+	case ptInitial:
+		l.mu.Lock()
+		existing := l.conns[hdr.connID]
+		closed := l.closed
+		l.mu.Unlock()
+		if closed {
+			return
+		}
+		conn, isNew := serverHandleInitial(l.pconn, l.cfg, hdr, body, dg, existing)
+		if !isNew || conn == nil {
+			return
+		}
+		id := hdr.connID
+		conn.onClose = func() { l.remove(id) }
+		l.mu.Lock()
+		l.conns[id] = conn
+		l.mu.Unlock()
+		select {
+		case l.acceptCh <- conn:
+		default:
+			conn.teardown(6, "accept queue full", ErrConnClosed, true)
+		}
+	case ptOneRTT:
+		l.mu.Lock()
+		conn := l.conns[hdr.connID]
+		l.mu.Unlock()
+		if conn != nil {
+			conn.handleOneRTT(hdr, body, dg)
+		}
+	}
+}
+
+func (l *Listener) remove(connID uint64) {
+	l.mu.Lock()
+	delete(l.conns, connID)
+	l.mu.Unlock()
+}

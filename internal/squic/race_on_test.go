@@ -1,0 +1,7 @@
+//go:build race
+
+package squic_test
+
+// raceEnabled reports whether the race detector is active; exact
+// virtual-time assertions skip under it (see internal/experiments).
+const raceEnabled = true

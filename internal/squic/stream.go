@@ -1,0 +1,307 @@
+package squic
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Stream is a bidirectional, flow-controlled, reliable byte stream
+// multiplexed on a Conn. It implements net.Conn so the standard library's
+// HTTP stack can run over it unchanged.
+type Stream struct {
+	c  *Conn
+	id uint64
+
+	// All mutable state is guarded by c.mu.
+
+	// Send side.
+	pending    []byte // accepted by Write, not yet packetized
+	sendOffset uint64 // next offset to packetize
+	sendFin    bool   // fin requested
+	finSent    bool
+	maxSend    uint64 // peer's flow-control limit
+	writeErr   error
+	wDeadline  deadline
+
+	// Receive side.
+	recvBuf   []byte            // contiguous readable bytes
+	recvNext  uint64            // offset after recvBuf's last byte
+	consumed  uint64            // offset consumed by Read
+	chunks    map[uint64][]byte // out-of-order segments
+	finalSize int64             // -1 until fin received
+	recvLimit uint64            // advertised MAX_STREAM_DATA
+	readErr   error
+	rDeadline deadline
+}
+
+// deadline tracks one direction's I/O deadline on the connection's clock.
+type deadline struct {
+	expired bool
+	cancel  func() bool
+}
+
+var errStreamClosed = errors.New("squic: stream closed")
+
+// errDeadline satisfies net.Error with Timeout() == true.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "squic: i/o deadline exceeded" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+var errDeadline net.Error = timeoutErr{}
+
+func newStream(c *Conn, id uint64) *Stream {
+	return &Stream{
+		c:         c,
+		id:        id,
+		maxSend:   c.cfg.StreamWindow,
+		recvLimit: c.cfg.StreamWindow,
+		chunks:    make(map[uint64][]byte),
+		finalSize: -1,
+	}
+}
+
+// ID returns the stream identifier.
+func (s *Stream) ID() uint64 { return s.id }
+
+// Read implements net.Conn.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	for {
+		if len(s.recvBuf) > 0 {
+			n := copy(p, s.recvBuf)
+			s.recvBuf = s.recvBuf[n:]
+			s.consumed += uint64(n)
+			s.maybeExtendWindowLocked()
+			return n, nil
+		}
+		if s.finalSize >= 0 && s.consumed >= uint64(s.finalSize) {
+			return 0, io.EOF
+		}
+		if s.readErr != nil {
+			return 0, s.readErr
+		}
+		if s.rDeadline.expired {
+			return 0, errDeadline
+		}
+		s.c.readable.Wait()
+	}
+}
+
+// maybeExtendWindowLocked advertises more receive window once half is
+// consumed.
+func (s *Stream) maybeExtendWindowLocked() {
+	win := s.c.cfg.StreamWindow
+	if s.consumed+win > s.recvLimit+win/2 {
+		s.recvLimit = s.consumed + win
+		s.c.queueFrameLocked(&maxStreamDataFrame{id: s.id, max: s.recvLimit})
+		s.c.scheduleSendLocked()
+	}
+}
+
+// Write implements net.Conn. Data is buffered and packetized by the
+// connection; Write blocks only when the local buffer is full.
+func (s *Stream) Write(p []byte) (int, error) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		if s.writeErr != nil {
+			return total, s.writeErr
+		}
+		if s.sendFin {
+			return total, errStreamClosed
+		}
+		if s.wDeadline.expired {
+			return total, errDeadline
+		}
+		room := s.c.cfg.WriteBuffer - len(s.pending)
+		if room <= 0 {
+			s.c.writable.Wait()
+			continue
+		}
+		n := min(room, len(p))
+		s.pending = append(s.pending, p[:n]...)
+		p = p[n:]
+		total += n
+		s.c.scheduleSendLocked()
+	}
+	return total, nil
+}
+
+// CloseWrite half-closes the stream: a FIN is sent after buffered data.
+func (s *Stream) CloseWrite() error {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if s.sendFin {
+		return nil
+	}
+	s.sendFin = true
+	s.c.scheduleSendLocked()
+	return nil
+}
+
+// Close implements net.Conn: it half-closes the write side and stops
+// delivering received data.
+func (s *Stream) Close() error {
+	s.c.mu.Lock()
+	if !s.sendFin {
+		s.sendFin = true
+	}
+	if s.readErr == nil && !(s.finalSize >= 0 && s.consumed >= uint64(s.finalSize)) {
+		s.readErr = errStreamClosed
+	}
+	s.c.scheduleSendLocked()
+	s.c.readable.Broadcast()
+	s.c.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (s *Stream) LocalAddr() net.Addr { return s.c.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (s *Stream) RemoteAddr() net.Addr { return s.c.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (s *Stream) SetDeadline(t time.Time) error {
+	s.SetReadDeadline(t)
+	return s.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (s *Stream) SetReadDeadline(t time.Time) error {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.setDeadlineLocked(&s.rDeadline, t, s.c.readable)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (s *Stream) SetWriteDeadline(t time.Time) error {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.setDeadlineLocked(&s.wDeadline, t, s.c.writable)
+	return nil
+}
+
+func (s *Stream) setDeadlineLocked(d *deadline, t time.Time, cond interface{ Broadcast() }) {
+	if d.cancel != nil {
+		d.cancel()
+		d.cancel = nil
+	}
+	d.expired = false
+	if t.IsZero() {
+		return
+	}
+	dur := t.Sub(s.c.clock.Now())
+	if dur <= 0 {
+		d.expired = true
+		cond.Broadcast()
+		return
+	}
+	c := s.c
+	d.cancel = c.clock.AfterFunc(dur, func() {
+		c.mu.Lock()
+		d.expired = true
+		cond.Broadcast()
+		c.mu.Unlock()
+	})
+}
+
+// handleFrameLocked ingests one received stream frame.
+func (s *Stream) handleFrameLocked(f *streamFrame) error {
+	end := f.offset + uint64(len(f.data))
+	if end > s.recvLimit {
+		return fmt.Errorf("squic: stream %d flow-control violation (%d > %d)", s.id, end, s.recvLimit)
+	}
+	if f.fin {
+		if s.finalSize >= 0 && uint64(s.finalSize) != end {
+			return fmt.Errorf("squic: stream %d conflicting final sizes", s.id)
+		}
+		fs := int64(end)
+		s.finalSize = fs
+	}
+	if len(f.data) > 0 && end > s.recvNext {
+		if _, dup := s.chunks[f.offset]; !dup && f.offset >= s.recvNext {
+			s.chunks[f.offset] = f.data
+		}
+	}
+	// Pull contiguous chunks into recvBuf.
+	for {
+		data, ok := s.chunks[s.recvNext]
+		if !ok {
+			break
+		}
+		delete(s.chunks, s.recvNext)
+		if s.readErr == nil {
+			s.recvBuf = append(s.recvBuf, data...)
+		} else {
+			s.consumed += uint64(len(data)) // discard but account
+		}
+		s.recvNext += uint64(len(data))
+	}
+	s.c.readable.Broadcast()
+	return nil
+}
+
+// sendableLocked reports whether the stream has data or a FIN to packetize.
+func (s *Stream) sendableLocked() bool {
+	if s.writeErr != nil {
+		return false
+	}
+	if len(s.pending) > 0 && s.sendOffset < s.maxSend {
+		return true
+	}
+	return s.sendFin && !s.finSent
+}
+
+// nextFrameLocked pops the next stream frame, at most maxData payload bytes.
+func (s *Stream) nextFrameLocked(maxData int) *streamFrame {
+	avail := len(s.pending)
+	if fcRoom := int(s.maxSend - s.sendOffset); avail > fcRoom {
+		avail = fcRoom
+	}
+	n := min(avail, maxData)
+	if n < 0 {
+		n = 0
+	}
+	f := &streamFrame{id: s.id, offset: s.sendOffset}
+	if n > 0 {
+		f.data = append([]byte(nil), s.pending[:n]...)
+		s.pending = s.pending[n:]
+		s.sendOffset += uint64(n)
+		s.c.writable.Broadcast()
+	}
+	// Attach the FIN once all buffered data is out.
+	if s.sendFin && !s.finSent && len(s.pending) == 0 {
+		f.fin = true
+		s.finSent = true
+	}
+	if len(f.data) == 0 && !f.fin {
+		return nil
+	}
+	return f
+}
+
+// failLocked errors both directions (connection teardown).
+func (s *Stream) failLocked(err error) {
+	if s.readErr == nil {
+		s.readErr = err
+	}
+	if s.writeErr == nil {
+		s.writeErr = err
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

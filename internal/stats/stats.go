@@ -1,0 +1,156 @@
+// Package stats provides the descriptive statistics and rendering used to
+// reproduce the paper's box-plot figures: five-number summaries, means, and
+// an ASCII box-plot renderer for terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary is the five-number summary (plus mean) of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+}
+
+// Summarize computes a Summary. It panics on an empty sample, which is a
+// harness bug.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		panic("stats: empty sample")
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	ss := 0.0
+	for _, v := range s {
+		ss += (v - mean) * (v - mean)
+	}
+	var sd float64
+	if len(s) > 1 {
+		sd = math.Sqrt(ss / float64(len(s)-1))
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Stddev: sd,
+	}
+}
+
+// quantile interpolates linearly on the sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SummarizeDurations converts to milliseconds and summarizes.
+func SummarizeDurations(sample []time.Duration) Summary {
+	ms := make([]float64, len(sample))
+	for i, d := range sample {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	return Summarize(ms)
+}
+
+// Series is one labeled box in a plot.
+type Series struct {
+	Label   string
+	Summary Summary
+}
+
+// RenderBoxPlot draws labeled ASCII box plots on a shared axis, the
+// terminal equivalent of the paper's Figures 3, 5, and 6. The unit string
+// labels the axis.
+func RenderBoxPlot(title string, unit string, series []Series, width int) string {
+	if width < 40 {
+		width = 72
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(series) == 0 {
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, s := range series {
+		lo = math.Min(lo, s.Summary.Min)
+		hi = math.Max(hi, s.Summary.Max)
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	lo -= span * 0.05
+	hi += span * 0.05
+	plotW := width - labelW - 2
+	pos := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(plotW-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= plotW {
+			p = plotW - 1
+		}
+		return p
+	}
+	for _, s := range series {
+		row := make([]byte, plotW)
+		for i := range row {
+			row[i] = ' '
+		}
+		sm := s.Summary
+		for i := pos(sm.Min); i <= pos(sm.Q1); i++ {
+			row[i] = '-'
+		}
+		for i := pos(sm.Q3); i <= pos(sm.Max); i++ {
+			row[i] = '-'
+		}
+		for i := pos(sm.Q1); i <= pos(sm.Q3); i++ {
+			row[i] = '='
+		}
+		row[pos(sm.Min)] = '|'
+		row[pos(sm.Max)] = '|'
+		row[pos(sm.Q1)] = '['
+		row[pos(sm.Q3)] = ']'
+		row[pos(sm.Median)] = '#'
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, s.Label, string(row))
+	}
+	fmt.Fprintf(&b, "%-*s %-10.1f%*.1f (%s)\n", labelW, "", lo, plotW-10, hi, unit)
+	for _, s := range series {
+		sm := s.Summary
+		fmt.Fprintf(&b, "%-*s n=%d min=%.1f q1=%.1f med=%.1f q3=%.1f max=%.1f mean=%.1f\n",
+			labelW, s.Label, sm.N, sm.Min, sm.Q1, sm.Median, sm.Q3, sm.Max, sm.Mean)
+	}
+	return b.String()
+}

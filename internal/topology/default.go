@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/addr"
+)
+
+// Well-known IAs of the default test topology, mirroring the numbering style
+// of the SCION test networks (ISD 1 "Europe", ISD 2 "Asia").
+var (
+	Core110 = addr.IA{ISD: 1, AS: 0xff00_0000_0110} // 1-ff00:0:110, core ISD 1
+	Core120 = addr.IA{ISD: 1, AS: 0xff00_0000_0120} // 1-ff00:0:120, core ISD 1
+	AS111   = addr.IA{ISD: 1, AS: 0xff00_0000_0111} // child of 110
+	AS112   = addr.IA{ISD: 1, AS: 0xff00_0000_0112} // child of 110
+	AS121   = addr.IA{ISD: 1, AS: 0xff00_0000_0121} // child of 120
+	AS122   = addr.IA{ISD: 1, AS: 0xff00_0000_0122} // child of 121 (two tiers deep)
+	Core210 = addr.IA{ISD: 2, AS: 0xff00_0000_0210} // 2-ff00:0:210, core ISD 2
+	Core220 = addr.IA{ISD: 2, AS: 0xff00_0000_0220} // 2-ff00:0:220, core ISD 2
+	AS211   = addr.IA{ISD: 2, AS: 0xff00_0000_0211} // child of 210
+	AS221   = addr.IA{ISD: 2, AS: 0xff00_0000_0221} // child of 220
+)
+
+// Default builds the standard two-ISD test topology used throughout the
+// repository and its experiments:
+//
+//	ISD 1 (Europe)                 ISD 2 (Asia)
+//	 110 ══ 120 ════════════════════ 210 ══ 220     (core mesh; 110-210 slow,
+//	  │ │     │          ╲╱           │       │      120-210 and 120-220 fast)
+//	 111 112 121                     211     221
+//	           │
+//	          122        111 ~ 121 peering
+//
+// Latencies are chosen so that multiple inter-ISD paths with meaningfully
+// different end-to-end latency exist — the property Figure 5 relies on.
+func Default() *Topology {
+	t := New()
+	t.AddAS(Core110, true).decorate(47.4, 8.5, "CH", 120)
+	t.AddAS(Core120, true).decorate(50.1, 8.7, "DE", 180)
+	t.AddAS(AS111, false).decorate(47.4, 8.6, "CH", 90)
+	t.AddAS(AS112, false).decorate(46.9, 7.4, "CH", 60)
+	t.AddAS(AS121, false).decorate(52.5, 13.4, "DE", 210)
+	t.AddAS(AS122, false).decorate(48.1, 11.6, "DE", 150)
+	t.AddAS(Core210, true).decorate(35.7, 139.7, "JP", 300)
+	t.AddAS(Core220, true).decorate(1.35, 103.8, "SG", 250)
+	t.AddAS(AS211, false).decorate(35.0, 135.8, "JP", 280)
+	t.AddAS(AS221, false).decorate(1.29, 103.85, "SG", 240)
+
+	ms := func(d int) LinkProps {
+		return LinkProps{Latency: time.Duration(d) * time.Millisecond, Bandwidth: 1_000_000_000, MTU: 1400}
+	}
+	// Intra-ISD 1.
+	t.Connect(Core110, Core120, Core, ms(5))
+	t.Connect(Core110, AS111, ParentChild, ms(3))
+	t.Connect(Core110, AS112, ParentChild, ms(4))
+	t.Connect(Core120, AS121, ParentChild, ms(3))
+	t.Connect(AS121, AS122, ParentChild, ms(2))
+	// Intra-ISD 2.
+	t.Connect(Core210, Core220, Core, ms(35))
+	t.Connect(Core210, AS211, ParentChild, ms(3))
+	t.Connect(Core220, AS221, ParentChild, ms(2))
+	// Inter-ISD core mesh: a slow geodesic 110-210 link and faster routes
+	// via 120, giving real path diversity.
+	t.Connect(Core110, Core210, Core, ms(120))
+	t.Connect(Core120, Core210, Core, ms(80))
+	t.Connect(Core120, Core220, Core, ms(70))
+	// A peering shortcut between the two ISD-1 leaf branches.
+	t.Connect(AS111, AS121, Peering, ms(6))
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("topology: default topology invalid: %v", err))
+	}
+	return t
+}
+
+func (a *ASInfo) decorate(lat, lng float64, country string, carbon float64) *ASInfo {
+	a.Geo = Geo{Latitude: lat, Longitude: lng, Country: country}
+	a.CarbonIntensity = carbon
+	return a
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tango/internal/addr"
+)
+
+// GenParams parameterizes random topology generation.
+type GenParams struct {
+	// ISDs is the number of isolation domains.
+	ISDs int
+	// CoresPerISD is the number of core ASes per ISD.
+	CoresPerISD int
+	// LeavesPerISD is the number of non-core ASes per ISD.
+	LeavesPerISD int
+	// MaxDepth bounds the provider-customer hierarchy depth.
+	MaxDepth int
+	// PeeringProb is the probability of a peering link between any two
+	// non-core ASes of the same or adjacent ISDs.
+	PeeringProb float64
+}
+
+// DefaultGenParams returns moderate parameters.
+func DefaultGenParams() GenParams {
+	return GenParams{ISDs: 2, CoresPerISD: 2, LeavesPerISD: 4, MaxDepth: 3, PeeringProb: 0.15}
+}
+
+// Generate builds a random, valid topology: full core mesh within each ISD,
+// ring + random chords across ISDs, random provider hierarchies, and random
+// peering links. The same seed yields the same topology.
+func Generate(p GenParams, seed int64) *Topology {
+	rng := rand.New(rand.NewSource(seed))
+	t := New()
+
+	ms := func(lo, hi int) LinkProps {
+		return LinkProps{
+			Latency:   time.Duration(lo+rng.Intn(hi-lo+1)) * time.Millisecond,
+			Bandwidth: 1_000_000_000,
+			MTU:       1400,
+		}
+	}
+
+	var cores []addr.IA
+	coresByISD := make(map[addr.ISD][]addr.IA)
+	leavesByISD := make(map[addr.ISD][]addr.IA)
+	for i := 1; i <= p.ISDs; i++ {
+		isd := addr.ISD(i)
+		for c := 0; c < p.CoresPerISD; c++ {
+			ia := addr.MustIA(isd, addr.AS(0xff00_0000_0000|uint64(i)<<8|uint64(c+1)))
+			as := t.AddAS(ia, true)
+			as.Geo = Geo{Latitude: float64(i * 10), Longitude: float64(c * 10), Country: fmt.Sprintf("C%d", i)}
+			as.CarbonIntensity = 50 + rng.Float64()*300
+			cores = append(cores, ia)
+			coresByISD[isd] = append(coresByISD[isd], ia)
+		}
+		for l := 0; l < p.LeavesPerISD; l++ {
+			ia := addr.MustIA(isd, addr.AS(0xff00_0000_0000|uint64(i)<<8|uint64(0x40+l)))
+			as := t.AddAS(ia, false)
+			as.Geo = Geo{Latitude: float64(i*10) + rng.Float64(), Longitude: rng.Float64() * 20, Country: fmt.Sprintf("C%d", i)}
+			as.CarbonIntensity = 50 + rng.Float64()*300
+			leavesByISD[isd] = append(leavesByISD[isd], ia)
+		}
+	}
+
+	// Intra-ISD core mesh (sorted ISD order keeps the generator
+	// deterministic despite map storage).
+	for _, isd := range t.ISDs() {
+		isdCores := coresByISD[isd]
+		for i := 0; i < len(isdCores); i++ {
+			for j := i + 1; j < len(isdCores); j++ {
+				t.Connect(isdCores[i], isdCores[j], Core, ms(2, 10))
+			}
+		}
+	}
+	// Inter-ISD: ring over ISDs plus random chords.
+	isds := t.ISDs()
+	for i := range isds {
+		a := coresByISD[isds[i]][0]
+		b := coresByISD[isds[(i+1)%len(isds)]][0]
+		if i+1 < len(isds) || len(isds) > 2 {
+			t.Connect(a, b, Core, ms(40, 150))
+		} else if len(isds) == 2 && i == 0 {
+			t.Connect(a, b, Core, ms(40, 150))
+		}
+	}
+	for i := 0; i < len(cores); i++ {
+		for j := i + 1; j < len(cores); j++ {
+			if cores[i].ISD != cores[j].ISD && rng.Float64() < 0.3 {
+				t.Connect(cores[i], cores[j], Core, ms(40, 150))
+			}
+		}
+	}
+
+	// Provider hierarchies: each leaf attaches to 1-2 parents from the
+	// previous depth tier (core = tier 0).
+	for _, isd := range t.ISDs() {
+		leaves := leavesByISD[isd]
+		tiers := [][]addr.IA{coresByISD[isd]}
+		depth := 1
+		idx := 0
+		for idx < len(leaves) {
+			if depth >= p.MaxDepth {
+				depth = p.MaxDepth - 1
+			}
+			// Fill the current tier with up to half the remaining leaves.
+			remaining := len(leaves) - idx
+			width := remaining/2 + 1
+			var tier []addr.IA
+			for k := 0; k < width && idx < len(leaves); k++ {
+				leaf := leaves[idx]
+				idx++
+				parents := tiers[len(tiers)-1]
+				first := parents[rng.Intn(len(parents))]
+				t.Connect(first, leaf, ParentChild, ms(1, 8))
+				if len(parents) > 1 && rng.Float64() < 0.4 {
+					second := parents[rng.Intn(len(parents))]
+					if second != first {
+						t.Connect(second, leaf, ParentChild, ms(1, 8))
+					}
+				}
+				tier = append(tier, leaf)
+			}
+			tiers = append(tiers, tier)
+			depth++
+		}
+	}
+
+	// Random peering among non-core ASes.
+	var allLeaves []addr.IA
+	for _, isd := range t.ISDs() {
+		allLeaves = append(allLeaves, leavesByISD[isd]...)
+	}
+	for i := 0; i < len(allLeaves); i++ {
+		for j := i + 1; j < len(allLeaves); j++ {
+			if rng.Float64() < p.PeeringProb {
+				t.Connect(allLeaves[i], allLeaves[j], Peering, ms(2, 20))
+			}
+		}
+	}
+
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("topology: generated topology invalid (seed %d): %v", seed, err))
+	}
+	return t
+}

@@ -1,0 +1,360 @@
+// Package topology models the AS-level shape of a SCION internetwork:
+// isolation domains, core and non-core ASes, and the inter-AS links (core,
+// parent-child, peering) with their physical and ESG metadata.
+//
+// A Topology is a static description; the control plane (internal/beacon)
+// walks it to discover paths and the data plane (internal/dataplane)
+// instantiates simulated links for it.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tango/internal/addr"
+)
+
+// LinkType classifies inter-AS links following the SCION model.
+type LinkType int
+
+const (
+	// Core links connect core ASes (possibly across ISDs).
+	Core LinkType = iota
+	// ParentChild links point from a provider (parent) down to a customer
+	// (child); beacons flow parent-to-child.
+	ParentChild
+	// Peering links connect non-core ASes laterally; they create shortcuts
+	// in path combination but do not carry beacons.
+	Peering
+)
+
+// String implements fmt.Stringer.
+func (t LinkType) String() string {
+	switch t {
+	case Core:
+		return "core"
+	case ParentChild:
+		return "parent-child"
+	case Peering:
+		return "peering"
+	default:
+		return fmt.Sprintf("linktype(%d)", int(t))
+	}
+}
+
+// LinkProps carries the link characteristics that beacons advertise and the
+// simulator enforces.
+type LinkProps struct {
+	Latency   time.Duration
+	Bandwidth int64 // bits per second, 0 = unlimited
+	MTU       int   // bytes, 0 = default
+	Loss      float64
+}
+
+// Geo locates an AS's infrastructure for geofencing and ESG metadata.
+type Geo struct {
+	Latitude  float64
+	Longitude float64
+	Country   string // ISO 3166-1 alpha-2
+}
+
+// DistanceKm returns the great-circle distance to another location, used by
+// topology generators to derive plausible link latencies.
+func (g Geo) DistanceKm(o Geo) float64 {
+	const r = 6371.0
+	la1, lo1 := g.Latitude*math.Pi/180, g.Longitude*math.Pi/180
+	la2, lo2 := o.Latitude*math.Pi/180, o.Longitude*math.Pi/180
+	dla, dlo := la2-la1, lo2-lo1
+	a := math.Sin(dla/2)*math.Sin(dla/2) + math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * r * math.Asin(math.Sqrt(a))
+}
+
+// Interface is one AS-side endpoint of an inter-AS link.
+type Interface struct {
+	ID       addr.IfID
+	Remote   addr.IA
+	RemoteID addr.IfID
+	Type     LinkType
+	Props    LinkProps
+}
+
+// ASInfo describes one autonomous system.
+type ASInfo struct {
+	IA   addr.IA
+	Core bool
+	// MTU is the intra-AS MTU advertised in beacons.
+	MTU int
+	Geo Geo
+	// CarbonIntensity is the ESG decoration: grams of CO2 emitted per GB
+	// forwarded through this AS's infrastructure.
+	CarbonIntensity float64
+	// Interfaces maps local interface IDs to link endpoints. Interface IDs
+	// start at 1; 0 is the wildcard in hop predicates.
+	Interfaces map[addr.IfID]*Interface
+}
+
+// Topology is an immutable-after-build description of a SCION internetwork.
+type Topology struct {
+	ases map[addr.IA]*ASInfo
+	// parentSide records, for each ParentChild interface, whether it points
+	// *up* toward the provider.
+	parentSide map[ifaceKey]bool
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		ases:       make(map[addr.IA]*ASInfo),
+		parentSide: make(map[ifaceKey]bool),
+	}
+}
+
+// DefaultMTU is used for ASes that do not specify one.
+const DefaultMTU = 1472
+
+// AddAS registers an AS. It returns the ASInfo for further decoration and
+// panics on duplicates, which indicate a scenario-construction bug.
+func (t *Topology) AddAS(ia addr.IA, core bool) *ASInfo {
+	if _, ok := t.ases[ia]; ok {
+		panic(fmt.Sprintf("topology: duplicate AS %s", ia))
+	}
+	info := &ASInfo{
+		IA:         ia,
+		Core:       core,
+		MTU:        DefaultMTU,
+		Interfaces: make(map[addr.IfID]*Interface),
+	}
+	t.ases[ia] = info
+	return info
+}
+
+// AS returns the ASInfo for ia, or nil if absent.
+func (t *Topology) AS(ia addr.IA) *ASInfo { return t.ases[ia] }
+
+// ASes returns all ASes sorted by IA for deterministic iteration.
+func (t *Topology) ASes() []*ASInfo {
+	out := make([]*ASInfo, 0, len(t.ases))
+	for _, a := range t.ases {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IA.ISD != out[j].IA.ISD {
+			return out[i].IA.ISD < out[j].IA.ISD
+		}
+		return out[i].IA.AS < out[j].IA.AS
+	})
+	return out
+}
+
+// CoreASes returns the core ASes of the given ISD (or of all ISDs if isd is
+// the wildcard), sorted.
+func (t *Topology) CoreASes(isd addr.ISD) []*ASInfo {
+	var out []*ASInfo
+	for _, a := range t.ASes() {
+		if a.Core && (isd == addr.WildcardISD || a.IA.ISD == isd) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ISDs returns the sorted set of isolation domains present.
+func (t *Topology) ISDs() []addr.ISD {
+	seen := make(map[addr.ISD]bool)
+	for ia := range t.ases {
+		seen[ia.ISD] = true
+	}
+	out := make([]addr.ISD, 0, len(seen))
+	for isd := range seen {
+		out = append(out, isd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LinkID names a topology link by its two endpoints' interfaces; A is always
+// the lexicographically smaller (IA, IfID) pair so each physical link has one
+// canonical ID.
+type LinkID struct {
+	A, B     addr.IA
+	AID, BID addr.IfID
+}
+
+// Links returns each physical link exactly once, sorted, for the data plane
+// to instantiate.
+func (t *Topology) Links() []LinkID {
+	var out []LinkID
+	for _, as := range t.ASes() {
+		for _, intf := range as.sortedInterfaces() {
+			id := LinkID{A: as.IA, AID: intf.ID, B: intf.Remote, BID: intf.RemoteID}
+			if !id.canonical() {
+				continue
+			}
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (id LinkID) canonical() bool {
+	if id.A.ISD != id.B.ISD {
+		return id.A.ISD < id.B.ISD
+	}
+	if id.A.AS != id.B.AS {
+		return id.A.AS < id.B.AS
+	}
+	return id.AID < id.BID
+}
+
+func (a *ASInfo) sortedInterfaces() []*Interface {
+	out := make([]*Interface, 0, len(a.Interfaces))
+	for _, i := range a.Interfaces {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// nextIfID allocates the smallest unused interface ID (starting at 1).
+func (a *ASInfo) nextIfID() addr.IfID {
+	for id := addr.IfID(1); ; id++ {
+		if _, ok := a.Interfaces[id]; !ok {
+			return id
+		}
+	}
+}
+
+// Connect adds a link between two ASes with auto-assigned interface IDs and
+// returns both IDs. For ParentChild links, a is the parent. Connect panics if
+// either AS is unknown or the link shape is invalid (e.g. core link between
+// non-core ASes), again indicating a scenario bug.
+func (t *Topology) Connect(a, b addr.IA, typ LinkType, props LinkProps) (addr.IfID, addr.IfID) {
+	asA, asB := t.ases[a], t.ases[b]
+	if asA == nil || asB == nil {
+		panic(fmt.Sprintf("topology: connect %s-%s: unknown AS", a, b))
+	}
+	if a == b {
+		panic(fmt.Sprintf("topology: self link at %s", a))
+	}
+	switch typ {
+	case Core:
+		if !asA.Core || !asB.Core {
+			panic(fmt.Sprintf("topology: core link %s-%s requires two core ASes", a, b))
+		}
+	case ParentChild:
+		if a.ISD != b.ISD {
+			panic(fmt.Sprintf("topology: parent-child link %s-%s must stay within an ISD", a, b))
+		}
+	case Peering:
+		if asA.Core || asB.Core {
+			panic(fmt.Sprintf("topology: peering link %s-%s must join non-core ASes", a, b))
+		}
+	}
+	idA, idB := asA.nextIfID(), asB.nextIfID()
+	asA.Interfaces[idA] = &Interface{ID: idA, Remote: b, RemoteID: idB, Type: typ, Props: props}
+	asB.Interfaces[idB] = &Interface{ID: idB, Remote: a, RemoteID: idA, Type: typ, Props: props}
+	if typ == ParentChild {
+		t.parentSide[ifaceKey{b, idB}] = true
+	}
+	return idA, idB
+}
+
+// ChildInterfaces returns the interfaces of ia that point *down* to customer
+// ASes — the interfaces beacons are propagated on — sorted by ID.
+func (t *Topology) ChildInterfaces(ia addr.IA) []*Interface {
+	as := t.ases[ia]
+	if as == nil {
+		return nil
+	}
+	var out []*Interface
+	for _, intf := range as.sortedInterfaces() {
+		if intf.Type == ParentChild && !t.parentSide[ifaceKey{ia, intf.ID}] {
+			out = append(out, intf)
+		}
+	}
+	return out
+}
+
+// CoreInterfaces returns ia's core-link interfaces, sorted by ID.
+func (t *Topology) CoreInterfaces(ia addr.IA) []*Interface {
+	as := t.ases[ia]
+	if as == nil {
+		return nil
+	}
+	var out []*Interface
+	for _, intf := range as.sortedInterfaces() {
+		if intf.Type == Core {
+			out = append(out, intf)
+		}
+	}
+	return out
+}
+
+// IsParentInterface reports whether the given interface of ia points *up*
+// toward a provider AS. Beacons arrive on such interfaces.
+func (t *Topology) IsParentInterface(ia addr.IA, id addr.IfID) bool {
+	return t.parentSide[ifaceKey{ia, id}]
+}
+
+type ifaceKey struct {
+	ia addr.IA
+	id addr.IfID
+}
+
+// Validate checks structural invariants: symmetric interfaces, no dangling
+// remotes, every non-core AS reaches a core AS via parent links.
+func (t *Topology) Validate() error {
+	for _, as := range t.ases {
+		for id, intf := range as.Interfaces {
+			if intf.ID != id {
+				return fmt.Errorf("AS %s interface %d has mismatched ID %d", as.IA, id, intf.ID)
+			}
+			remote := t.ases[intf.Remote]
+			if remote == nil {
+				return fmt.Errorf("AS %s interface %d points to unknown AS %s", as.IA, id, intf.Remote)
+			}
+			back := remote.Interfaces[intf.RemoteID]
+			if back == nil || back.Remote != as.IA || back.RemoteID != id {
+				return fmt.Errorf("AS %s interface %d not mirrored at %s", as.IA, id, intf.Remote)
+			}
+			if back.Type != intf.Type {
+				return fmt.Errorf("link %s#%d-%s#%d has asymmetric type", as.IA, id, intf.Remote, intf.RemoteID)
+			}
+		}
+	}
+	for _, as := range t.ases {
+		if as.Core {
+			continue
+		}
+		if !t.reachesCore(as.IA, make(map[addr.IA]bool)) {
+			return fmt.Errorf("AS %s has no upstream path to a core AS", as.IA)
+		}
+	}
+	return nil
+}
+
+// reachesCore walks parent links upward.
+func (t *Topology) reachesCore(ia addr.IA, seen map[addr.IA]bool) bool {
+	if seen[ia] {
+		return false
+	}
+	seen[ia] = true
+	as := t.ases[ia]
+	if as == nil {
+		return false
+	}
+	if as.Core {
+		return true
+	}
+	for id, intf := range as.Interfaces {
+		if intf.Type != ParentChild || !t.parentSide[ifaceKey{ia, id}] {
+			continue
+		}
+		if t.reachesCore(intf.Remote, seen) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+)
+
+func TestDefaultTopologyValid(t *testing.T) {
+	topo := Default()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.ASes()); got != 10 {
+		t.Fatalf("AS count = %d, want 10", got)
+	}
+	isds := topo.ISDs()
+	if len(isds) != 2 || isds[0] != 1 || isds[1] != 2 {
+		t.Fatalf("ISDs = %v", isds)
+	}
+	if got := len(topo.CoreASes(addr.WildcardISD)); got != 4 {
+		t.Fatalf("core AS count = %d, want 4", got)
+	}
+	if got := len(topo.CoreASes(1)); got != 2 {
+		t.Fatalf("ISD-1 core count = %d, want 2", got)
+	}
+}
+
+func TestConnectSymmetry(t *testing.T) {
+	topo := New()
+	a := addr.MustIA(1, 1)
+	b := addr.MustIA(1, 2)
+	topo.AddAS(a, true)
+	topo.AddAS(b, false)
+	ifA, ifB := topo.Connect(a, b, ParentChild, LinkProps{Latency: time.Millisecond})
+	intfA := topo.AS(a).Interfaces[ifA]
+	intfB := topo.AS(b).Interfaces[ifB]
+	if intfA.Remote != b || intfA.RemoteID != ifB {
+		t.Fatalf("a-side interface %+v", intfA)
+	}
+	if intfB.Remote != a || intfB.RemoteID != ifA {
+		t.Fatalf("b-side interface %+v", intfB)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentSideOrientation(t *testing.T) {
+	topo := Default()
+	// AS111's link to Core110: the 111-side interface points up.
+	var upID, downID addr.IfID
+	for id, intf := range topo.AS(AS111).Interfaces {
+		if intf.Remote == Core110 {
+			upID = id
+			downID = intf.RemoteID
+		}
+	}
+	if upID == 0 {
+		t.Fatal("no interface from 111 to 110")
+	}
+	if !topo.IsParentInterface(AS111, upID) {
+		t.Error("child-side interface not marked as pointing up")
+	}
+	if topo.IsParentInterface(Core110, downID) {
+		t.Error("parent-side interface wrongly marked as pointing up")
+	}
+}
+
+func TestChildInterfaces(t *testing.T) {
+	topo := Default()
+	children := topo.ChildInterfaces(Core110)
+	if len(children) != 2 {
+		t.Fatalf("Core110 child interface count = %d, want 2", len(children))
+	}
+	for _, intf := range children {
+		if intf.Remote != AS111 && intf.Remote != AS112 {
+			t.Errorf("unexpected child %s", intf.Remote)
+		}
+	}
+	if got := len(topo.ChildInterfaces(AS122)); got != 0 {
+		t.Fatalf("leaf AS has %d child interfaces", got)
+	}
+	// AS121 has one child (122).
+	kids := topo.ChildInterfaces(AS121)
+	if len(kids) != 1 || kids[0].Remote != AS122 {
+		t.Fatalf("AS121 children = %+v", kids)
+	}
+}
+
+func TestCoreInterfaces(t *testing.T) {
+	topo := Default()
+	core := topo.CoreInterfaces(Core120)
+	if len(core) != 3 { // 110, 210, 220
+		t.Fatalf("Core120 core interface count = %d, want 3", len(core))
+	}
+}
+
+func TestLinksCanonicalOnce(t *testing.T) {
+	topo := Default()
+	links := topo.Links()
+	// 12 physical links in the default topology.
+	if len(links) != 12 {
+		t.Fatalf("link count = %d, want 12", len(links))
+	}
+	seen := make(map[LinkID]bool)
+	for _, l := range links {
+		if seen[l] {
+			t.Fatalf("duplicate link %+v", l)
+		}
+		seen[l] = true
+		rev := LinkID{A: l.B, AID: l.BID, B: l.A, BID: l.AID}
+		if seen[rev] {
+			t.Fatalf("link %+v appears in both orientations", l)
+		}
+	}
+}
+
+func TestValidateCatchesDanglingRemote(t *testing.T) {
+	topo := New()
+	a := addr.MustIA(1, 1)
+	topo.AddAS(a, true)
+	topo.AS(a).Interfaces[1] = &Interface{ID: 1, Remote: addr.MustIA(1, 99), RemoteID: 1, Type: Core}
+	if err := topo.Validate(); err == nil {
+		t.Fatal("Validate accepted dangling remote")
+	}
+}
+
+func TestValidateCatchesOrphanAS(t *testing.T) {
+	topo := New()
+	topo.AddAS(addr.MustIA(1, 1), true)
+	topo.AddAS(addr.MustIA(1, 2), false) // no parent link
+	if err := topo.Validate(); err == nil {
+		t.Fatal("Validate accepted non-core AS without core reachability")
+	}
+}
+
+func TestConnectPanicsOnBadShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*Topology)
+	}{
+		{"self link", func(topo *Topology) {
+			topo.AddAS(addr.MustIA(1, 1), true)
+			topo.Connect(addr.MustIA(1, 1), addr.MustIA(1, 1), Core, LinkProps{})
+		}},
+		{"core link to non-core", func(topo *Topology) {
+			topo.AddAS(addr.MustIA(1, 1), true)
+			topo.AddAS(addr.MustIA(1, 2), false)
+			topo.Connect(addr.MustIA(1, 1), addr.MustIA(1, 2), Core, LinkProps{})
+		}},
+		{"cross-ISD parent-child", func(topo *Topology) {
+			topo.AddAS(addr.MustIA(1, 1), true)
+			topo.AddAS(addr.MustIA(2, 2), true)
+			topo.Connect(addr.MustIA(1, 1), addr.MustIA(2, 2), ParentChild, LinkProps{})
+		}},
+		{"peering with core", func(topo *Topology) {
+			topo.AddAS(addr.MustIA(1, 1), true)
+			topo.AddAS(addr.MustIA(1, 2), false)
+			topo.Connect(addr.MustIA(1, 1), addr.MustIA(1, 2), Peering, LinkProps{})
+		}},
+		{"unknown AS", func(topo *Topology) {
+			topo.AddAS(addr.MustIA(1, 1), true)
+			topo.Connect(addr.MustIA(1, 1), addr.MustIA(1, 9), Core, LinkProps{})
+		}},
+		{"duplicate AS", func(topo *Topology) {
+			topo.AddAS(addr.MustIA(1, 1), true)
+			topo.AddAS(addr.MustIA(1, 1), true)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", c.name)
+				}
+			}()
+			c.f(New())
+		})
+	}
+}
+
+func TestGeoDistance(t *testing.T) {
+	zurich := Geo{Latitude: 47.37, Longitude: 8.54}
+	tokyo := Geo{Latitude: 35.68, Longitude: 139.69}
+	d := zurich.DistanceKm(tokyo)
+	if math.Abs(d-9630) > 150 {
+		t.Fatalf("Zurich-Tokyo = %.0f km, want ~9630", d)
+	}
+	if zurich.DistanceKm(zurich) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func TestLinkTypeString(t *testing.T) {
+	if Core.String() != "core" || ParentChild.String() != "parent-child" || Peering.String() != "peering" {
+		t.Fatal("LinkType strings wrong")
+	}
+	if LinkType(99).String() == "" {
+		t.Fatal("unknown LinkType should still format")
+	}
+}
