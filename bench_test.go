@@ -10,6 +10,7 @@
 package tango_test
 
 import (
+	"context"
 	"io"
 	"net/netip"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"tango/internal/experiments"
 	"tango/internal/layermodel"
 	"tango/internal/netsim"
+	"tango/internal/pan"
 	"tango/internal/pathdb"
 	"tango/internal/policy"
 	"tango/internal/ppl"
@@ -317,6 +319,100 @@ func BenchmarkSQUICTransfer(b *testing.B) {
 		}
 	}
 }
+
+// panDialBench measures repeated requests to one authority through a
+// pan.Dialer. With redial=false the pooled connection is reused across
+// iterations; with redial=true the epoch is bumped every iteration, forcing a
+// full select+handshake per request (the old per-request Host.Dial
+// behavior). Reuse must win on repeated requests.
+func panDialBench(b *testing.B, redial bool) {
+	topo, infra, reg := controlPlane(b)
+	clock := netsim.NewSimClock(during)
+	dw, err := dataplane.NewWorld(topo, infra.ForwardingKeys, clock, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	disp := make(map[addr.IA]*snet.Dispatcher)
+	for _, as := range topo.ASes() {
+		disp[as.IA] = snet.NewDispatcher(dw.Router(as.IA), clock)
+	}
+	stop := clock.AutoAdvance(0)
+	defer stop()
+
+	comb := pathdb.NewCombiner(reg)
+	pool := squic.NewCertPool()
+	server := pan.NewHost(disp[topology.AS112].Host(netip.MustParseAddr("10.0.0.2"), dw.Router(topology.AS112)), comb, pool)
+	id, err := squic.NewIdentity("bench.pan")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.AddIdentity(id)
+	lis, err := server.Listen(443, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for {
+					s, err := conn.AcceptStream()
+					if err != nil {
+						return
+					}
+					go func() {
+						io.Copy(io.Discard, s)
+						s.Write([]byte{1})
+						s.CloseWrite()
+					}()
+				}
+			}()
+		}
+	}()
+
+	client := pan.NewHost(disp[topology.AS111].Host(netip.MustParseAddr("10.0.0.1"), dw.Router(topology.AS111)), comb, pool)
+	dialer := client.NewDialer(pan.DialOptions{Selector: pan.NewLatencySelector(), ServerName: "bench.pan"})
+	defer dialer.Close()
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS112, Host: netip.MustParseAddr("10.0.0.2")}, Port: 443}
+
+	const chunk = 16 << 10
+	payload := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if redial {
+			dialer.Invalidate()
+		}
+		conn, _, err := dialer.Dial(context.Background(), remote, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := conn.OpenStream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		s.CloseWrite()
+		if _, err := io.ReadFull(s, make([]byte, 1)); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkDialerReuse: repeated requests over the Dialer's pooled
+// connection (one handshake amortized over all iterations).
+func BenchmarkDialerReuse(b *testing.B) { panDialBench(b, false) }
+
+// BenchmarkDialerRedial: epoch-bumped per-request re-dial — the cost the
+// Dialer's connection reuse removes.
+func BenchmarkDialerRedial(b *testing.B) { panDialBench(b, true) }
 
 // BenchmarkDataplaneForwarding measures router validation+forwarding of one
 // packet across the full inter-ISD path (virtual network, real CPU cost).

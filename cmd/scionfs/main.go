@@ -53,11 +53,18 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("SCION file server: 2-ff00:0:210,10.0.9.1:443 serving %d paths\n", len(site.Paths()))
 
-	// Fetch everything through the PAN client API.
+	// Fetch everything through the PAN client API: a latency-ranking
+	// selector behind a Dialer, whose pooled connection carries all
+	// requests after the first.
 	client := w.PANHost(topology.AS111, "10.0.9.2")
 	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.Core210, Host: netip.MustParseAddr("10.0.9.1")}, Port: 443}
+	dialer := client.NewDialer(pan.DialOptions{
+		Selector:   pan.NewLatencySelector(),
+		ServerName: "fs.demo",
+	})
+	defer dialer.Close()
 	tr := shttp.NewTransport(func(ctx context.Context, authority string) (*squic.Conn, error) {
-		conn, sel, err := client.Dial(ctx, remote, "fs.demo", nil, nil, pan.Opportunistic)
+		conn, sel, err := dialer.Dial(ctx, remote, "")
 		if err != nil {
 			return nil, err
 		}

@@ -18,13 +18,20 @@ import (
 	"os"
 
 	"tango/internal/experiments"
+	"tango/internal/pan"
 	"tango/internal/ppl"
 )
 
 func main() {
 	policyFile := flag.String("policy", "", "PPL policy JSON file")
+	selector := flag.String("selector", "", "path-selection strategy: latency or roundrobin (default: policy-driven)")
 	requests := flag.Int("requests", 6, "requests to send through the proxy per origin")
 	flag.Parse()
+
+	if *policyFile != "" && *selector != "" {
+		fmt.Fprintln(os.Stderr, "-policy and -selector are mutually exclusive (a selector replaces the policy composition)")
+		os.Exit(1)
+	}
 
 	w, client, err := experiments.Demo(2)
 	if err != nil {
@@ -47,6 +54,18 @@ func main() {
 		client.Extension.SetPolicy(&pol)
 		fmt.Printf("installed policy %q\n", pol.Name)
 	}
+	switch *selector {
+	case "":
+	case "latency":
+		client.Extension.SetSelector(pan.NewLatencySelector())
+		fmt.Println("installed latency selector")
+	case "roundrobin":
+		client.Extension.SetSelector(pan.NewRoundRobinSelector(nil))
+		fmt.Println("installed round-robin selector")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown selector %q (want latency or roundrobin)\n", *selector)
+		os.Exit(1)
+	}
 
 	origins := []string{"www.scion.example", "www.legacy.example", "www.proxied.example"}
 	for _, origin := range origins {
@@ -57,6 +76,12 @@ func main() {
 	fmt.Printf("\nsending %d requests per origin through the proxy...\n", *requests)
 	for _, origin := range origins {
 		for i := 0; i < *requests; i++ {
+			if *selector == "roundrobin" && i > 0 {
+				// Rotation advances per dialed connection; drop the pooled
+				// connections so each page load dials afresh and the
+				// rotation is visible in the path-usage statistics.
+				client.Proxy.Dialer().Invalidate()
+			}
 			pl, err := client.Browser.LoadPage(context.Background(), fmt.Sprintf("http://%s/index.html", origin))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "load %s: %v\n", origin, err)

@@ -35,27 +35,65 @@ func main() {
 			i+1, p.Meta.Latency, len(p.Hops), p.Meta.MTU, p.Meta.CarbonPerGB, p)
 	}
 
-	fmt.Println("\npolicy-driven selection:")
-	show := func(name string, pol *ppl.Policy) {
-		sel, err := host.SelectPath(dst, pol, nil, pan.Strict)
+	fmt.Println("\npolicy-driven selection (PolicySelector, strict mode):")
+	show := func(name string, s pan.Selector) {
+		sel, err := host.Select(dst, s, pan.Strict)
 		if err != nil {
 			fmt.Printf("  %-16s -> no compliant path (%v)\n", name, err)
 			return
 		}
 		fmt.Printf("  %-16s -> %v over %s\n", name, sel.Path.Meta.Latency, sel.Path)
 	}
-	show("low latency", policy.LowLatency())
-	show("high bandwidth", policy.HighBandwidth())
-	show("fewest hops", policy.FewestHops())
-	show("green routing", policy.GreenRouting(0))
+	showPolicy := func(name string, pol *ppl.Policy) {
+		show(name, pan.NewPolicySelector(pol, nil))
+	}
+	showPolicy("low latency", policy.LowLatency())
+	showPolicy("high bandwidth", policy.HighBandwidth())
+	showPolicy("fewest hops", policy.FewestHops())
+	showPolicy("green routing", policy.GreenRouting(0))
 
 	// PPL: pin the route through core AS 1-ff00:0:110 and cap latency.
 	seq, err := ppl.ParseSequence("1-ff00:0:111 1-ff00:0:110 0*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	show("via 1-ff00:0:110", &ppl.Policy{Sequence: seq, Orderings: []ppl.Ordering{ppl.OrderLatency}})
-	show("lat < 100ms, green", ppl.Intersect("combo",
+	showPolicy("via 1-ff00:0:110", &ppl.Policy{Sequence: seq, Orderings: []ppl.Ordering{ppl.OrderLatency}})
+	showPolicy("lat < 100ms, green", ppl.Intersect("combo",
 		&ppl.Policy{MaxLatency: 100_000_000},
 		policy.GreenRouting(0)))
+
+	// Beyond policies: the pluggable selector strategies.
+	fmt.Println("\npluggable selector strategies:")
+	show("latency ranking", pan.NewLatencySelector())
+
+	// Round-robin rotation advances per reported use (a Dialer reports
+	// automatically; here we report by hand after each pick).
+	rr := pan.NewRoundRobinSelector(nil)
+	for i := 0; i < 3; i++ {
+		sel, err := host.Select(dst, rr, pan.Strict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s -> %v over %s\n", fmt.Sprintf("round-robin #%d", i+1), sel.Path.Meta.Latency, sel.Path)
+		rr.Report(sel.Path, pan.Success)
+	}
+
+	// Interactive pinning (the paper's §4.2 UI hook): pin the last offered
+	// path, overriding any ranking.
+	pinned := pan.NewPinnedSelector(pan.NewLatencySelector())
+	pinned.Pin(dst, paths[len(paths)-1].Fingerprint())
+	show("pinned", pinned)
+
+	// Failure feedback: report the best latency path down and watch the
+	// ranking fail over, then recover.
+	ls := pan.NewLatencySelector()
+	sel, err := host.Select(dst, ls, pan.Strict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := sel.Path
+	ls.Report(best, pan.Failure)
+	show("after path down", ls)
+	ls.Report(best, pan.Success)
+	show("after recovery", ls)
 }

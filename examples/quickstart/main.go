@@ -77,10 +77,18 @@ func main() {
 		fmt.Fprintf(w, "hello from %s over SCION!", server.Local())
 	}))
 
-	// 6. Fetch it, selecting the lowest-latency policy-compliant path.
+	// 6. Fetch it with a Dialer: a PolicySelector ranks the paths (lowest
+	//    latency first), strict mode refuses non-compliant ones, and
+	//    repeated requests reuse the pooled connection.
 	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 443}
+	dialer := client.NewDialer(pan.DialOptions{
+		Selector:   pan.NewPolicySelector(policy.LowLatency(), nil),
+		Mode:       pan.Strict,
+		ServerName: "hello.scion",
+	})
+	defer dialer.Close()
 	transport := shttp.NewTransport(func(ctx context.Context, authority string) (*squic.Conn, error) {
-		conn, sel, err := client.Dial(ctx, remote, "hello.scion", policy.LowLatency(), nil, pan.Strict)
+		conn, sel, err := dialer.Dial(ctx, remote, "")
 		if err != nil {
 			return nil, err
 		}

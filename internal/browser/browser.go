@@ -14,6 +14,7 @@ import (
 
 	"tango/internal/dnssim"
 	"tango/internal/netsim"
+	"tango/internal/pan"
 	"tango/internal/policy"
 	"tango/internal/ppl"
 	"tango/internal/proxy"
@@ -82,6 +83,8 @@ type Extension struct {
 	store *sciondetect.StrictStore
 
 	mu          sync.Mutex
+	pol         *ppl.Policy
+	fence       *policy.Geofence
 	strictHosts map[string]bool // user-enabled strict mode per host
 	strictAll   bool
 }
@@ -91,12 +94,36 @@ func NewExtension(p *proxy.Proxy, store *sciondetect.StrictStore) *Extension {
 	return &Extension{proxy: p, store: store, strictHosts: make(map[string]bool)}
 }
 
-// SetGeofence forwards the user's geofence to the proxy ("the extension...
-// configures the proxy component according to the user's preferences").
-func (e *Extension) SetGeofence(g *policy.Geofence) { e.proxy.SetGeofence(g) }
+// SetGeofence applies the user's geofence ("the extension... configures the
+// proxy component according to the user's preferences"): the active policy
+// and geofence are composed into a fresh PolicySelector installed on the
+// proxy, whose epoch bump re-selects every pooled connection.
+func (e *Extension) SetGeofence(g *policy.Geofence) {
+	// Compose and install under one lock so concurrent setters cannot
+	// install a stale composition last.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fence = g
+	e.proxy.SetSelector(pan.NewPolicySelector(e.pol, e.fence))
+}
 
-// SetPolicy forwards a PPL policy to the proxy.
-func (e *Extension) SetPolicy(p *ppl.Policy) { e.proxy.SetPolicy(p) }
+// SetPolicy applies a PPL policy, composed with the active geofence.
+func (e *Extension) SetPolicy(p *ppl.Policy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pol = p
+	e.proxy.SetSelector(pan.NewPolicySelector(e.pol, e.fence))
+}
+
+// SetSelector installs an arbitrary path-selection strategy (latency
+// ranking, round-robin load spreading, interactive pinning, ...), bypassing
+// the policy/geofence composition.
+func (e *Extension) SetSelector(s pan.Selector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pol, e.fence = nil, nil
+	e.proxy.SetSelector(s)
+}
 
 // EnableStrict turns strict mode on for one host ("the user can selectively
 // enable strict mode, e.g., for particularly sensitive websites").

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/pan"
+	"tango/internal/policy"
+	"tango/internal/proxy"
+	"tango/internal/sciondetect"
+	"tango/internal/topology"
+)
+
+// headerRecorder is a minimal ResponseWriter capturing annotation headers.
+type headerRecorder struct {
+	header http.Header
+	status int
+	body   strings.Builder
+}
+
+func newHeaderRecorder() *headerRecorder {
+	return &headerRecorder{header: make(http.Header), status: 200}
+}
+
+func (r *headerRecorder) Header() http.Header         { return r.header }
+func (r *headerRecorder) WriteHeader(s int)           { r.status = s }
+func (r *headerRecorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+// proxyGet drives one absolute-form request straight through the proxy
+// handler, the way the browser's proxied transport would.
+func proxyGet(t *testing.T, p *proxy.Proxy, url string) *headerRecorder {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newHeaderRecorder()
+	p.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestProxyAnnotationsAcrossEpochBump asserts the paper's UI-indicator
+// plumbing end to end: X-Skip-Via/X-Skip-Compliant headers before and after
+// a selector swap. Installing a geofence bumps the dialer's epoch, so the
+// pooled SCION connection re-dials and the same origin flips from compliant
+// to flagged without any hand-cleared per-authority state.
+func TestProxyAnnotationsAcrossEpochBump(t *testing.T) {
+	_, c := geofenceWorld(t)
+	const url = "http://abroad.example/index.html"
+
+	epoch0 := c.Proxy.Dialer().Epoch()
+	rec := proxyGet(t, c.Proxy, url)
+	if rec.status != http.StatusOK {
+		t.Fatalf("status %d", rec.status)
+	}
+	if got := rec.header.Get(proxy.HeaderVia); got != string(proxy.ViaSCION) {
+		t.Fatalf("%s = %q, want scion", proxy.HeaderVia, got)
+	}
+	if got := rec.header.Get(proxy.HeaderCompliant); got != "true" {
+		t.Fatalf("%s = %q, want true", proxy.HeaderCompliant, got)
+	}
+	if rec.header.Get(proxy.HeaderPath) == "" {
+		t.Fatalf("%s missing", proxy.HeaderPath)
+	}
+
+	// The user blocks the destination's ISD: the epoch bumps, the pooled
+	// connection re-dials, and the same request is now flagged.
+	c.Extension.SetGeofence(policy.NewBlockGeofence(2))
+	if e := c.Proxy.Dialer().Epoch(); e <= epoch0 {
+		t.Fatalf("geofence install must bump the dialer epoch (%d -> %d)", epoch0, e)
+	}
+	rec = proxyGet(t, c.Proxy, url)
+	if rec.status != http.StatusOK {
+		t.Fatalf("status %d after geofence", rec.status)
+	}
+	if got := rec.header.Get(proxy.HeaderVia); got != string(proxy.ViaSCION) {
+		t.Fatalf("%s = %q after geofence, want scion (opportunistic)", proxy.HeaderVia, got)
+	}
+	if got := rec.header.Get(proxy.HeaderCompliant); got != "false" {
+		t.Fatalf("%s = %q after geofence, want false", proxy.HeaderCompliant, got)
+	}
+
+	// Lifting the geofence restores compliance on yet another epoch.
+	c.Extension.SetGeofence(nil)
+	rec = proxyGet(t, c.Proxy, url)
+	if got := rec.header.Get(proxy.HeaderCompliant); got != "true" {
+		t.Fatalf("%s = %q after lifting the geofence, want true", proxy.HeaderCompliant, got)
+	}
+
+	snap := c.Proxy.Stats().Snapshot()
+	if snap.ByVia[proxy.ViaSCION] != 3 {
+		t.Fatalf("expected 3 SCION requests, stats %+v", snap.ByVia)
+	}
+}
+
+// TestProxyRecordsFallback asserts the measurable SCION→IP fallback: a host
+// that advertises SCION reachability but runs no SCION server makes the
+// proxy's SCION attempt fail, and the legacy retry is recorded as
+// ViaFallback (not plain ViaIP), so the paper's fallback rate is readable
+// from the stats.
+func TestProxyRecordsFallback(t *testing.T) {
+	w, err := NewWorld(23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	w.Legacy.SetDefaultRoute(netsimRoute(time.Millisecond))
+
+	// Legacy origin works; the TXT record claims a SCION endpoint where
+	// nothing listens.
+	site := newStandardIPSite()
+	if _, err := serveIP(w, "192.0.2.66:80", site); err != nil {
+		t.Fatal(err)
+	}
+	addAZone(w, "flaky.example", "192.0.2.66")
+	ghost := addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.66")}
+	w.Zone.AddTXT("flaky.example", time.Hour, sciondetect.FormatTXT(ghost))
+
+	c, err := w.NewClient(ClientConfig{IA: topology.AS111, IP: "10.0.0.1", LegacyName: "client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound the doomed SCION handshakes in virtual time.
+	c.Proxy.SetSelector(pan.NewLatencySelector())
+
+	rec := proxyGet(t, c.Proxy, "http://flaky.example/index.html")
+	if rec.status != http.StatusOK {
+		t.Fatalf("fallback request failed: status %d", rec.status)
+	}
+	if got := rec.header.Get(proxy.HeaderVia); got != string(proxy.ViaFallback) {
+		t.Fatalf("%s = %q, want fallback", proxy.HeaderVia, got)
+	}
+
+	// A small POST body must survive the fallback too ("the browser falls
+	// back to loading the resources over IPv4/6", paper §4) — the proxy
+	// buffers it so the doomed SCION attempt cannot consume it.
+	req, err := http.NewRequest(http.MethodPost, "http://flaky.example/index.html",
+		strings.NewReader("q=fallback"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postRec := newHeaderRecorder()
+	c.Proxy.ServeHTTP(postRec, req)
+	if postRec.status != http.StatusOK {
+		t.Fatalf("POST fallback failed: status %d", postRec.status)
+	}
+	if got := postRec.header.Get(proxy.HeaderVia); got != string(proxy.ViaFallback) {
+		t.Fatalf("POST %s = %q, want fallback", proxy.HeaderVia, got)
+	}
+
+	snap := c.Proxy.Stats().Snapshot()
+	if snap.ByVia[proxy.ViaFallback] != 2 || snap.ByVia[proxy.ViaError] != 0 {
+		t.Fatalf("fallbacks not recorded: %+v", snap.ByVia)
+	}
+}

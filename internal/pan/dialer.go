@@ -1,0 +1,313 @@
+package pan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/squic"
+)
+
+// DialOptions parameterizes a Dialer.
+type DialOptions struct {
+	// Selector ranks candidate paths (nil = accept-everything
+	// PolicySelector).
+	Selector Selector
+	// Mode is the operational mode applied at selection time.
+	Mode Mode
+	// ServerName is the default server identity dialed connections must
+	// prove; Dial's serverName argument overrides it per call.
+	ServerName string
+	// Timeout caps each dial attempt's handshake (0 = squic's default). A
+	// context deadline tightens it further.
+	Timeout time.Duration
+	// MaxAttempts bounds candidate failover per Dial call (0 = 3).
+	MaxAttempts int
+}
+
+// ErrDialerClosed is returned by Dial after Close.
+var ErrDialerClosed = errors.New("pan: dialer closed")
+
+// Dialer dials squic connections with selector-driven path choice,
+// per-destination connection reuse, and failure feedback.
+//
+// Reuse is keyed by a selector epoch: SetSelector (or SetMode) bumps the
+// epoch and drops every pooled connection, so the next request to each
+// destination re-dials under the new policy — callers no longer hand-clear
+// per-authority maps. Dial failures and reported transport errors mark the
+// path down in the selector; the next dial re-ranks and fails over.
+type Dialer struct {
+	host *Host
+
+	mu     sync.Mutex
+	opts   DialOptions
+	epoch  uint64
+	closed bool
+	conns  map[string]*pooledConn
+	// last remembers the most recent successful selection per destination
+	// at the current epoch, surviving the pooled connection's death so a
+	// response served just before a failure still annotates correctly.
+	last map[string]Selection
+}
+
+// pooledConn is one reusable connection plus the selection that produced it.
+type pooledConn struct {
+	conn  *squic.Conn
+	sel   Selection
+	epoch uint64
+}
+
+// NewDialer builds a Dialer on the host.
+func (h *Host) NewDialer(opts DialOptions) *Dialer {
+	if opts.Selector == nil {
+		opts.Selector = NewPolicySelector(nil, nil)
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	return &Dialer{host: h, opts: opts, conns: make(map[string]*pooledConn), last: make(map[string]Selection)}
+}
+
+// Host returns the dialer's PAN host.
+func (d *Dialer) Host() *Host { return d.host }
+
+// Selector returns the active selector.
+func (d *Dialer) Selector() Selector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.opts.Selector
+}
+
+// Mode returns the active operational mode.
+func (d *Dialer) Mode() Mode {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.opts.Mode
+}
+
+// Epoch returns the current selector epoch.
+func (d *Dialer) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
+// SetSelector installs a new selector and bumps the epoch: every pooled
+// connection is closed and the next dial per destination re-selects.
+func (d *Dialer) SetSelector(s Selector) {
+	if s == nil {
+		s = NewPolicySelector(nil, nil)
+	}
+	d.mu.Lock()
+	d.opts.Selector = s
+	d.mu.Unlock()
+	d.Invalidate()
+}
+
+// SetMode switches the operational mode, bumping the epoch.
+func (d *Dialer) SetMode(m Mode) {
+	d.mu.Lock()
+	d.opts.Mode = m
+	d.mu.Unlock()
+	d.Invalidate()
+}
+
+// Invalidate bumps the epoch and closes every pooled connection without
+// changing the selector — useful when external state (e.g. trust material)
+// changed under the pool.
+func (d *Dialer) Invalidate() {
+	d.mu.Lock()
+	d.epoch++
+	conns := d.conns
+	d.conns = make(map[string]*pooledConn)
+	d.last = make(map[string]Selection) // selected under a superseded policy
+	d.mu.Unlock()
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+}
+
+// Close releases all pooled connections and makes the dialer terminal:
+// later Dial calls fail with ErrDialerClosed instead of silently pooling
+// connections nothing will ever close.
+func (d *Dialer) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.Invalidate()
+}
+
+// key identifies one reusable connection.
+func (d *Dialer) key(remote addr.UDPAddr, serverName string) string {
+	return remote.String() + "|" + serverName
+}
+
+// Cached returns the most recent Selection that produced a connection to
+// remote at the current epoch — the annotation source for callers that
+// already routed a request over the pool. It keeps answering after the
+// connection has failed (a response can complete just before a concurrent
+// request kills the shared connection); only an epoch bump clears it.
+func (d *Dialer) Cached(remote addr.UDPAddr, serverName string) (Selection, bool) {
+	if serverName == "" {
+		serverName = d.opts.ServerName
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sel, ok := d.last[d.key(remote, serverName)]
+	return sel, ok
+}
+
+// ReportFailure reports a transport-level failure observed on the pooled
+// connection to remote (e.g. an HTTP round-trip error): if the pooled
+// connection is dead, it is dropped and its path reported down so the next
+// dial re-ranks around it. First reporter wins: with the entry absent (a
+// dial-stage failure, which Dial already reported) or already replaced by a
+// live connection (a concurrent caller reported the same death first and a
+// re-dial succeeded), the call is a no-op — a stale report must not kill a
+// healthy replacement or mislabel its path.
+func (d *Dialer) ReportFailure(remote addr.UDPAddr, serverName string) {
+	if serverName == "" {
+		serverName = d.opts.ServerName
+	}
+	d.mu.Lock()
+	key := d.key(remote, serverName)
+	pc := d.conns[key]
+	if pc == nil || pc.conn.Err() == nil {
+		d.mu.Unlock()
+		return
+	}
+	delete(d.conns, key)
+	sel := d.opts.Selector
+	d.mu.Unlock()
+	pc.conn.Close()
+	sel.Report(pc.sel.Path, Failure)
+}
+
+// Dial returns a connection to remote whose server proves serverName
+// (DialOptions.ServerName when empty). A live pooled connection at the
+// current epoch is reused; otherwise candidates are dialed in ranked order,
+// reporting failures into the selector, until one succeeds or MaxAttempts is
+// exhausted. The returned connection stays pooled: do not Close it per
+// request — close the Dialer (or bump the epoch) instead.
+func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName string) (*squic.Conn, Selection, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, Selection{}, ErrDialerClosed
+	}
+	if serverName == "" {
+		serverName = d.opts.ServerName
+	}
+	key := d.key(remote, serverName)
+	epoch := d.epoch
+	sel, mode, timeout, attempts := d.opts.Selector, d.opts.Mode, d.opts.Timeout, d.opts.MaxAttempts
+	if pc := d.conns[key]; pc != nil {
+		if pc.epoch == epoch && pc.conn.Err() == nil {
+			d.mu.Unlock()
+			return pc.conn, pc.sel, nil
+		}
+		// Stale: superseded epoch or dead transport. Drop silently — dial
+		// failures below, not graceful closes, feed the health signal.
+		delete(d.conns, key)
+		defer pc.conn.Close()
+	}
+	d.mu.Unlock()
+
+	cands, selection, err := d.host.candidates(remote.IA, sel, mode)
+	if err != nil {
+		return nil, selection, err
+	}
+	if len(cands) < attempts {
+		attempts = len(cands)
+	}
+	var lastErr error
+	for _, cand := range cands[:attempts] {
+		conn, err := d.dialPath(ctx, remote, cand, serverName, timeout)
+		if err != nil {
+			lastErr = err
+			// A caller-side context error says nothing about the path's
+			// health — don't poison the selector with it.
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				break
+			}
+			sel.Report(cand.Path, Failure)
+			continue
+		}
+		selection.Path = cand.Path
+		selection.Compliant = cand.Compliant
+
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return nil, Selection{}, ErrDialerClosed
+		}
+		if d.epoch != epoch {
+			// The selector changed while we were dialing: this connection
+			// was selected under a superseded policy and must not be pooled
+			// — and an unpooled connection would leak (callers never close
+			// per-request). Drop it and re-dial under the new epoch.
+			d.mu.Unlock()
+			conn.Close()
+			return d.Dial(ctx, remote, serverName)
+		}
+		if existing := d.conns[key]; existing != nil && existing.conn.Err() == nil {
+			// A concurrent dial won the race; reuse its connection.
+			d.mu.Unlock()
+			conn.Close()
+			return existing.conn, existing.sel, nil
+		}
+		d.conns[key] = &pooledConn{conn: conn, sel: selection, epoch: epoch}
+		d.last[key] = selection
+		d.mu.Unlock()
+		// Report Success only for a connection actually put into service:
+		// a discarded race-loser or stale-epoch dial must not advance
+		// use-driven selectors (RoundRobin rotation).
+		sel.Report(cand.Path, Success)
+		return conn, selection, nil
+	}
+	return nil, selection, lastErr
+}
+
+// dialPath opens a socket and dials one candidate, honoring the context
+// deadline: the handshake timeout is TIGHTENED to the time remaining (it
+// never extends past the configured or default squic timeout), and the
+// socket never outlives a failed dial. Deadlines are interpreted on the
+// host's clock — create them from that clock (virtual in simulation).
+func (d *Dialer) dialPath(ctx context.Context, remote addr.UDPAddr, cand Candidate, serverName string, timeout time.Duration) (*squic.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := deadline.Sub(d.host.clock.Now())
+		if remaining <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		effective := timeout
+		if effective == 0 {
+			effective = squic.DefaultHandshakeTimeout
+		}
+		if remaining < effective {
+			timeout = remaining
+		}
+	}
+	sock, err := d.host.stack.Listen(0)
+	if err != nil {
+		return nil, fmt.Errorf("pan: allocating socket: %w", err)
+	}
+	conn, err := squic.Dial(sock, remote, cand.Path, serverName, &squic.Config{
+		Clock:            d.host.clock,
+		Pool:             d.host.pool,
+		HandshakeTimeout: timeout,
+	})
+	if err != nil {
+		// squic.Dial closes the socket it owns on failure; Close is
+		// idempotent, so this also covers any path where it did not.
+		sock.Close()
+		return nil, err
+	}
+	return conn, nil
+}

@@ -1,0 +1,236 @@
+package pan_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"net/netip"
+
+	"tango/internal/addr"
+	"tango/internal/pan"
+	"tango/internal/policy"
+	"tango/internal/segment"
+	"tango/internal/topology"
+)
+
+func dialWorld(t *testing.T) (*world, *pan.Host, addr.UDPAddr) {
+	t.Helper()
+	w := newWorld(t)
+	server := w.host(topology.AS211, "10.0.0.2")
+	lis := echoServer(t, server, 7100, "dialer.server", w.pool)
+	t.Cleanup(func() { lis.Close() })
+	client := w.host(topology.AS111, "10.0.0.1")
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 7100}
+	return w, client, remote
+}
+
+func TestDialerReusesConnection(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	d := client.NewDialer(pan.DialOptions{ServerName: "dialer.server"})
+	defer d.Close()
+
+	conn1, sel1, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2, sel2, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn1 != conn2 {
+		t.Fatal("second dial did not reuse the pooled connection")
+	}
+	if sel1.Path.Fingerprint() != sel2.Path.Fingerprint() {
+		t.Fatal("reused connection must report the original selection")
+	}
+	if sel, ok := d.Cached(remote, ""); !ok || sel.Path.Fingerprint() != sel1.Path.Fingerprint() {
+		t.Fatal("Cached() must expose the pooled selection")
+	}
+}
+
+func TestDialerEpochBumpRedials(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	d := client.NewDialer(pan.DialOptions{ServerName: "dialer.server"})
+	defer d.Close()
+
+	conn1, _, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := d.Epoch()
+	d.SetSelector(pan.NewLatencySelector())
+	if d.Epoch() != e0+1 {
+		t.Fatalf("SetSelector must bump the epoch: %d -> %d", e0, d.Epoch())
+	}
+	if conn1.Err() == nil {
+		t.Fatal("epoch bump must close pooled connections")
+	}
+	if _, ok := d.Cached(remote, ""); ok {
+		t.Fatal("stale selection survived the epoch bump")
+	}
+	conn2, sel2, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn2 == conn1 {
+		t.Fatal("dial after epoch bump returned the closed connection")
+	}
+	if sel2.Path == nil {
+		t.Fatal("re-dial must re-select")
+	}
+}
+
+func TestDialerDeadConnectionRedials(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	d := client.NewDialer(pan.DialOptions{ServerName: "dialer.server"})
+	defer d.Close()
+
+	conn1, _, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn1.Close()
+	conn2, _, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn2 == conn1 {
+		t.Fatal("dial returned a dead pooled connection")
+	}
+}
+
+// recordingSelector wraps a fixed ranking and records Report calls.
+type recordingSelector struct {
+	mu      sync.Mutex
+	ranking []pan.Candidate
+	reports map[string][]pan.Outcome
+}
+
+func (r *recordingSelector) Rank(dst addr.IA, paths []*segment.Path) []pan.Candidate {
+	return append([]pan.Candidate(nil), r.ranking...)
+}
+
+func (r *recordingSelector) Report(path *segment.Path, outcome pan.Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.reports == nil {
+		r.reports = make(map[string][]pan.Outcome)
+	}
+	fp := path.Fingerprint()
+	r.reports[fp] = append(r.reports[fp], outcome)
+}
+
+func TestDialerFailsOverToNextCandidate(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	paths := client.Paths(topology.AS211)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	// A reversed path cannot route from the client: the first candidate's
+	// dial fails, and the dialer must fail over to the good second
+	// candidate, reporting the failure into the selector.
+	bad := paths[0].Reversed()
+	good := paths[0]
+	sel := &recordingSelector{ranking: []pan.Candidate{
+		{Path: bad, Compliant: true},
+		{Path: good, Compliant: true},
+	}}
+	d := client.NewDialer(pan.DialOptions{
+		Selector:   sel,
+		ServerName: "dialer.server",
+		Timeout:    2 * time.Second, // virtual time: longer than a real handshake RTT, still fast
+	})
+	defer d.Close()
+
+	conn, selection, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatalf("failover dial failed: %v", err)
+	}
+	if conn.Err() != nil {
+		t.Fatal("failover connection is dead")
+	}
+	if selection.Path.Fingerprint() != good.Fingerprint() {
+		t.Fatalf("failover picked %s, want the good candidate", selection.Path)
+	}
+	sel.mu.Lock()
+	defer sel.mu.Unlock()
+	badReports := sel.reports[bad.Fingerprint()]
+	if len(badReports) == 0 || !badReports[0].Failed {
+		t.Fatalf("bad path's failure was not reported: %+v", sel.reports)
+	}
+	goodReports := sel.reports[good.Fingerprint()]
+	if len(goodReports) == 0 || goodReports[len(goodReports)-1].Failed {
+		t.Fatalf("good path's success was not reported: %+v", sel.reports)
+	}
+}
+
+func TestDialerReportFailureMarksPathDown(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	ls := pan.NewLatencySelector()
+	d := client.NewDialer(pan.DialOptions{Selector: ls, ServerName: "dialer.server"})
+	defer d.Close()
+
+	conn1, sel1, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A report against a LIVE pooled connection is a stale observation
+	// (first reporter wins) and must not kill it.
+	d.ReportFailure(remote, "")
+	if conn1.Err() != nil {
+		t.Fatal("ReportFailure killed a healthy pooled connection")
+	}
+	// The connection dies (transport teardown); a caller that saw the
+	// round-trip error reports it.
+	conn1.Close()
+	d.ReportFailure(remote, "")
+	// A response that completed before the failure must still annotate.
+	if sel, ok := d.Cached(remote, ""); !ok || sel.Path.Fingerprint() != sel1.Path.Fingerprint() {
+		t.Fatal("Cached must survive ReportFailure until re-dial or epoch bump")
+	}
+	conn2, sel2, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn2 == conn1 {
+		t.Fatal("dial after ReportFailure returned the dead connection")
+	}
+	if sel2.Path.Fingerprint() == sel1.Path.Fingerprint() {
+		t.Fatal("next dial did not re-rank around the down path")
+	}
+	// A second report for the same death finds the healthy replacement and
+	// must be a no-op.
+	d.ReportFailure(remote, "")
+	if conn2.Err() != nil {
+		t.Fatal("stale ReportFailure killed the replacement connection")
+	}
+}
+
+func TestDialerHonorsContextDeadline(t *testing.T) {
+	w, client, remote := dialWorld(t)
+	d := client.NewDialer(pan.DialOptions{ServerName: "dialer.server"})
+	defer d.Close()
+
+	// An already-expired deadline (on the virtual clock) must fail without
+	// dialing.
+	ctx, cancel := context.WithDeadline(context.Background(), w.clock.Now().Add(-time.Second))
+	defer cancel()
+	if _, _, err := d.Dial(ctx, remote, ""); err == nil {
+		t.Fatal("dial with expired deadline succeeded")
+	}
+}
+
+func TestDialerStrictModeRefusesNonCompliant(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	d := client.NewDialer(pan.DialOptions{
+		Selector:   pan.NewPolicySelector(nil, policy.NewBlockGeofence(2)),
+		Mode:       pan.Strict,
+		ServerName: "dialer.server",
+	})
+	defer d.Close()
+	if _, _, err := d.Dial(context.Background(), remote, ""); err == nil {
+		t.Fatal("strict dial through blocked ISD succeeded")
+	}
+}

@@ -1,26 +1,45 @@
 // Package pan is the paper's core contribution as a library: policy-driven,
-// user-controllable path-aware networking for applications. It glues path
-// lookup (pathdb), user policies (ppl/policy), and the secure transport
-// (squic) behind a small API with the paper's two operational modes:
+// user-controllable path-aware networking for applications.
+//
+// The package is layered:
+//
+//   - A Selector ranks the candidate paths a destination offers
+//     (Rank) and ingests transport feedback (Report). Four strategies ship:
+//     PolicySelector (PPL policy + ISD geofence, the paper's §4.1
+//     semantics), LatencySelector (metadata/observed-latency ranking),
+//     RoundRobinSelector (load spreading over compliant paths), and
+//     PinnedSelector (interactive per-destination pinning, the §4.2 UI
+//     hook). Selectors compose: wrap a PolicySelector in a PinnedSelector,
+//     rotate a latency ranking, and so on.
+//
+//   - A Host is a PAN-enabled endpoint: an snet stack plus path lookup.
+//     Host.Select applies a selector and an operational Mode to one
+//     destination; Host.Listen serves squic.
+//
+//   - A Dialer turns selection into connections: per-destination connection
+//     reuse keyed by a selector epoch (SetSelector bumps the epoch and every
+//     pooled connection re-dials under the new policy), candidate failover
+//     (a failed dial reports the path down and tries the next candidate),
+//     and transport feedback (ReportFailure marks a pooled connection's path
+//     down, SCMP-revocation style, so the next dial re-ranks around it).
+//
+// The paper's two operational modes (§4.2) apply at selection time:
 //
 //   - Opportunistic: "the user's path policy is interpreted as a preference.
 //     If a website is available via SCION but no policy-compliant path is
-//     available... the website will still load" — Dial falls back to a
-//     non-compliant path and flags it.
+//     available... the website will still load" — the ranking's best
+//     candidate is used even when non-compliant, and flagged.
 //   - Strict: "only allows policy-compliant paths and the browser will
 //     display a connection error if no such path is found."
 package pan
 
 import (
-	"context"
 	"errors"
 	"fmt"
 
 	"tango/internal/addr"
 	"tango/internal/netsim"
 	"tango/internal/pathdb"
-	"tango/internal/policy"
-	"tango/internal/ppl"
 	"tango/internal/segment"
 	"tango/internal/snet"
 	"tango/internal/squic"
@@ -91,59 +110,54 @@ func (h *Host) Paths(dst addr.IA) []*segment.Path {
 	return h.comb.Paths(h.stack.Local().IA, dst, h.clock.Now())
 }
 
-// SelectPath picks the best path to dst under the policy and geofence. In
-// Strict mode it fails with ErrNoCompliantPath when only non-compliant paths
-// exist; in Opportunistic mode it returns the best non-compliant path with
-// Compliant=false instead.
-func (h *Host) SelectPath(dst addr.IA, pol *ppl.Policy, fence *policy.Geofence, mode Mode) (Selection, error) {
+// candidates ranks the paths to dst under the selector and applies the mode:
+// Strict keeps only compliant candidates, Opportunistic keeps the ranking
+// as-is (compliant candidates lead for the built-in selectors). The returned
+// Selection carries the option counts but no chosen path yet.
+func (h *Host) candidates(dst addr.IA, s Selector, mode Mode) ([]Candidate, Selection, error) {
 	paths := h.Paths(dst)
 	if len(paths) == 0 {
-		return Selection{}, fmt.Errorf("%w: %s", ErrNoPath, dst)
+		return nil, Selection{}, fmt.Errorf("%w: %s", ErrNoPath, dst)
 	}
-	compliant := make([]*segment.Path, 0, len(paths))
-	for _, p := range paths {
-		if fence.Compliant(p) && (pol == nil || pol.Accepts(p)) {
-			compliant = append(compliant, p)
+	if s == nil {
+		s = NewPolicySelector(nil, nil)
+	}
+	cands := s.Rank(dst, paths)
+	sel := Selection{Options: len(paths)}
+	for _, c := range cands {
+		if c.Compliant {
+			sel.CompliantOptions++
 		}
 	}
-	if pol != nil {
-		compliant = pol.Filter(compliant) // apply orderings
-	}
-	sel := Selection{Options: len(paths), CompliantOptions: len(compliant)}
-	if len(compliant) > 0 {
-		sel.Path = compliant[0]
-		sel.Compliant = true
-		return sel, nil
-	}
 	if mode == Strict {
-		return sel, fmt.Errorf("%w: %s (%d paths offered)", ErrNoCompliantPath, dst, len(paths))
+		// Filter into a fresh slice: Rank's return may be selector-owned.
+		kept := make([]Candidate, 0, len(cands))
+		for _, c := range cands {
+			if c.Compliant {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
 	}
-	// Opportunistic fallback: best available path, flagged non-compliant,
-	// and surfaced to the user via the indicator (paper §4.2).
-	sel.Path = paths[0]
-	sel.Compliant = false
-	return sel, nil
+	if len(cands) == 0 {
+		return nil, sel, fmt.Errorf("%w: %s (%d paths offered)", ErrNoCompliantPath, dst, len(paths))
+	}
+	return cands, sel, nil
 }
 
-// Dial connects to a remote SCION endpoint with policy-driven path
-// selection and returns the connection plus the selection record.
-func (h *Host) Dial(ctx context.Context, remote addr.UDPAddr, serverName string, pol *ppl.Policy, fence *policy.Geofence, mode Mode) (*squic.Conn, Selection, error) {
-	sel, err := h.SelectPath(remote.IA, pol, fence, mode)
+// Select picks the best path to dst under the selector's ranking. In Strict
+// mode it fails with ErrNoCompliantPath when only non-compliant candidates
+// exist; in Opportunistic mode the ranking's best candidate wins and is
+// flagged via Selection.Compliant. A nil selector accepts every path in
+// network order.
+func (h *Host) Select(dst addr.IA, s Selector, mode Mode) (Selection, error) {
+	cands, sel, err := h.candidates(dst, s, mode)
 	if err != nil {
-		return nil, sel, err
+		return sel, err
 	}
-	sock, err := h.stack.Listen(0)
-	if err != nil {
-		return nil, sel, fmt.Errorf("pan: allocating socket: %w", err)
-	}
-	conn, err := squic.Dial(sock, remote, sel.Path, serverName, &squic.Config{Clock: h.clock, Pool: h.pool})
-	if err != nil {
-		return nil, sel, err
-	}
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = deadline // handshake timeouts are governed by squic.Config
-	}
-	return conn, sel, nil
+	sel.Path = cands[0].Path
+	sel.Compliant = cands[0].Compliant
+	return sel, nil
 }
 
 // Listen starts a PAN server with the given identity on a fixed port,

@@ -62,10 +62,42 @@ func (w *world) host(ia addr.IA, ip string) *pan.Host {
 	return pan.NewHost(stack, w.comb, w.pool)
 }
 
-func TestSelectPathCompliant(t *testing.T) {
+// echoServer serves one echo stream per accepted connection, forever.
+func echoServer(t *testing.T, h *pan.Host, port uint16, name string, pool *squic.CertPool) *squic.Listener {
+	t.Helper()
+	id, err := squic.NewIdentity(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.AddIdentity(id)
+	lis, err := h.Listen(port, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for {
+					s, err := conn.AcceptStream()
+					if err != nil {
+						return
+					}
+					go io.Copy(s, s)
+				}
+			}()
+		}
+	}()
+	return lis
+}
+
+func TestSelectCompliant(t *testing.T) {
 	w := newWorld(t)
 	h := w.host(topology.AS111, "10.0.0.1")
-	sel, err := h.SelectPath(topology.AS211, policy.LowLatency(), nil, pan.Opportunistic)
+	sel, err := h.Select(topology.AS211, pan.NewPolicySelector(policy.LowLatency(), nil), pan.Opportunistic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,28 +112,34 @@ func TestSelectPathCompliant(t *testing.T) {
 	}
 }
 
-func TestSelectPathGeofenceStrictFails(t *testing.T) {
+func TestSelectGeofenceStrictFails(t *testing.T) {
 	w := newWorld(t)
 	h := w.host(topology.AS111, "10.0.0.1")
 	fence := policy.NewBlockGeofence(2) // destination ISD is blocked
-	if _, err := h.SelectPath(topology.AS211, nil, fence, pan.Strict); err == nil {
+	s := pan.NewPolicySelector(nil, fence)
+	if _, err := h.Select(topology.AS211, s, pan.Strict); err == nil {
 		t.Fatal("strict selection through blocked ISD succeeded")
 	}
 	// Opportunistic: falls back to a non-compliant path, flagged.
-	sel, err := h.SelectPath(topology.AS211, nil, fence, pan.Opportunistic)
+	sel, err := h.Select(topology.AS211, s, pan.Opportunistic)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sel.Compliant || sel.Path == nil || sel.CompliantOptions != 0 {
 		t.Fatalf("opportunistic fallback selection %+v", sel)
 	}
+	// Parity with the seed behavior: the fallback is the network's first
+	// offered path.
+	if paths := h.Paths(topology.AS211); sel.Path.Fingerprint() != paths[0].Fingerprint() {
+		t.Fatalf("fallback picked %s, want network-order first %s", sel.Path, paths[0])
+	}
 }
 
-func TestSelectPathGeofenceReroutes(t *testing.T) {
+func TestSelectGeofenceReroutes(t *testing.T) {
 	w := newWorld(t)
 	h := w.host(topology.AS111, "10.0.0.1")
 	// 111->121: fastest is the peering path; blocking nothing picks it.
-	sel, _ := h.SelectPath(topology.AS121, policy.LowLatency(), nil, pan.Opportunistic)
+	sel, _ := h.Select(topology.AS121, pan.NewPolicySelector(policy.LowLatency(), nil), pan.Opportunistic)
 	if len(sel.Path.Hops) != 2 {
 		t.Fatalf("expected peering path, got %s", sel.Path)
 	}
@@ -110,7 +148,8 @@ func TestSelectPathGeofenceReroutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel, err = h.SelectPath(topology.AS121, &ppl.Policy{Sequence: seq, Orderings: []ppl.Ordering{ppl.OrderLatency}}, nil, pan.Strict)
+	pol := &ppl.Policy{Sequence: seq, Orderings: []ppl.Ordering{ppl.OrderLatency}}
+	sel, err = h.Select(topology.AS121, pan.NewPolicySelector(pol, nil), pan.Strict)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,46 +158,43 @@ func TestSelectPathGeofenceReroutes(t *testing.T) {
 	}
 }
 
-func TestSelectPathNoPath(t *testing.T) {
+func TestSelectNoPath(t *testing.T) {
 	w := newWorld(t)
 	h := w.host(topology.AS111, "10.0.0.1")
-	if _, err := h.SelectPath(addr.MustIA(9, 9), nil, nil, pan.Opportunistic); err == nil {
+	if _, err := h.Select(addr.MustIA(9, 9), nil, pan.Opportunistic); err == nil {
 		t.Fatal("selection to unknown AS succeeded")
+	}
+}
+
+func TestSelectNilSelectorDefaults(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	sel, err := h.Select(topology.AS211, nil, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Compliant || sel.CompliantOptions != sel.Options {
+		t.Fatalf("nil selector must accept everything: %+v", sel)
 	}
 }
 
 func TestDialAndServe(t *testing.T) {
 	w := newWorld(t)
 	server := w.host(topology.AS211, "10.0.0.2")
-	id, err := squic.NewIdentity("pan.server")
-	if err != nil {
-		t.Fatal(err)
-	}
-	w.pool.AddIdentity(id)
-	lis, err := server.Listen(7000, id)
-	if err != nil {
-		t.Fatal(err)
-	}
+	lis := echoServer(t, server, 7000, "pan.server", w.pool)
 	defer lis.Close()
-	go func() {
-		conn, err := lis.Accept()
-		if err != nil {
-			return
-		}
-		s, err := conn.AcceptStream()
-		if err != nil {
-			return
-		}
-		io.Copy(s, s)
-	}()
 
 	client := w.host(topology.AS111, "10.0.0.1")
 	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 7000}
-	conn, sel, err := client.Dial(context.Background(), remote, "pan.server", policy.GreenRouting(0), policy.NewBlockGeofence(), pan.Strict)
+	dialer := client.NewDialer(pan.DialOptions{
+		Selector: pan.NewPolicySelector(policy.GreenRouting(0), policy.NewBlockGeofence()),
+		Mode:     pan.Strict,
+	})
+	defer dialer.Close()
+	conn, sel, err := dialer.Dial(context.Background(), remote, "pan.server")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
 	if !sel.Compliant {
 		t.Fatal("selection not compliant")
 	}

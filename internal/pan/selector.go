@@ -1,0 +1,358 @@
+package pan
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/policy"
+	"tango/internal/ppl"
+	"tango/internal/segment"
+)
+
+// Candidate is one ranked path choice produced by a Selector. Candidates
+// earlier in the ranking are preferred; the Compliant flag records whether
+// the path satisfies the selector's notion of the user's policy (feeding the
+// UI indicator and strict-mode enforcement).
+type Candidate struct {
+	Path      *segment.Path
+	Compliant bool
+}
+
+// Outcome is transport feedback for one use of a path, reported back into
+// the selector so subsequent rankings can react — the simulator's analogue
+// of SCMP path revocations and passive latency measurement.
+type Outcome struct {
+	// Failed marks the path as having failed (dial error or transport
+	// teardown). Failed paths are demoted until a later success clears them.
+	Failed bool
+	// Latency is an observed round-trip latency sample, when one was
+	// measured (0 = no sample).
+	Latency time.Duration
+}
+
+// Canonical outcomes.
+var (
+	// Success reports a working path (clears a previous failure).
+	Success = Outcome{}
+	// Failure reports a failed dial or transport error on the path.
+	Failure = Outcome{Failed: true}
+)
+
+// Selector ranks candidate paths for a destination and ingests transport
+// feedback. Implementations must be safe for concurrent use: the Dialer and
+// any number of in-flight requests share one selector.
+//
+// Rank orders ALL usable paths, most preferred first, tagging each with its
+// policy compliance; the caller (Host.Select, Dialer.Dial) applies the
+// operational mode: Strict considers only compliant candidates, while
+// Opportunistic takes the ranking as-is and falls back down the list.
+type Selector interface {
+	Rank(dst addr.IA, paths []*segment.Path) []Candidate
+	Report(path *segment.Path, outcome Outcome)
+}
+
+// health tracks per-path liveness shared by the built-in selectors. A path
+// reported Failed is demoted within its compliance class until a subsequent
+// Success clears it; demoted paths remain candidates of last resort, so a
+// destination whose every path has failed is still dialable.
+type health struct {
+	mu   sync.Mutex
+	down map[string]bool // path fingerprint → down
+}
+
+// report ingests the liveness half of an outcome.
+func (h *health) report(path *segment.Path, outcome Outcome) {
+	if path == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if outcome.Failed {
+		if h.down == nil {
+			h.down = make(map[string]bool)
+		}
+		h.down[path.Fingerprint()] = true
+	} else if h.down != nil {
+		delete(h.down, path.Fingerprint())
+	}
+}
+
+// isDown reports whether the path has an unresolved failure.
+func (h *health) isDown(p *segment.Path) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down[p.Fingerprint()]
+}
+
+// demote stably reorders candidates so that, within each compliance class,
+// failed paths come after live ones. Cross-class order (compliant before
+// non-compliant) is preserved.
+func (h *health) demote(cands []Candidate) []Candidate {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.down) == 0 {
+		return cands
+	}
+	out := make([]Candidate, 0, len(cands))
+	for _, compliant := range []bool{true, false} {
+		for _, c := range cands {
+			if c.Compliant == compliant && !h.down[c.Path.Fingerprint()] {
+				out = append(out, c)
+			}
+		}
+		for _, c := range cands {
+			if c.Compliant == compliant && h.down[c.Path.Fingerprint()] {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// PolicySelector ranks paths under a PPL policy and an ISD geofence,
+// preserving the seed semantics of the paper's §4.1/§4.2: compliant paths
+// first (sorted by the policy's orderings), non-compliant paths after them
+// in network order as opportunistic fallbacks.
+type PolicySelector struct {
+	health
+	mu    sync.Mutex
+	pol   *ppl.Policy
+	fence *policy.Geofence
+}
+
+// NewPolicySelector builds a selector for a policy and geofence; both may be
+// nil (nil policy accepts every path, nil geofence fences nothing).
+func NewPolicySelector(pol *ppl.Policy, fence *policy.Geofence) *PolicySelector {
+	return &PolicySelector{pol: pol, fence: fence}
+}
+
+// Rank implements Selector.
+func (s *PolicySelector) Rank(dst addr.IA, paths []*segment.Path) []Candidate {
+	s.mu.Lock()
+	pol, fence := s.pol, s.fence
+	s.mu.Unlock()
+
+	compliant := make([]*segment.Path, 0, len(paths))
+	inCompliant := make(map[*segment.Path]bool, len(paths))
+	for _, p := range paths {
+		if fence.Compliant(p) && (pol == nil || pol.Accepts(p)) {
+			compliant = append(compliant, p)
+		}
+	}
+	if pol != nil {
+		compliant = pol.Filter(compliant) // apply orderings
+	}
+	cands := make([]Candidate, 0, len(paths))
+	for _, p := range compliant {
+		inCompliant[p] = true
+		cands = append(cands, Candidate{Path: p, Compliant: true})
+	}
+	for _, p := range paths {
+		if !inCompliant[p] {
+			cands = append(cands, Candidate{Path: p, Compliant: false})
+		}
+	}
+	return s.demote(cands)
+}
+
+// Report implements Selector.
+func (s *PolicySelector) Report(path *segment.Path, outcome Outcome) {
+	s.report(path, outcome)
+}
+
+// LatencySelector ranks paths by latency: the metadata latency until
+// observations arrive, then an EWMA of reported round-trip samples. Paths
+// reported down are demoted until they succeed again. Every path is
+// considered compliant (compose with PinnedSelector/RoundRobinSelector or
+// use a PolicySelector when policy filtering is wanted).
+type LatencySelector struct {
+	health
+	mu       sync.Mutex
+	observed map[string]time.Duration // fingerprint → EWMA RTT
+}
+
+// NewLatencySelector builds a latency-ranking selector.
+func NewLatencySelector() *LatencySelector {
+	return &LatencySelector{observed: make(map[string]time.Duration)}
+}
+
+// latencyOf returns the ranking key for a path.
+func (s *LatencySelector) latencyOf(p *segment.Path) time.Duration {
+	if obs, ok := s.observed[p.Fingerprint()]; ok {
+		return obs
+	}
+	// Metadata latency is one-way; scale to RTT so metadata and observed
+	// samples rank on comparable units.
+	return 2 * p.Meta.Latency
+}
+
+// Rank implements Selector.
+func (s *LatencySelector) Rank(dst addr.IA, paths []*segment.Path) []Candidate {
+	s.mu.Lock()
+	type keyed struct {
+		c   Candidate
+		lat time.Duration
+	}
+	ks := make([]keyed, len(paths))
+	for i, p := range paths {
+		ks[i] = keyed{Candidate{Path: p, Compliant: true}, s.latencyOf(p)}
+	}
+	s.mu.Unlock()
+	// Stable: network order breaks latency ties.
+	sort.SliceStable(ks, func(i, j int) bool { return ks[i].lat < ks[j].lat })
+	cands := make([]Candidate, len(ks))
+	for i, k := range ks {
+		cands[i] = k.c
+	}
+	return s.demote(cands)
+}
+
+// Report implements Selector: failures demote, successes with a latency
+// sample update the path's EWMA (α = 1/4, the TCP SRTT gain).
+func (s *LatencySelector) Report(path *segment.Path, outcome Outcome) {
+	s.report(path, outcome)
+	if path == nil || outcome.Failed || outcome.Latency <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp := path.Fingerprint()
+	if prev, ok := s.observed[fp]; ok {
+		s.observed[fp] = prev - prev/4 + outcome.Latency/4
+	} else {
+		s.observed[fp] = outcome.Latency
+	}
+}
+
+// RoundRobinSelector spreads load across the live compliant paths of an
+// inner selector's ranking. Rotation advances on REPORTED USE — each
+// Report(Success) moves the destination's next first choice — not on Rank,
+// so availability probes (proxy.CheckSCION) and failover re-ranks don't
+// skew which paths carry actual traffic.
+type RoundRobinSelector struct {
+	health
+	inner Selector
+	mu    sync.Mutex
+	next  map[addr.IA]int
+}
+
+// NewRoundRobinSelector wraps inner (nil = accept-everything PolicySelector)
+// with per-destination rotation.
+func NewRoundRobinSelector(inner Selector) *RoundRobinSelector {
+	if inner == nil {
+		inner = NewPolicySelector(nil, nil)
+	}
+	return &RoundRobinSelector{inner: inner, next: make(map[addr.IA]int)}
+}
+
+// Rank implements Selector: the live compliant prefix of the inner ranking
+// is rotated; down paths (demoted to the prefix's tail by the inner
+// selector's health) and non-compliant fallbacks keep their demoted order.
+func (r *RoundRobinSelector) Rank(dst addr.IA, paths []*segment.Path) []Candidate {
+	cands := r.inner.Rank(dst, paths)
+	k := 0
+	for k < len(cands) && cands[k].Compliant {
+		k++
+	}
+	live := k
+	for live > 0 && r.isDown(cands[live-1].Path) {
+		live--
+	}
+	if live < 2 {
+		return cands
+	}
+	r.mu.Lock()
+	shift := r.next[dst] % live
+	r.mu.Unlock()
+	if shift == 0 {
+		return cands
+	}
+	out := make([]Candidate, 0, len(cands))
+	out = append(out, cands[shift:live]...)
+	out = append(out, cands[:shift]...)
+	return append(out, cands[live:]...)
+}
+
+// Report implements Selector: outcomes feed the inner selector and the
+// rotation's own health view, and each successful use advances the path's
+// destination to its next first choice.
+func (r *RoundRobinSelector) Report(path *segment.Path, outcome Outcome) {
+	r.inner.Report(path, outcome)
+	r.report(path, outcome)
+	if path != nil && !outcome.Failed {
+		r.mu.Lock()
+		r.next[path.Dst]++
+		r.mu.Unlock()
+	}
+}
+
+// PinnedSelector lets the user pin a specific path per destination — the
+// paper's §4.2 interactive path-selection UI hook. A pinned path is moved to
+// the front of the inner selector's ranking, keeping its compliance flag:
+// opportunistic mode follows the pin (flagging non-compliance), while strict
+// mode SILENTLY overrides a non-compliant pin, routing over the best
+// compliant path instead. A UI that must surface the override compares
+// Selection.Path against Pinned(dst). When the pinned path has vanished the
+// inner ranking applies unchanged.
+type PinnedSelector struct {
+	inner Selector
+	mu    sync.Mutex
+	pins  map[addr.IA]string // destination → pinned path fingerprint
+}
+
+// NewPinnedSelector wraps inner (nil = accept-everything PolicySelector).
+func NewPinnedSelector(inner Selector) *PinnedSelector {
+	if inner == nil {
+		inner = NewPolicySelector(nil, nil)
+	}
+	return &PinnedSelector{inner: inner, pins: make(map[addr.IA]string)}
+}
+
+// Pin fixes the path (by fingerprint) used for a destination.
+func (s *PinnedSelector) Pin(dst addr.IA, fingerprint string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins[dst] = fingerprint
+}
+
+// Unpin removes a destination's pin.
+func (s *PinnedSelector) Unpin(dst addr.IA) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pins, dst)
+}
+
+// Pinned returns the active pin for a destination, if any.
+func (s *PinnedSelector) Pinned(dst addr.IA) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp, ok := s.pins[dst]
+	return fp, ok
+}
+
+// Rank implements Selector.
+func (s *PinnedSelector) Rank(dst addr.IA, paths []*segment.Path) []Candidate {
+	cands := s.inner.Rank(dst, paths)
+	s.mu.Lock()
+	fp, ok := s.pins[dst]
+	s.mu.Unlock()
+	if !ok {
+		return cands
+	}
+	for i, c := range cands {
+		if c.Path.Fingerprint() == fp {
+			out := make([]Candidate, 0, len(cands))
+			out = append(out, c)
+			out = append(out, cands[:i]...)
+			return append(out, cands[i+1:]...)
+		}
+	}
+	return cands
+}
+
+// Report implements Selector.
+func (s *PinnedSelector) Report(path *segment.Path, outcome Outcome) {
+	s.inner.Report(path, outcome)
+}

@@ -1,0 +1,298 @@
+package pan_test
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/pan"
+	"tango/internal/policy"
+	"tango/internal/segment"
+	"tango/internal/topology"
+)
+
+func TestLatencySelectorRanksByMetadata(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	paths := h.Paths(topology.AS211)
+	if len(paths) < 2 {
+		t.Fatalf("need ≥2 paths, got %d", len(paths))
+	}
+	s := pan.NewLatencySelector()
+	cands := s.Rank(topology.AS211, paths)
+	if len(cands) != len(paths) {
+		t.Fatalf("ranked %d of %d paths", len(cands), len(paths))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Path.Meta.Latency > cands[i].Path.Meta.Latency {
+			t.Fatalf("ranking not latency-sorted at %d: %v > %v",
+				i, cands[i-1].Path.Meta.Latency, cands[i].Path.Meta.Latency)
+		}
+	}
+	for _, c := range cands {
+		if !c.Compliant {
+			t.Fatal("latency selector must mark every path compliant")
+		}
+	}
+}
+
+func TestLatencySelectorFailoverAndRecovery(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	s := pan.NewLatencySelector()
+
+	sel, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := sel.Path
+
+	// Report the best path down: the next selection must avoid it.
+	s.Report(best, pan.Failure)
+	sel2, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Path.Fingerprint() == best.Fingerprint() {
+		t.Fatal("selection did not fail over after Report(down)")
+	}
+	if best.Meta.Latency > sel2.Path.Meta.Latency {
+		t.Fatalf("failover should go to the next-best latency: %v then %v",
+			best.Meta.Latency, sel2.Path.Meta.Latency)
+	}
+
+	// Recovery: a success report restores the original ranking.
+	s.Report(best, pan.Success)
+	sel3, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel3.Path.Fingerprint() != best.Fingerprint() {
+		t.Fatal("selection did not recover after Report(up)")
+	}
+}
+
+func TestLatencySelectorAllDownStillSelects(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	s := pan.NewLatencySelector()
+	for _, p := range h.Paths(topology.AS211) {
+		s.Report(p, pan.Failure)
+	}
+	if _, err := h.Select(topology.AS211, s, pan.Strict); err != nil {
+		t.Fatalf("all-down destination must stay dialable (last resort): %v", err)
+	}
+}
+
+func TestLatencySelectorObservedSamplesOverrideMetadata(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	paths := h.Paths(topology.AS211)
+	s := pan.NewLatencySelector()
+	sel, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := sel.Path
+	var second *segment.Path
+	for _, p := range paths {
+		if p.Fingerprint() != best.Fingerprint() {
+			second = p
+			break
+		}
+	}
+	if second == nil {
+		t.Fatal("need a second path")
+	}
+	// Observed reality contradicts metadata: the "best" path measures slow,
+	// another measures fast. Repeated samples shift the EWMA.
+	for i := 0; i < 16; i++ {
+		s.Report(best, pan.Outcome{Latency: 5 * time.Second})
+		s.Report(second, pan.Outcome{Latency: time.Millisecond})
+	}
+	sel2, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Path.Fingerprint() != second.Fingerprint() {
+		t.Fatalf("observed latency must override metadata: picked %s", sel2.Path)
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	paths := h.Paths(topology.AS211)
+	if len(paths) < 2 {
+		t.Fatalf("need ≥2 paths, got %d", len(paths))
+	}
+	s := pan.NewRoundRobinSelector(nil)
+	seen := make(map[string]int)
+	rounds := 3 * len(paths)
+	for i := 0; i < rounds; i++ {
+		sel, err := h.Select(topology.AS211, s, pan.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[sel.Path.Fingerprint()]++
+		// Rotation advances on reported use, as the Dialer does per dial.
+		s.Report(sel.Path, pan.Success)
+	}
+	if len(seen) != len(paths) {
+		t.Fatalf("round robin used %d of %d paths: %v", len(seen), len(paths), seen)
+	}
+	for fp, n := range seen {
+		if n != rounds/len(paths) {
+			t.Fatalf("uneven spread: %s used %d times, want %d", fp, n, rounds/len(paths))
+		}
+	}
+}
+
+func TestRoundRobinProbesDoNotSkewRotation(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	s := pan.NewRoundRobinSelector(nil)
+	first, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Availability probes rank without using a path; the first choice must
+	// not move.
+	for i := 0; i < 5; i++ {
+		sel, err := h.Select(topology.AS211, s, pan.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Path.Fingerprint() != first.Path.Fingerprint() {
+			t.Fatal("rotation advanced without a reported use")
+		}
+	}
+}
+
+func TestRoundRobinSkipsDownPaths(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	paths := h.Paths(topology.AS211)
+	if len(paths) < 2 {
+		t.Fatalf("need ≥2 paths, got %d", len(paths))
+	}
+	s := pan.NewRoundRobinSelector(nil)
+	down := paths[0]
+	s.Report(down, pan.Failure)
+	// A full rotation cycle must never put the down path first.
+	for i := 0; i < 2*len(paths); i++ {
+		sel, err := h.Select(topology.AS211, s, pan.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Path.Fingerprint() == down.Fingerprint() {
+			t.Fatal("rotation promoted a known-down path")
+		}
+		s.Report(sel.Path, pan.Success)
+	}
+}
+
+func TestRoundRobinRespectsInnerCompliance(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	// Block ISD 2: no compliant path to AS211 exists, so rotation has
+	// nothing to spread and strict mode must still refuse.
+	s := pan.NewRoundRobinSelector(pan.NewPolicySelector(nil, policy.NewBlockGeofence(2)))
+	if _, err := h.Select(topology.AS211, s, pan.Strict); err == nil {
+		t.Fatal("strict round-robin through blocked ISD succeeded")
+	}
+	sel, err := h.Select(topology.AS211, s, pan.Opportunistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Compliant {
+		t.Fatal("fallback must be flagged non-compliant")
+	}
+}
+
+func TestPinnedSelectorPinsAndUnpins(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	paths := h.Paths(topology.AS211)
+	s := pan.NewPinnedSelector(pan.NewLatencySelector())
+
+	sel, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural := sel.Path
+
+	// Pin the last offered path (ensure it differs from the natural pick).
+	pin := paths[len(paths)-1]
+	if pin.Fingerprint() == natural.Fingerprint() {
+		pin = paths[0]
+	}
+	if pin.Fingerprint() == natural.Fingerprint() {
+		t.Skip("topology offers only one distinct path")
+	}
+	s.Pin(topology.AS211, pin.Fingerprint())
+	sel2, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Path.Fingerprint() != pin.Fingerprint() {
+		t.Fatalf("pin ignored: picked %s", sel2.Path)
+	}
+	if fp, ok := s.Pinned(topology.AS211); !ok || fp != pin.Fingerprint() {
+		t.Fatal("Pinned() does not report the active pin")
+	}
+
+	s.Unpin(topology.AS211)
+	sel3, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel3.Path.Fingerprint() != natural.Fingerprint() {
+		t.Fatal("unpin did not restore the inner ranking")
+	}
+}
+
+func TestPinnedSelectorStrictRefusesNonCompliantPin(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	// Geofence makes every path to AS211 non-compliant; pinning one of them
+	// must not smuggle it past strict mode, while opportunistic mode obeys
+	// the pin and flags it.
+	inner := pan.NewPolicySelector(nil, policy.NewBlockGeofence(2))
+	s := pan.NewPinnedSelector(inner)
+	paths := h.Paths(topology.AS211)
+	pin := paths[len(paths)-1]
+	s.Pin(topology.AS211, pin.Fingerprint())
+
+	if _, err := h.Select(topology.AS211, s, pan.Strict); err == nil {
+		t.Fatal("strict mode accepted a non-compliant pinned path")
+	}
+	sel, err := h.Select(topology.AS211, s, pan.Opportunistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Path.Fingerprint() != pin.Fingerprint() || sel.Compliant {
+		t.Fatalf("opportunistic pin selection %+v", sel)
+	}
+}
+
+func TestPolicySelectorDemotesDownWithinClass(t *testing.T) {
+	w := newWorld(t)
+	h := w.host(topology.AS111, "10.0.0.1")
+	s := pan.NewPolicySelector(policy.LowLatency(), nil)
+	sel, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := sel.Path
+	s.Report(best, pan.Failure)
+	sel2, err := h.Select(topology.AS211, s, pan.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Path.Fingerprint() == best.Fingerprint() {
+		t.Fatal("policy selector did not demote the down path")
+	}
+	if !sel2.Compliant {
+		t.Fatal("failover must stay within the compliant class")
+	}
+}

@@ -3,25 +3,31 @@
 // selects path(s) and adds a SCION packet header if needed", switching each
 // request between SCION and legacy IP (the "IP/SCION Switch"), applying the
 // user's path policies, and collecting per-path statistics.
+//
+// Path choice is delegated to a pan.Selector via a pan.Dialer: installing a
+// new selector (SetSelector) bumps the dialer's epoch, so pooled SCION
+// connections re-dial — and re-select — under the new policy. SCION
+// round-trip failures are fed back into the selector (marking the path
+// down) and recorded as ViaFallback, making the paper's fallback rate
+// measurable.
 package proxy
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/netip"
 	"strconv"
-	"sync"
 	"time"
 
 	"tango/internal/addr"
 	"tango/internal/dnssim"
 	"tango/internal/netsim"
 	"tango/internal/pan"
-	"tango/internal/policy"
-	"tango/internal/ppl"
 	"tango/internal/sciondetect"
 	"tango/internal/shttp"
 	"tango/internal/squic"
@@ -30,7 +36,7 @@ import (
 // Annotation headers the proxy adds to responses so the extension (and
 // tests) can render the UI indicator.
 const (
-	HeaderVia       = "X-Skip-Via"       // "scion" or "ip"
+	HeaderVia       = "X-Skip-Via"       // "scion", "ip", or "fallback"
 	HeaderPath      = "X-Skip-Path"      // path fingerprint
 	HeaderCompliant = "X-Skip-Compliant" // "true"/"false"
 )
@@ -39,6 +45,9 @@ const (
 type Config struct {
 	// Host is the SCION side (the proxy runs on the browser's machine).
 	Host *pan.Host
+	// Selector is the initial path selector (nil = accept-everything
+	// PolicySelector); swap it later with SetSelector.
+	Selector pan.Selector
 	// Legacy is the IP side; LegacyHost is this machine's legacy identity.
 	Legacy     *netsim.StreamNetwork
 	LegacyHost string
@@ -55,13 +64,9 @@ type Config struct {
 
 // Proxy is the SKIP HTTP proxy.
 type Proxy struct {
-	cfg   Config
-	stats *Stats
-
-	mu      sync.Mutex
-	pol     *ppl.Policy
-	fence   *policy.Geofence
-	lastSel map[string]pan.Selection // per authority, for annotation
+	cfg    Config
+	stats  *Stats
+	dialer *pan.Dialer
 
 	scion  *shttp.Transport
 	legacy *http.Transport
@@ -69,7 +74,11 @@ type Proxy struct {
 
 // New builds the proxy.
 func New(cfg Config) *Proxy {
-	p := &Proxy{cfg: cfg, stats: NewStats(), lastSel: make(map[string]pan.Selection)}
+	p := &Proxy{cfg: cfg, stats: NewStats()}
+	p.dialer = cfg.Host.NewDialer(pan.DialOptions{
+		Selector: cfg.Selector,
+		Mode:     pan.Opportunistic,
+	})
 	p.scion = shttp.NewTransport(p.dialSCION)
 	p.legacy = &http.Transport{
 		DialContext:        p.dialLegacy,
@@ -81,24 +90,15 @@ func New(cfg Config) *Proxy {
 // Stats returns the proxy's statistics aggregator.
 func (p *Proxy) Stats() *Stats { return p.stats }
 
-// SetPolicy installs the user's path policy; pooled SCION connections are
-// dropped so new requests re-select paths ("the browser extension uses
-// specific API calls to the HTTP proxy to apply path policies chosen by
-// users").
-func (p *Proxy) SetPolicy(pol *ppl.Policy) {
-	p.mu.Lock()
-	p.pol = pol
-	p.lastSel = make(map[string]pan.Selection)
-	p.mu.Unlock()
-	p.scion.CloseIdleConnections()
-}
+// Dialer exposes the proxy's PAN dialer (epoch, cached selections).
+func (p *Proxy) Dialer() *pan.Dialer { return p.dialer }
 
-// SetGeofence installs the user's geofence, dropping pooled connections.
-func (p *Proxy) SetGeofence(g *policy.Geofence) {
-	p.mu.Lock()
-	p.fence = g
-	p.lastSel = make(map[string]pan.Selection)
-	p.mu.Unlock()
+// SetSelector installs the user's path selector — the single entry point
+// behind "the browser extension uses specific API calls to the HTTP proxy to
+// apply path policies chosen by users". The dialer's epoch bump drops pooled
+// SCION connections, so new requests re-select under the new policy.
+func (p *Proxy) SetSelector(s pan.Selector) {
+	p.dialer.SetSelector(s)
 	p.scion.CloseIdleConnections()
 }
 
@@ -106,6 +106,7 @@ func (p *Proxy) SetGeofence(g *policy.Geofence) {
 func (p *Proxy) Close() {
 	p.scion.CloseIdleConnections()
 	p.legacy.CloseIdleConnections()
+	p.dialer.Close()
 }
 
 // CheckSCION reports whether host is reachable over SCION right now and
@@ -116,40 +117,35 @@ func (p *Proxy) CheckSCION(ctx context.Context, host string) (available, complia
 	if !ok {
 		return false, false
 	}
-	p.mu.Lock()
-	pol, fence := p.pol, p.fence
-	p.mu.Unlock()
-	sel, err := p.cfg.Host.SelectPath(scionAddr.IA, pol, fence, pan.Opportunistic)
+	sel, err := p.cfg.Host.Select(scionAddr.IA, p.dialer.Selector(), pan.Opportunistic)
 	if err != nil {
 		return false, false
 	}
 	return true, sel.Compliant
 }
 
-// dialSCION is the shttp dial hook: detect, select a path under the current
-// policy (opportunistic: non-compliant paths are used but flagged), and open
-// a squic connection. The server's identity name is the bare hostname.
-func (p *Proxy) dialSCION(ctx context.Context, authority string) (*squic.Conn, error) {
-	host := hostOnly(authority)
-	// SCION services listen on the same port as their legacy URL (80 for
-	// plain http in the experiments).
-	port := portOf(authority, 80)
-	scionAddr, ok := p.cfg.Detector.Detect(ctx, host)
+// remoteFor maps an authority to its SCION endpoint, when detected. SCION
+// services listen on the same port as their legacy URL (80 for plain http in
+// the experiments).
+func (p *Proxy) remoteFor(ctx context.Context, authority string) (addr.UDPAddr, bool) {
+	scionAddr, ok := p.cfg.Detector.Detect(ctx, hostOnly(authority))
 	if !ok {
-		return nil, fmt.Errorf("proxy: %s not SCION-reachable", host)
+		return addr.UDPAddr{}, false
 	}
-	p.mu.Lock()
-	pol, fence := p.pol, p.fence
-	p.mu.Unlock()
-	remote := addr.UDPAddr{Addr: scionAddr, Port: port}
-	conn, sel, err := p.cfg.Host.Dial(ctx, remote, host, pol, fence, pan.Opportunistic)
-	if err != nil {
-		return nil, err
+	return addr.UDPAddr{Addr: scionAddr, Port: portOf(authority, 80)}, true
+}
+
+// dialSCION is the shttp dial hook: detect, then let the dialer select a
+// path under the current selector (opportunistic: non-compliant paths are
+// used but flagged) and open — or reuse — a squic connection. The server's
+// identity name is the bare hostname.
+func (p *Proxy) dialSCION(ctx context.Context, authority string) (*squic.Conn, error) {
+	remote, ok := p.remoteFor(ctx, authority)
+	if !ok {
+		return nil, fmt.Errorf("proxy: %s not SCION-reachable", hostOnly(authority))
 	}
-	p.mu.Lock()
-	p.lastSel[authority] = sel
-	p.mu.Unlock()
-	return conn, nil
+	conn, _, err := p.dialer.Dial(ctx, remote, hostOnly(authority))
+	return conn, err
 }
 
 // ServeHTTP implements the proxy protocol: absolute-form requests from the
@@ -174,12 +170,19 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	outReq.URL.Host = host
 
-	if _, ok := p.cfg.Detector.Detect(r.Context(), hostOnly(host)); ok {
+	if remote, ok := p.remoteFor(r.Context(), authorityOf(outReq)); ok {
+		// Buffer small request bodies so the SCION→legacy fallback can
+		// re-send them; oversized/chunked bodies stream directly and
+		// forfeit the fallback instead of risking a truncated replay.
+		replayBody, canReplay, err := bufferReplayBody(outReq)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("proxy: reading request body: %v", err), http.StatusBadRequest)
+			p.stats.Record(RequestRecord{Host: host, Via: ViaError, Status: http.StatusBadRequest})
+			return
+		}
 		resp, err := p.scion.RoundTrip(outReq)
 		if err == nil {
-			p.mu.Lock()
-			sel := p.lastSel[authorityOf(outReq)]
-			p.mu.Unlock()
+			sel, _ := p.dialer.Cached(remote, hostOnly(host))
 			w.Header().Set(HeaderVia, string(ViaSCION))
 			if sel.Path != nil {
 				w.Header().Set(HeaderPath, sel.Path.Fingerprint())
@@ -193,14 +196,48 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
-		// SCION attempt failed: fall back to legacy IP ("In case the client
-		// or server lacks SCION connectivity, the browser falls back to
-		// loading the resources over IPv4/6", paper §4).
+		// Decide whether the failed SCION attempt can fall back to legacy
+		// IP ("the browser falls back to loading the resources over
+		// IPv4/6", paper §4) without duplicating a side effect:
+		//
+		//   - a canceled client never falls back;
+		//   - the body must be replayable (bodyless or buffered) — the
+		//     transport closes the body even on a dial error, so an
+		//     unbuffered upload cannot be re-sent at all;
+		//   - a dial-stage failure (shttp.DialError) wrote nothing to the
+		//     origin, so any replayable request re-sends safely; otherwise
+		//     the origin may already have processed the request (only the
+		//     response was lost), and only idempotent methods re-send
+		//     (RFC 9110 §9.2.2).
+		var dialErr *shttp.DialError
+		dialFailed := errors.As(err, &dialErr)
+		if r.Context().Err() != nil {
+			http.Error(w, fmt.Sprintf("proxy: %v", err), http.StatusBadGateway)
+			p.stats.Record(RequestRecord{Host: host, Via: ViaError, Status: http.StatusBadGateway})
+			return
+		}
+		// Feed the failure back into selection whether or not we can fall
+		// back: the pooled connection's path is marked down, so the next
+		// dial re-ranks (ReportFailure itself only acts on a dead pooled
+		// connection).
+		p.dialer.ReportFailure(remote, hostOnly(host))
+		if !canReplay || !(dialFailed || idempotent(outReq.Method)) {
+			http.Error(w, fmt.Sprintf("proxy: %v", err), http.StatusBadGateway)
+			p.stats.Record(RequestRecord{Host: host, Via: ViaError, Status: http.StatusBadGateway})
+			return
+		}
+		// The fallback is recorded as its own Via so the fallback rate is
+		// measurable.
+		if replayBody != nil {
+			outReq.Body = io.NopCloser(bytes.NewReader(replayBody))
+		}
+		p.forwardLegacy(w, outReq, start, ViaFallback)
+		return
 	}
-	p.forwardLegacy(w, outReq, start)
+	p.forwardLegacy(w, outReq, start, ViaIP)
 }
 
-func (p *Proxy) forwardLegacy(w http.ResponseWriter, r *http.Request, start time.Time) {
+func (p *Proxy) forwardLegacy(w http.ResponseWriter, r *http.Request, start time.Time, via Via) {
 	clock := p.cfg.Host.Clock()
 	resp, err := p.legacy.RoundTrip(r)
 	if err != nil {
@@ -208,11 +245,46 @@ func (p *Proxy) forwardLegacy(w http.ResponseWriter, r *http.Request, start time
 		p.stats.Record(RequestRecord{Host: r.Host, Via: ViaError, Status: http.StatusBadGateway})
 		return
 	}
-	w.Header().Set(HeaderVia, string(ViaIP))
+	w.Header().Set(HeaderVia, string(via))
 	n := copyResponse(w, resp)
 	p.stats.Record(RequestRecord{
-		Host: r.Host, Via: ViaIP, Duration: clock.Since(start), Bytes: n, Status: resp.StatusCode,
+		Host: r.Host, Via: via, Duration: clock.Since(start), Bytes: n, Status: resp.StatusCode,
 	})
+}
+
+// maxReplayBody caps how much request body the proxy buffers to keep the
+// SCION→legacy fallback possible for non-bodyless requests.
+const maxReplayBody = 1 << 20
+
+// idempotent reports whether a method permits automatic retry (RFC 9110
+// §9.2.2).
+func idempotent(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions, http.MethodTrace,
+		http.MethodPut, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+// bufferReplayBody prepares a request for a potential re-send: bodyless
+// requests are replayable as-is; small declared bodies are read into memory
+// (the returned buffer) and the request rewound onto it; chunked or
+// oversized bodies stream unbuffered and are not replayable.
+func bufferReplayBody(r *http.Request) (body []byte, canReplay bool, err error) {
+	if r.ContentLength == 0 && len(r.TransferEncoding) == 0 {
+		return nil, true, nil
+	}
+	if r.ContentLength <= 0 || r.ContentLength > maxReplayBody || len(r.TransferEncoding) > 0 {
+		return nil, false, nil
+	}
+	buf, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		return nil, false, err
+	}
+	r.Body = io.NopCloser(bytes.NewReader(buf))
+	return buf, true, nil
 }
 
 func fingerprintOf(sel pan.Selection) string {

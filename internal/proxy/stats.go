@@ -11,10 +11,14 @@ type Via string
 
 // Via values.
 const (
-	ViaSCION   Via = "scion"
-	ViaIP      Via = "ip"
-	ViaBlocked Via = "blocked"
-	ViaError   Via = "error"
+	ViaSCION Via = "scion"
+	ViaIP    Via = "ip"
+	// ViaFallback marks a request that was attempted over SCION and fell
+	// back to legacy IP after a round-trip error — the measurable form of
+	// the paper's silent SCION→IP fallback.
+	ViaFallback Via = "fallback"
+	ViaBlocked  Via = "blocked"
+	ViaError    Via = "error"
 )
 
 // RequestRecord is one proxied request's outcome, the raw material for the

@@ -101,6 +101,21 @@ func (sl *StreamListener) Addr() net.Addr { return sl.lis.Addr() }
 // policy-based path selection.
 type DialFunc func(ctx context.Context, authority string) (*squic.Conn, error)
 
+// DialError marks a transport error raised while establishing the squic
+// connection — before any request bytes could reach the origin. Callers use
+// it (via errors.As) to decide that re-sending a request elsewhere cannot
+// duplicate a side effect.
+type DialError struct {
+	Authority string
+	Err       error
+}
+
+// Error implements error.
+func (e *DialError) Error() string { return fmt.Sprintf("shttp: dialing %s: %v", e.Authority, e.Err) }
+
+// Unwrap exposes the cause.
+func (e *DialError) Unwrap() error { return e.Err }
+
 // NewTransport builds an http.RoundTripper that carries each HTTP connection
 // over one squic stream, dialing squic connections with dial and pooling
 // them per authority.
@@ -168,12 +183,16 @@ func (t *Transport) connFor(ctx context.Context, authority string) (*squic.Conn,
 	}
 	conn, err := t.dial(ctx, authority)
 	if err != nil {
-		return nil, fmt.Errorf("shttp: dialing %s: %w", authority, err)
+		return nil, &DialError{Authority: authority, Err: err}
 	}
 	t.mu.Lock()
 	if existing := t.conns[authority]; existing != nil {
 		t.mu.Unlock()
-		conn.Close()
+		// A pooling dial hook (pan.Dialer) may hand concurrent callers the
+		// SAME connection; only close a genuinely distinct duplicate.
+		if conn != existing {
+			conn.Close()
+		}
 		return existing, nil
 	}
 	t.conns[authority] = conn

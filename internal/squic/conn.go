@@ -48,13 +48,16 @@ type Config struct {
 	MaxPacketSize int
 }
 
+// DefaultHandshakeTimeout applies when Config.HandshakeTimeout is zero.
+const DefaultHandshakeTimeout = 10 * time.Second
+
 func (cfg *Config) withDefaults() *Config {
 	out := *cfg
 	if out.Clock == nil {
 		out.Clock = netsim.RealClock{}
 	}
 	if out.HandshakeTimeout == 0 {
-		out.HandshakeTimeout = 10 * time.Second
+		out.HandshakeTimeout = DefaultHandshakeTimeout
 	}
 	if out.StreamWindow == 0 {
 		out.StreamWindow = 1 << 20
@@ -114,6 +117,13 @@ type Conn struct {
 	streams      map[uint64]*Stream
 	nextStreamID uint64
 	acceptQ      []*Stream
+	// retiredPeer tracks finished peer-initiated streams (stored as id>>1
+	// so consecutive same-parity ids coalesce into ranges), fencing late
+	// retransmissions from resurrecting retired streams into acceptQ. Its
+	// size is bounded by the gaps between retired streams — i.e. by the
+	// number of concurrently-open peer streams — even when an idle stream
+	// stays open indefinitely on a pooled connection.
+	retiredPeer rangeSet
 
 	// Client handshake state.
 	ephPriv    *ecdh.PrivateKey
@@ -179,6 +189,18 @@ func (c *Conn) Path() *segment.Path {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.path
+}
+
+// Err returns the connection's terminal error: nil while the connection is
+// alive, the teardown cause once it has closed. Connection pools use it to
+// detect dead entries without consuming a stream.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		return nil
+	}
+	return c.closeErrLocked()
 }
 
 // OpenStream opens a locally-initiated bidirectional stream.
@@ -557,7 +579,10 @@ func (c *Conn) handleStreamFrameLocked(f *streamFrame) {
 	if !ok {
 		peerInitiated := (f.id%2 == 0) != c.isClient
 		if !peerInitiated {
-			return // stale frame for a stream we never opened
+			return // stale frame for a stream we opened and retired
+		}
+		if c.retiredPeer.contains(f.id >> 1) {
+			return // late retransmission for a retired peer stream
 		}
 		s = newStream(c, f.id)
 		c.streams[f.id] = s
@@ -568,31 +593,54 @@ func (c *Conn) handleStreamFrameLocked(f *streamFrame) {
 		c.mu.Unlock()
 		c.teardown(5, "flow control violation", err, true)
 		c.mu.Lock()
+		return
 	}
+	c.retireStreamLocked(s)
+}
+
+// retireStreamLocked drops a fully-finished stream from the demux map, so a
+// long-lived (pooled) connection does not accumulate per-stream state and
+// packetization stays proportional to the ACTIVE stream count. Reads of
+// already-buffered data keep working: they never touch the map.
+func (c *Conn) retireStreamLocked(s *Stream) {
+	if !s.doneLocked() {
+		return
+	}
+	delete(c.streams, s.id)
+	peerInitiated := (s.id%2 == 0) != c.isClient
+	if !peerInitiated {
+		return // stale frames for local ids are already ignored
+	}
+	c.retiredPeer.add(s.id >> 1)
 }
 
 // --- reliability ---
 
 func (c *Conn) handleAckLocked(f *ackFrame) {
 	now := c.clock.Now()
-	newlyAcked := false
-	for _, r := range f.ranges {
-		for pn := r.lo; pn <= r.hi; pn++ {
-			sp, ok := c.sent[pn]
-			if !ok {
-				continue
-			}
-			delete(c.sent, pn)
-			c.inFlight -= sp.size
-			newlyAcked = true
-			if int64(pn) > c.largestAcked {
-				c.largestAcked = int64(pn)
-				c.sampleRTTLocked(now.Sub(sp.sentAt))
-			}
-			// Slow-start growth, capped.
-			if c.cwnd < 4<<20 {
-				c.cwnd += sp.size
-			}
+	// The peer acks its full receive history, so the ranges span the
+	// connection's lifetime; scan the in-flight set (small) against them
+	// instead of iterating every covered packet number (unbounded on a
+	// long-lived pooled connection).
+	var acked []uint64
+	for pn := range c.sent {
+		if f.covers(pn) {
+			acked = append(acked, pn)
+		}
+	}
+	sort.Slice(acked, func(i, j int) bool { return acked[i] < acked[j] })
+	newlyAcked := len(acked) > 0
+	for _, pn := range acked {
+		sp := c.sent[pn]
+		delete(c.sent, pn)
+		c.inFlight -= sp.size
+		if int64(pn) > c.largestAcked {
+			c.largestAcked = int64(pn)
+			c.sampleRTTLocked(now.Sub(sp.sentAt))
+		}
+		// Slow-start growth, capped.
+		if c.cwnd < 4<<20 {
+			c.cwnd += sp.size
 		}
 	}
 	if !newlyAcked {
@@ -756,6 +804,9 @@ func (c *Conn) packetizeLocked() {
 					size += frameSize(f)
 					ackEliciting = true
 				}
+				// The FIN may have just been packetized, completing the
+				// stream's send side.
+				c.retireStreamLocked(s)
 			}
 		}
 		if len(frames) == 0 {

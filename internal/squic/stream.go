@@ -96,6 +96,9 @@ func (s *Stream) Read(p []byte) (int, error) {
 // maybeExtendWindowLocked advertises more receive window once half is
 // consumed.
 func (s *Stream) maybeExtendWindowLocked() {
+	if s.finalSize >= 0 {
+		return // peer finished sending; no more window needed
+	}
 	win := s.c.cfg.StreamWindow
 	if s.consumed+win > s.recvLimit+win/2 {
 		s.recvLimit = s.consumed + win
@@ -287,6 +290,15 @@ func (s *Stream) nextFrameLocked(maxData int) *streamFrame {
 		return nil
 	}
 	return f
+}
+
+// doneLocked reports whether both directions have fully completed: our FIN
+// is sent with nothing left to packetize, and the peer's FIN arrived with
+// every byte pulled into the reassembly buffer. A done stream needs no
+// demux entry — pending Reads drain recvBuf directly.
+func (s *Stream) doneLocked() bool {
+	return s.finSent && len(s.pending) == 0 &&
+		s.finalSize >= 0 && s.recvNext >= uint64(s.finalSize)
 }
 
 // failLocked errors both directions (connection teardown).

@@ -171,8 +171,10 @@ func TestServeSCIONWithStrictHeader(t *testing.T) {
 
 	client := pan.NewHost(disp[topology.AS111].Host(netip.MustParseAddr("10.0.0.1"), dw.Router(topology.AS111)), comb, pool)
 	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 443}
+	dialer := client.NewDialer(pan.DialOptions{ServerName: "srv.test"})
+	defer dialer.Close()
 	tr := shttp.NewTransport(func(ctx context.Context, authority string) (*squic.Conn, error) {
-		conn, _, err := client.Dial(ctx, remote, "srv.test", nil, nil, pan.Opportunistic)
+		conn, _, err := dialer.Dial(ctx, remote, "")
 		return conn, err
 	})
 	defer tr.CloseIdleConnections()
