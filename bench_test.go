@@ -414,6 +414,126 @@ func BenchmarkDialerReuse(b *testing.B) { panDialBench(b, false) }
 // Dialer's connection reuse removes.
 func BenchmarkDialerRedial(b *testing.B) { panDialBench(b, true) }
 
+// fixedSelector serves a fixed ranking and ignores feedback — benchmarks
+// use it to hold the adverse ranking constant across iterations.
+type fixedSelector struct{ ranking []pan.Candidate }
+
+func (f *fixedSelector) Rank(addr.IA, []*segment.Path) []pan.Candidate {
+	return append([]pan.Candidate(nil), f.ranking...)
+}
+func (f *fixedSelector) Report(*segment.Path, pan.Outcome) {}
+
+// asymmetricDialWorld builds a client/server pair across the ISDs (real
+// path diversity and latency asymmetry) and returns everything a dial
+// benchmark needs.
+func asymmetricDialWorld(b *testing.B) (*netsim.SimClock, *pan.Host, addr.UDPAddr, []*segment.Path) {
+	b.Helper()
+	topo, infra, reg := controlPlane(b)
+	clock := netsim.NewSimClock(during)
+	dw, err := dataplane.NewWorld(topo, infra.ForwardingKeys, clock, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	disp := make(map[addr.IA]*snet.Dispatcher)
+	for _, as := range topo.ASes() {
+		disp[as.IA] = snet.NewDispatcher(dw.Router(as.IA), clock)
+	}
+	stop := clock.AutoAdvance(0)
+	b.Cleanup(stop)
+
+	comb := pathdb.NewCombiner(reg)
+	pool := squic.NewCertPool()
+	server := pan.NewHost(disp[topology.AS211].Host(netip.MustParseAddr("10.0.0.9"), dw.Router(topology.AS211)), comb, pool)
+	id, err := squic.NewIdentity("bench.race")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.AddIdentity(id)
+	lis, err := server.Listen(7500, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			_ = conn // handshake-only benchmark: no streams served
+		}
+	}()
+
+	client := pan.NewHost(disp[topology.AS111].Host(netip.MustParseAddr("10.0.0.8"), dw.Router(topology.AS111)), comb, pool)
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.9")}, Port: 7500}
+	paths := client.Paths(topology.AS211)
+	if len(paths) < 2 {
+		b.Fatal("need path diversity")
+	}
+	return clock, client, remote, paths
+}
+
+// benchAsymmetricDial dials through a ranking whose TOP candidate is down
+// (an unroutable reversed path) — the failure mode racing exists for. The
+// sequential dialer burns the full handshake timeout before failing over;
+// the raced dialer lets the healthy second candidate win concurrently. The
+// virtms/dial metric is exact virtual time per dial and is what the
+// raced-vs-sequential acceptance compares.
+func benchAsymmetricDial(b *testing.B, raceWidth int) {
+	clock, client, remote, paths := asymmetricDialWorld(b)
+	sel := &fixedSelector{ranking: []pan.Candidate{
+		{Path: paths[0].Reversed(), Compliant: true}, // top-ranked, down
+		{Path: paths[0], Compliant: true},            // healthy
+	}}
+	d := client.NewDialer(pan.DialOptions{
+		Selector:    sel,
+		ServerName:  "bench.race",
+		Timeout:     2 * time.Second, // virtual: the sequential failover penalty
+		RaceWidth:   raceWidth,
+		RaceStagger: 10 * time.Millisecond,
+	})
+	defer d.Close()
+
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Invalidate() // force a fresh dial per iteration
+		start := clock.Now()
+		if _, _, err := d.Dial(context.Background(), remote, ""); err != nil {
+			b.Fatal(err)
+		}
+		virtual += clock.Since(start)
+	}
+	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtms/dial")
+}
+
+// BenchmarkDialSequential: failover burns the dead top candidate's full
+// handshake timeout on every dial.
+func BenchmarkDialSequential(b *testing.B) { benchAsymmetricDial(b, 0) }
+
+// BenchmarkDialRaced: the healthy second candidate wins while the dead top
+// candidate is still flailing; the loser is canceled, not awaited.
+func BenchmarkDialRaced(b *testing.B) { benchAsymmetricDial(b, 2) }
+
+// BenchmarkProberRound measures one full probe round — a handshake probe
+// per known inter-ISD path — i.e. the recurring background cost of keeping
+// rankings live.
+func BenchmarkProberRound(b *testing.B) {
+	clock, client, remote, paths := asymmetricDialWorld(b)
+	ls := pan.NewLatencySelector()
+	prober := client.NewProber(ls.Report, pan.ProberOptions{Interval: time.Second})
+	prober.Track(remote, "bench.race")
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := clock.Now()
+		prober.RunRound()
+		virtual += clock.Since(start)
+	}
+	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtms/round")
+	b.ReportMetric(float64(len(paths)), "paths/round")
+}
+
 // BenchmarkDataplaneForwarding measures router validation+forwarding of one
 // packet across the full inter-ISD path (virtual network, real CPU cost).
 func BenchmarkDataplaneForwarding(b *testing.B) {

@@ -26,6 +26,7 @@ func main() {
 	blockISD := flag.Int("block-isd", 0, "geofence: block this ISD (0 = none)")
 	strict := flag.Bool("strict", false, "enable strict mode for all hosts")
 	noExt := flag.Bool("no-extension", false, "disable the extension (direct BGP/IP fetching)")
+	raceWidth := flag.Int("race-width", 0, "race this many top-ranked paths per SCION connection")
 	flag.Parse()
 
 	w, client, err := experiments.Demo(1)
@@ -47,6 +48,10 @@ func main() {
 	if *noExt {
 		client.Browser.SetExtensionEnabled(false)
 		fmt.Println("extension: disabled (BGP/IP only)")
+	}
+	if *raceWidth > 1 {
+		client.Extension.SetRace(*raceWidth, 0)
+		fmt.Printf("racing: top %d ranked paths per connection\n", *raceWidth)
 	}
 
 	pl, err := client.Browser.LoadPage(context.Background(), *url)
@@ -75,6 +80,19 @@ func main() {
 	fmt.Printf("\nproxy stats: %v\n", snap.ByVia)
 	for _, p := range snap.Paths {
 		fmt.Printf("  path %s: %d requests, %d bytes, compliant=%v\n", p.Fingerprint, p.Requests, p.Bytes, p.Compliant)
+	}
+	// Per-path liveness from the extension's telemetry feed (paper §4.2):
+	// what the UI would render next to each path.
+	for _, h := range client.Extension.PathHealth() {
+		state := "live"
+		if h.Down {
+			state = "DOWN"
+		}
+		if h.RTT > 0 {
+			fmt.Printf("  path %s: %s, rtt=%v\n", h.Fingerprint, state, h.RTT)
+		} else {
+			fmt.Printf("  path %s: %s\n", h.Fingerprint, state)
+		}
 	}
 }
 

@@ -26,6 +26,8 @@ func main() {
 	policyFile := flag.String("policy", "", "PPL policy JSON file")
 	selector := flag.String("selector", "", "path-selection strategy: latency or roundrobin (default: policy-driven)")
 	requests := flag.Int("requests", 6, "requests to send through the proxy per origin")
+	raceWidth := flag.Int("race-width", 0, "dial this many top-ranked paths concurrently per connection (0/1 = sequential failover)")
+	probeInterval := flag.Duration("probe-interval", 0, "background per-path RTT probe interval (0 = probing off)")
 	flag.Parse()
 
 	if *policyFile != "" && *selector != "" {
@@ -65,6 +67,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown selector %q (want latency or roundrobin)\n", *selector)
 		os.Exit(1)
+	}
+
+	if *raceWidth > 1 {
+		client.Proxy.SetRace(*raceWidth, 0)
+		fmt.Printf("racing the top %d ranked paths per connection\n", *raceWidth)
+	}
+	if *probeInterval > 0 {
+		client.Proxy.SetProbing(*probeInterval)
+		fmt.Printf("probing every known path each %v\n", *probeInterval)
 	}
 
 	origins := []string{"www.scion.example", "www.legacy.example", "www.proxied.example"}
@@ -107,5 +118,19 @@ func main() {
 		}
 		fmt.Printf("  %s  requests=%-4d bytes=%-8d avg=%dms compliant=%v\n",
 			p.Fingerprint, p.Requests, p.Bytes, avg, p.Compliant)
+	}
+	if len(snap.Health) > 0 {
+		fmt.Println("path liveness (selector telemetry: dial outcomes + probes):")
+		for _, h := range snap.Health {
+			state := "live"
+			if h.Down {
+				state = "DOWN"
+			}
+			rtt := "rtt=?"
+			if h.RTT > 0 {
+				rtt = fmt.Sprintf("rtt=%dms", h.RTT.Milliseconds())
+			}
+			fmt.Printf("  %s  %-4s %s\n", h.Fingerprint, state, rtt)
+		}
 	}
 }

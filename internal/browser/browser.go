@@ -140,6 +140,27 @@ func (e *Extension) SetStrictAll(v bool) {
 	e.strictAll = v
 }
 
+// SetRace reconfigures the proxy's connection racing — the UI's
+// "responsiveness" knob: width concurrent path dials per connection,
+// keeping the first completed handshake.
+func (e *Extension) SetRace(width int, stagger time.Duration) {
+	e.proxy.SetRace(width, stagger)
+}
+
+// SetProbing starts (interval > 0) or stops the proxy's background per-path
+// RTT prober, which keeps rankings and the liveness view fresh between
+// requests.
+func (e *Extension) SetProbing(interval time.Duration) {
+	e.proxy.SetProbing(interval)
+}
+
+// PathHealth surfaces the proxy's per-path liveness and live RTT telemetry
+// — the data behind rendering each path as live, degraded, or down in the
+// paper's §4.2 path-selection UI.
+func (e *Extension) PathHealth() []proxy.PathHealth {
+	return e.proxy.PathHealth()
+}
+
 // strictFor decides whether a request to host runs in strict mode: user
 // preference or an active Strict-SCION pin.
 func (e *Extension) strictFor(host string) bool {

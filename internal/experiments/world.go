@@ -159,6 +159,14 @@ type ClientConfig struct {
 	// overheads (zero = ideal integration).
 	InterceptCost, InterceptJitter time.Duration
 	ProxyCost, ProxyJitter         time.Duration
+	// RaceWidth, when > 1, makes the client's proxy race that many
+	// top-ranked SCION paths per connection; RaceStagger offsets the
+	// racers' starts (0 = pan's default stagger when racing).
+	RaceWidth   int
+	RaceStagger time.Duration
+	// ProbeInterval, when positive, runs the proxy's background per-path
+	// RTT prober on the world's virtual clock.
+	ProbeInterval time.Duration
 	// Seed drives the overhead jitter so repeated runs differ.
 	Seed int64
 }
@@ -188,12 +196,15 @@ func (w *World) NewClient(cfg ClientConfig) (*Client, error) {
 
 	proxyDelay := NewSerialDelay(w.Clock, cfg.ProxyCost, cfg.ProxyJitter, w.seed+cfg.Seed*7919+101)
 	p := proxy.New(proxy.Config{
-		Host:       host,
-		Legacy:     w.Legacy,
-		LegacyHost: cfg.LegacyName,
-		Resolver:   resolver,
-		Detector:   detector,
-		Processing: proxyDelay.Wait,
+		Host:          host,
+		Legacy:        w.Legacy,
+		LegacyHost:    cfg.LegacyName,
+		Resolver:      resolver,
+		Detector:      detector,
+		Processing:    proxyDelay.Wait,
+		RaceWidth:     cfg.RaceWidth,
+		RaceStagger:   cfg.RaceStagger,
+		ProbeInterval: cfg.ProbeInterval,
 	})
 
 	// Loopback: zero-latency same-machine route, unique port per client.

@@ -56,8 +56,22 @@ func NewLink(clock Clock, props LinkProps, seed int64) *Link {
 	}
 }
 
-// Props returns the link's configured properties.
-func (l *Link) Props() LinkProps { return l.props }
+// Props returns the link's current properties.
+func (l *Link) Props() LinkProps {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.props
+}
+
+// SetProps replaces the link's properties, taking effect for every packet
+// sent afterwards (in-flight packets keep their scheduled delivery). It is
+// the simulation's lever for mid-run network events: a link failure is
+// LossRate 1, a reroute is a latency change.
+func (l *Link) SetProps(props LinkProps) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.props = props
+}
 
 // Attach registers the receiver for packets arriving at the given end (0 or
 // 1). Attach must be called for both ends before traffic flows toward them.

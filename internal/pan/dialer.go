@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tango/internal/addr"
+	"tango/internal/segment"
 	"tango/internal/squic"
 )
 
@@ -26,7 +27,24 @@ type DialOptions struct {
 	Timeout time.Duration
 	// MaxAttempts bounds candidate failover per Dial call (0 = 3).
 	MaxAttempts int
+	// RaceWidth, when > 1, dials that many top-ranked candidates
+	// concurrently per Dial call and keeps the first completed handshake;
+	// the losers are canceled and closed. A canceled loser is NOT reported
+	// as a failure — cancellation says nothing about the path — while a
+	// loser that failed on its own merit before the race was decided still
+	// reports Failure. 0 or 1 keeps sequential failover over MaxAttempts
+	// candidates.
+	RaceWidth int
+	// RaceStagger delays racer i's start by i*RaceStagger, so the
+	// top-ranked candidate gets a head start and a healthy first choice
+	// wins without the network ever seeing the extra handshakes. 0 picks
+	// DefaultRaceStagger when racing; negative disables staggering.
+	RaceStagger time.Duration
 }
+
+// DefaultRaceStagger is the inter-racer start offset applied when racing
+// with an unset RaceStagger.
+const DefaultRaceStagger = 10 * time.Millisecond
 
 // ErrDialerClosed is returned by Dial after Close.
 var ErrDialerClosed = errors.New("pan: dialer closed")
@@ -68,7 +86,18 @@ func (h *Host) NewDialer(opts DialOptions) *Dialer {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = 3
 	}
+	opts.RaceStagger = normalizeStagger(opts.RaceWidth, opts.RaceStagger)
 	return &Dialer{host: h, opts: opts, conns: make(map[string]*pooledConn), last: make(map[string]Selection)}
+}
+
+func normalizeStagger(width int, stagger time.Duration) time.Duration {
+	if width > 1 && stagger == 0 {
+		return DefaultRaceStagger
+	}
+	if stagger < 0 {
+		return 0
+	}
+	return stagger
 }
 
 // Host returns the dialer's PAN host.
@@ -105,6 +134,16 @@ func (d *Dialer) SetSelector(s Selector) {
 	d.opts.Selector = s
 	d.mu.Unlock()
 	d.Invalidate()
+}
+
+// SetRace reconfigures connection racing at runtime. Racing is a
+// scheduling concern, not a policy change, so the epoch is NOT bumped and
+// pooled connections stay valid.
+func (d *Dialer) SetRace(width int, stagger time.Duration) {
+	stagger = normalizeStagger(width, stagger)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.opts.RaceWidth, d.opts.RaceStagger = width, stagger
 }
 
 // SetMode switches the operational mode, bumping the epoch.
@@ -188,10 +227,13 @@ func (d *Dialer) ReportFailure(remote addr.UDPAddr, serverName string) {
 
 // Dial returns a connection to remote whose server proves serverName
 // (DialOptions.ServerName when empty). A live pooled connection at the
-// current epoch is reused; otherwise candidates are dialed in ranked order,
-// reporting failures into the selector, until one succeeds or MaxAttempts is
-// exhausted. The returned connection stays pooled: do not Close it per
-// request — close the Dialer (or bump the epoch) instead.
+// current epoch is reused; otherwise candidates are dialed in ranked order
+// — sequentially through MaxAttempts candidates, or concurrently over the
+// top RaceWidth candidates when racing is configured — reporting genuine
+// failures into the selector. The winning path's Success report carries the
+// measured handshake latency, feeding latency-ranking selectors a live
+// sample per dial. The returned connection stays pooled: do not Close it
+// per request — close the Dialer (or bump the epoch) instead.
 func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName string) (*squic.Conn, Selection, error) {
 	d.mu.Lock()
 	if d.closed {
@@ -204,6 +246,7 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 	key := d.key(remote, serverName)
 	epoch := d.epoch
 	sel, mode, timeout, attempts := d.opts.Selector, d.opts.Mode, d.opts.Timeout, d.opts.MaxAttempts
+	width, stagger := d.opts.RaceWidth, d.opts.RaceStagger
 	if pc := d.conns[key]; pc != nil {
 		if pc.epoch == epoch && pc.conn.Err() == nil {
 			d.mu.Unlock()
@@ -220,56 +263,169 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 	if err != nil {
 		return nil, selection, err
 	}
+	var conn *squic.Conn
+	var won Candidate
+	var hsLatency time.Duration
+	if width > 1 && len(cands) > 1 {
+		conn, won, hsLatency, err = d.dialRaced(ctx, remote, cands, serverName, timeout, width, stagger, sel)
+	} else {
+		conn, won, hsLatency, err = d.dialSequential(ctx, remote, cands, serverName, timeout, attempts, sel)
+	}
+	if err != nil {
+		return nil, selection, err
+	}
+	selection.Path = won.Path
+	selection.Compliant = won.Compliant
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		conn.Close()
+		return nil, Selection{}, ErrDialerClosed
+	}
+	if d.epoch != epoch {
+		// The selector changed while we were dialing: this connection was
+		// selected under a superseded policy and must not be pooled — and
+		// an unpooled connection would leak (callers never close
+		// per-request). Drop it and re-dial under the new epoch.
+		d.mu.Unlock()
+		conn.Close()
+		return d.Dial(ctx, remote, serverName)
+	}
+	if existing := d.conns[key]; existing != nil && existing.conn.Err() == nil {
+		// A concurrent dial won the race; reuse its connection.
+		d.mu.Unlock()
+		conn.Close()
+		return existing.conn, existing.sel, nil
+	}
+	d.conns[key] = &pooledConn{conn: conn, sel: selection, epoch: epoch}
+	d.last[key] = selection
+	d.mu.Unlock()
+	// Report Success only for a connection actually put into service: a
+	// discarded race-loser or stale-epoch dial must not advance use-driven
+	// selectors (RoundRobin rotation). The measured handshake latency rides
+	// along as a live RTT sample.
+	sel.Report(won.Path, Outcome{Latency: hsLatency})
+	return conn, selection, nil
+}
+
+// abandoned reports whether err (or the context itself) says the caller
+// gave the dial up, as opposed to the path failing.
+func abandoned(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// dialSequential tries candidates in ranked order until one handshake
+// completes or attempts are exhausted. Failure reports are deferred until
+// the call's fate is known: when the caller abandons the call (context
+// canceled or expired) NOTHING is reported — not even earlier candidates'
+// failures, whose timing may itself have been an artifact of the shrinking
+// context budget rather than path health.
+func (d *Dialer) dialSequential(ctx context.Context, remote addr.UDPAddr, cands []Candidate, serverName string, timeout time.Duration, attempts int, sel Selector) (*squic.Conn, Candidate, time.Duration, error) {
 	if len(cands) < attempts {
 		attempts = len(cands)
 	}
 	var lastErr error
+	var failed []*segment.Path
 	for _, cand := range cands[:attempts] {
+		start := d.host.clock.Now()
 		conn, err := d.dialPath(ctx, remote, cand, serverName, timeout)
 		if err != nil {
-			lastErr = err
-			// A caller-side context error says nothing about the path's
-			// health — don't poison the selector with it.
-			if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				break
+			if abandoned(ctx, err) {
+				return nil, Candidate{}, 0, err
 			}
-			sel.Report(cand.Path, Failure)
+			lastErr = err
+			failed = append(failed, cand.Path)
 			continue
 		}
-		selection.Path = cand.Path
-		selection.Compliant = cand.Compliant
-
-		d.mu.Lock()
-		if d.closed {
-			d.mu.Unlock()
-			conn.Close()
-			return nil, Selection{}, ErrDialerClosed
+		for _, p := range failed {
+			sel.Report(p, Failure)
 		}
-		if d.epoch != epoch {
-			// The selector changed while we were dialing: this connection
-			// was selected under a superseded policy and must not be pooled
-			// — and an unpooled connection would leak (callers never close
-			// per-request). Drop it and re-dial under the new epoch.
-			d.mu.Unlock()
-			conn.Close()
-			return d.Dial(ctx, remote, serverName)
-		}
-		if existing := d.conns[key]; existing != nil && existing.conn.Err() == nil {
-			// A concurrent dial won the race; reuse its connection.
-			d.mu.Unlock()
-			conn.Close()
-			return existing.conn, existing.sel, nil
-		}
-		d.conns[key] = &pooledConn{conn: conn, sel: selection, epoch: epoch}
-		d.last[key] = selection
-		d.mu.Unlock()
-		// Report Success only for a connection actually put into service:
-		// a discarded race-loser or stale-epoch dial must not advance
-		// use-driven selectors (RoundRobin rotation).
-		sel.Report(cand.Path, Success)
-		return conn, selection, nil
+		return conn, cand, d.host.clock.Since(start), nil
 	}
-	return nil, selection, lastErr
+	for _, p := range failed {
+		sel.Report(p, Failure)
+	}
+	return nil, Candidate{}, 0, lastErr
+}
+
+// dialRaced dials the top-width candidates concurrently, each racer's start
+// staggered by its rank, and keeps the first completed handshake. The
+// remaining racers are canceled — squic aborts their handshakes promptly —
+// and their connections closed, so no goroutine or socket outlives the
+// call. Outcome classification: the winner reports Success (with handshake
+// latency) from Dial's pooling tail; a racer that failed on its own merit
+// while the race was still undecided reports Failure; a racer canceled by
+// the win (or by the caller) reports nothing.
+func (d *Dialer) dialRaced(ctx context.Context, remote addr.UDPAddr, cands []Candidate, serverName string, timeout time.Duration, width int, stagger time.Duration, sel Selector) (*squic.Conn, Candidate, time.Duration, error) {
+	if width > len(cands) {
+		width = len(cands)
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type raceResult struct {
+		cand    Candidate
+		conn    *squic.Conn
+		latency time.Duration
+		err     error
+	}
+	clock := d.host.clock
+	results := make(chan raceResult, width)
+	for i, cand := range cands[:width] {
+		go func(i int, cand Candidate) {
+			if stagger > 0 && i > 0 {
+				select {
+				case <-clock.After(time.Duration(i) * stagger):
+				case <-rctx.Done():
+					results <- raceResult{cand: cand, err: rctx.Err()}
+					return
+				}
+			}
+			start := clock.Now()
+			conn, err := d.dialPath(rctx, remote, cand, serverName, timeout)
+			results <- raceResult{cand: cand, conn: conn, latency: clock.Since(start), err: err}
+		}(i, cand)
+	}
+	// Collect every racer: cancellation aborts handshakes promptly, so
+	// draining the losers costs scheduling, not network time, and
+	// guarantees the call leaves nothing behind.
+	var winner raceResult
+	var lastErr error
+	var failed []*segment.Path
+	for n := 0; n < width; n++ {
+		r := <-results
+		switch {
+		case r.err == nil && winner.conn == nil:
+			winner = r
+			cancel()
+		case r.err == nil:
+			// A second handshake completed before the cancellation landed.
+			r.conn.Close()
+		case abandoned(rctx, r.err):
+			// Canceled — by the win or by the caller. Not a health signal.
+		default:
+			failed = append(failed, r.cand.Path)
+			lastErr = r.err
+		}
+	}
+	if ctx.Err() != nil {
+		// The caller abandoned the whole race: discard its observations
+		// (and any stray winner — the caller will never use it).
+		if winner.conn != nil {
+			winner.conn.Close()
+		}
+		return nil, Candidate{}, 0, ctx.Err()
+	}
+	for _, p := range failed {
+		sel.Report(p, Failure)
+	}
+	if winner.conn != nil {
+		return winner.conn, winner.cand, winner.latency, nil
+	}
+	if lastErr == nil {
+		lastErr = context.Canceled
+	}
+	return nil, Candidate{}, 0, lastErr
 }
 
 // dialPath opens a socket and dials one candidate, honoring the context
@@ -298,7 +454,7 @@ func (d *Dialer) dialPath(ctx context.Context, remote addr.UDPAddr, cand Candida
 	if err != nil {
 		return nil, fmt.Errorf("pan: allocating socket: %w", err)
 	}
-	conn, err := squic.Dial(sock, remote, cand.Path, serverName, &squic.Config{
+	conn, err := squic.DialContext(ctx, sock, remote, cand.Path, serverName, &squic.Config{
 		Clock:            d.host.clock,
 		Pool:             d.host.pool,
 		HandshakeTimeout: timeout,

@@ -2,6 +2,7 @@ package pan_test
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -205,6 +206,156 @@ func TestDialerReportFailureMarksPathDown(t *testing.T) {
 	d.ReportFailure(remote, "")
 	if conn2.Err() != nil {
 		t.Fatal("stale ReportFailure killed the replacement connection")
+	}
+}
+
+// failureCount returns how many Failed outcomes were recorded for fp.
+func (r *recordingSelector) failureCount(fp string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, o := range r.reports[fp] {
+		if o.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDialerRacedKeepsFirstHandshakeAndCancelsLosers(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	paths := client.Paths(topology.AS211)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	// The top-ranked candidate is unroutable (a reversed path): sequential
+	// failover would burn its full handshake timeout before trying the
+	// next candidate, but a race lets the good second candidate win while
+	// the first is still flailing — and the canceled loser must NOT be
+	// reported as a failure (cancellation is not a health signal).
+	bad := paths[0].Reversed()
+	good := paths[0]
+	sel := &recordingSelector{ranking: []pan.Candidate{
+		{Path: bad, Compliant: true},
+		{Path: good, Compliant: true},
+	}}
+	d := client.NewDialer(pan.DialOptions{
+		Selector:   sel,
+		ServerName: "dialer.server",
+		Timeout:    2 * time.Second,
+	})
+	defer d.Close()
+	d.SetRace(2, 20*time.Millisecond)
+
+	conn, selection, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatalf("raced dial failed: %v", err)
+	}
+	if conn.Err() != nil {
+		t.Fatal("raced connection is dead")
+	}
+	if selection.Path.Fingerprint() != good.Fingerprint() {
+		t.Fatalf("race kept %s, want the routable candidate", selection.Path)
+	}
+	sel.mu.Lock()
+	goodReports := append([]pan.Outcome(nil), sel.reports[good.Fingerprint()]...)
+	sel.mu.Unlock()
+	if len(goodReports) != 1 || goodReports[0].Failed {
+		t.Fatalf("winner reports = %+v, want one success", goodReports)
+	}
+	if goodReports[0].Latency <= 0 {
+		t.Fatal("winner's success report must carry the measured handshake latency")
+	}
+	if n := sel.failureCount(bad.Fingerprint()); n != 0 {
+		t.Fatalf("canceled loser was reported down %d times — racing poisoned the selector", n)
+	}
+	// The winner is pooled and reused.
+	conn2, _, err := d.Dial(context.Background(), remote, "")
+	if err != nil || conn2 != conn {
+		t.Fatalf("raced winner not pooled (err %v)", err)
+	}
+}
+
+func TestDialerRacedAllCandidatesFail(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	paths := client.Paths(topology.AS211)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	bad1, bad2 := paths[0].Reversed(), paths[len(paths)-1].Reversed()
+	if bad1.Fingerprint() == bad2.Fingerprint() {
+		t.Skip("need two distinct paths")
+	}
+	sel := &recordingSelector{ranking: []pan.Candidate{
+		{Path: bad1, Compliant: true},
+		{Path: bad2, Compliant: true},
+	}}
+	d := client.NewDialer(pan.DialOptions{
+		Selector:    sel,
+		ServerName:  "dialer.server",
+		Timeout:     time.Second,
+		RaceWidth:   2,
+		RaceStagger: 10 * time.Millisecond,
+	})
+	defer d.Close()
+
+	if _, _, err := d.Dial(context.Background(), remote, ""); err == nil {
+		t.Fatal("race over two unroutable candidates succeeded")
+	}
+	// Both racers failed on their own merit (handshake timeout, no winner,
+	// no cancellation): both must be reported down.
+	if n := sel.failureCount(bad1.Fingerprint()); n != 1 {
+		t.Fatalf("bad1 reported down %d times, want 1", n)
+	}
+	if n := sel.failureCount(bad2.Fingerprint()); n != 1 {
+		t.Fatalf("bad2 reported down %d times, want 1", n)
+	}
+}
+
+// TestDialerCancelDiscardsEarlierFailureReports is the regression test for
+// the latent sequential-dial bug: candidate 1 fails (its Failure formerly
+// reported immediately), then the caller cancels during candidate 2's dial.
+// The whole call was abandoned — the selector must see NO reports from it,
+// or every caller-side cancellation would poison rankings. Racing makes
+// cancellation the common case, so this semantics is now load-bearing.
+func TestDialerCancelDiscardsEarlierFailureReports(t *testing.T) {
+	w, client, remote := dialWorld(t)
+	paths := client.Paths(topology.AS211)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	bad1, bad2 := paths[0].Reversed(), paths[len(paths)-1].Reversed()
+	sel := &recordingSelector{ranking: []pan.Candidate{
+		{Path: bad1, Compliant: true},
+		{Path: bad2, Compliant: true},
+	}}
+	d := client.NewDialer(pan.DialOptions{
+		Selector:   sel,
+		ServerName: "dialer.server",
+		Timeout:    2 * time.Second,
+	})
+	defer d.Close()
+
+	// Candidate 1 times out at 2s; candidate 2's dial starts then; the
+	// caller cancels at 3s, mid-candidate-2.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.clock.AfterFunc(3*time.Second, func() { cancel() })
+	_, _, err := d.Dial(ctx, remote, "")
+	if err == nil {
+		t.Fatal("canceled dial succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	sel.mu.Lock()
+	reports := make(map[string][]pan.Outcome, len(sel.reports))
+	for fp, os := range sel.reports {
+		reports[fp] = append([]pan.Outcome(nil), os...)
+	}
+	sel.mu.Unlock()
+	if len(reports) != 0 {
+		t.Fatalf("abandoned dial left reports in the selector: %+v", reports)
 	}
 }
 

@@ -20,8 +20,18 @@
 //     reuse keyed by a selector epoch (SetSelector bumps the epoch and every
 //     pooled connection re-dials under the new policy), candidate failover
 //     (a failed dial reports the path down and tries the next candidate),
-//     and transport feedback (ReportFailure marks a pooled connection's path
-//     down, SCMP-revocation style, so the next dial re-ranks around it).
+//     multipath racing (RaceWidth > 1 dials the top-ranked candidates
+//     concurrently with staggered starts and keeps the first completed
+//     handshake, canceling the losers), and transport feedback
+//     (ReportFailure marks a pooled connection's path down,
+//     SCMP-revocation style, so the next dial re-ranks around it; each
+//     winning dial reports its measured handshake latency as a live RTT
+//     sample).
+//
+//   - A Prober keeps rankings fresh BETWEEN dials: it periodically probes
+//     every known path to its tracked destinations (a minimal squic
+//     handshake per probe) and reports the measured RTT — or a failure —
+//     into the selector, with per-path retry backoff for down paths.
 //
 // The paper's two operational modes (§4.2) apply at selection time:
 //

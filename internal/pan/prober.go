@@ -1,0 +1,280 @@
+package pan
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/segment"
+	"tango/internal/squic"
+)
+
+// ProbeFunc measures one round trip to remote over path, bounded by
+// timeout. It returns the observed RTT, or an error when the path did not
+// answer in time.
+type ProbeFunc func(remote addr.UDPAddr, serverName string, path *segment.Path, timeout time.Duration) (time.Duration, error)
+
+// ProberOptions parameterizes a Prober. The zero value gets sensible
+// defaults from NewProber.
+type ProberOptions struct {
+	// Interval between probe rounds on the prober's clock (default 3s).
+	Interval time.Duration
+	// Timeout caps one probe (default: Interval, at most squic's default
+	// handshake timeout) so a dead path can never stall a round past the
+	// next one.
+	Timeout time.Duration
+	// DownBackoff is how many rounds a path sits out after a failed probe
+	// before being retried; consecutive failures double the sit-out up to
+	// MaxBackoff rounds (defaults 1 and 8). Backoff keeps a mostly-dead
+	// path set from consuming every round in timeouts while still
+	// rediscovering recovered paths.
+	DownBackoff int
+	MaxBackoff  int
+	// Probe overrides the measurement. Host.NewProber defaults it to a
+	// minimal squic handshake against the tracked server (one round trip
+	// on the wire); tests inject deterministic fakes.
+	Probe ProbeFunc
+}
+
+// probeTarget is one destination whose paths are probed.
+type probeTarget struct {
+	remote     addr.UDPAddr
+	serverName string
+}
+
+// probeState is per-path retry/backoff bookkeeping.
+type probeState struct {
+	failures int // consecutive failed probes
+	skip     int // rounds left to sit out
+}
+
+// Prober periodically measures per-path round-trip latency to a set of
+// tracked destinations and reports each outcome — Outcome{Latency: rtt} on
+// success, Failure on timeout — into a report sink, typically the active
+// selector's Report method. This closes the paper's feedback loop between
+// dials: rankings react to live network conditions, not just to the
+// outcomes of whatever connections the application happened to open.
+//
+// All scheduling runs on the injected Clock, so experiments drive the
+// prober deterministically on virtual time. Probe rounds run in their own
+// goroutine (never inside a timer callback, which would stall a virtual
+// clock advance); within a round, paths are probed sequentially in path
+// order, keeping outcome order deterministic.
+type Prober struct {
+	clock  netsim.Clock
+	paths  func(addr.IA) []*segment.Path
+	report func(*segment.Path, Outcome)
+	opts   ProberOptions
+
+	mu      sync.Mutex
+	targets map[string]probeTarget
+	state   map[string]*probeState
+	timer   func() bool
+	started bool
+	probing bool
+}
+
+// NewProber builds a prober from its parts: a clock, a path source (what
+// Host.Paths provides), and a report sink. Most callers want Host.NewProber
+// instead, which wires all three plus the default squic-handshake probe.
+func NewProber(clock netsim.Clock, paths func(addr.IA) []*segment.Path, report func(*segment.Path, Outcome), opts ProberOptions) *Prober {
+	if opts.Interval <= 0 {
+		opts.Interval = 3 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = opts.Interval
+		if opts.Timeout > squic.DefaultHandshakeTimeout {
+			opts.Timeout = squic.DefaultHandshakeTimeout
+		}
+	}
+	if opts.DownBackoff <= 0 {
+		opts.DownBackoff = 1
+	}
+	if opts.MaxBackoff < opts.DownBackoff {
+		opts.MaxBackoff = 8
+		if opts.MaxBackoff < opts.DownBackoff {
+			opts.MaxBackoff = opts.DownBackoff
+		}
+	}
+	return &Prober{
+		clock:   clock,
+		paths:   paths,
+		report:  report,
+		opts:    opts,
+		targets: make(map[string]probeTarget),
+		state:   make(map[string]*probeState),
+	}
+}
+
+// NewProber builds a prober on the host's clock and path lookup whose
+// default probe is a minimal squic handshake against the tracked server —
+// one round trip on the wire, closed immediately after. Outcomes go to
+// report; pass the selector's Report directly, or an indirection like
+// func(p, o) { dialer.Selector().Report(p, o) } when the selector can be
+// swapped at runtime.
+func (h *Host) NewProber(report func(*segment.Path, Outcome), opts ProberOptions) *Prober {
+	if opts.Probe == nil {
+		opts.Probe = h.handshakeProbe
+	}
+	return NewProber(h.clock, h.Paths, report, opts)
+}
+
+// handshakeProbe measures a path by completing (and immediately closing) a
+// squic handshake: exactly one round trip on the wire, with the server
+// proving its identity, so a probe "success" means the path really carries
+// application traffic end to end.
+func (h *Host) handshakeProbe(remote addr.UDPAddr, serverName string, path *segment.Path, timeout time.Duration) (time.Duration, error) {
+	sock, err := h.stack.Listen(0)
+	if err != nil {
+		return 0, err
+	}
+	start := h.clock.Now()
+	conn, err := squic.Dial(sock, remote, path, serverName, &squic.Config{
+		Clock:            h.clock,
+		Pool:             h.pool,
+		HandshakeTimeout: timeout,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rtt := h.clock.Since(start)
+	conn.Close()
+	return rtt, nil
+}
+
+// Track adds a destination to the probe set. Tracking is idempotent.
+func (p *Prober) Track(remote addr.UDPAddr, serverName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.targets[remote.String()+"|"+serverName] = probeTarget{remote: remote, serverName: serverName}
+}
+
+// Untrack removes a destination from the probe set.
+func (p *Prober) Untrack(remote addr.UDPAddr, serverName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.targets, remote.String()+"|"+serverName)
+}
+
+// Start arms the probe cycle: the first round runs one Interval from now.
+// Idempotent while running; callable again after Stop.
+func (p *Prober) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	p.armLocked()
+}
+
+// Stop cancels the probe cycle. A round already in flight drains its
+// current probe and exits.
+func (p *Prober) Stop() {
+	p.mu.Lock()
+	p.started = false
+	t := p.timer
+	p.timer = nil
+	p.mu.Unlock()
+	if t != nil {
+		t()
+	}
+}
+
+func (p *Prober) armLocked() {
+	p.timer = p.clock.AfterFunc(p.opts.Interval, p.tick)
+}
+
+// tick runs inside a clock timer callback and must not block: it re-arms
+// the cycle and hands the actual probing to a goroutine. A round that
+// outlives the interval (many dead paths despite backoff) makes the next
+// tick skip rather than pile up concurrent rounds.
+func (p *Prober) tick() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.armLocked()
+	if p.probing {
+		p.mu.Unlock()
+		return
+	}
+	p.probing = true
+	p.mu.Unlock()
+	go func() {
+		p.RunRound()
+		p.mu.Lock()
+		p.probing = false
+		p.mu.Unlock()
+	}()
+}
+
+// RunRound synchronously probes every current path of every tracked
+// destination once, honoring per-path backoff and deduplicating paths
+// shared by multiple targets. It is the body the background cycle runs;
+// tests and tools may call it directly for deterministic rounds.
+func (p *Prober) RunRound() {
+	p.mu.Lock()
+	wasStarted := p.started
+	targets := make([]probeTarget, 0, len(p.targets))
+	for _, t := range p.targets {
+		targets = append(targets, t)
+	}
+	p.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool {
+		return targets[i].remote.String()+targets[i].serverName < targets[j].remote.String()+targets[j].serverName
+	})
+
+	probed := make(map[string]bool)
+	for _, t := range targets {
+		for _, path := range p.paths(t.remote.IA) {
+			fp := path.Fingerprint()
+			if probed[fp] {
+				continue
+			}
+			probed[fp] = true
+
+			p.mu.Lock()
+			if wasStarted && !p.started {
+				// Stopped mid-round: drain without probing further.
+				p.mu.Unlock()
+				return
+			}
+			st := p.state[fp]
+			if st == nil {
+				st = &probeState{}
+				p.state[fp] = st
+			}
+			if st.skip > 0 {
+				st.skip--
+				p.mu.Unlock()
+				continue
+			}
+			p.mu.Unlock()
+
+			rtt, err := p.opts.Probe(t.remote, t.serverName, path, p.opts.Timeout)
+			if err != nil {
+				p.mu.Lock()
+				st.failures++
+				backoff := p.opts.DownBackoff
+				for i := 1; i < st.failures && backoff < p.opts.MaxBackoff; i++ {
+					backoff *= 2
+				}
+				if backoff > p.opts.MaxBackoff {
+					backoff = p.opts.MaxBackoff
+				}
+				st.skip = backoff
+				p.mu.Unlock()
+				p.report(path, Outcome{Failed: true, Probe: true})
+				continue
+			}
+			p.mu.Lock()
+			st.failures, st.skip = 0, 0
+			p.mu.Unlock()
+			p.report(path, Outcome{Latency: rtt, Probe: true})
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package pan_test
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/pan"
+	"tango/internal/segment"
+	"tango/internal/topology"
+)
+
+// fakePath builds a distinct in-memory path (distinct hop sequence →
+// distinct fingerprint) without a control plane.
+func fakePath(dst addr.IA, i int) *segment.Path {
+	return &segment.Path{
+		Src: topology.AS111,
+		Dst: dst,
+		Hops: []segment.Hop{
+			{IA: topology.AS111, Egress: addr.IfID(100 + i)},
+			{IA: dst, Ingress: addr.IfID(200 + i)},
+		},
+		Meta: segment.Metadata{Latency: time.Duration(10+i) * time.Millisecond},
+	}
+}
+
+// probeScript is a deterministic ProbeFunc: per-fingerprint queues of
+// outcomes, consumed one per probe; an exhausted queue repeats its last
+// entry. It records every probe in order.
+type probeScript struct {
+	mu      sync.Mutex
+	script  map[string][]probeOutcome
+	probes  []string // fingerprints in probe order
+	perFP   map[string]int
+	elapsed func(time.Duration) // advances the virtual clock mid-probe, when set
+}
+
+type probeOutcome struct {
+	rtt time.Duration
+	err error
+}
+
+func (s *probeScript) fn(remote addr.UDPAddr, serverName string, path *segment.Path, timeout time.Duration) (time.Duration, error) {
+	fp := path.Fingerprint()
+	s.mu.Lock()
+	s.probes = append(s.probes, fp)
+	if s.perFP == nil {
+		s.perFP = make(map[string]int)
+	}
+	n := s.perFP[fp]
+	s.perFP[fp]++
+	q := s.script[fp]
+	s.mu.Unlock()
+	if len(q) == 0 {
+		return 0, fmt.Errorf("unscripted probe of %s", fp)
+	}
+	if n >= len(q) {
+		n = len(q) - 1
+	}
+	out := q[n]
+	if s.elapsed != nil && out.rtt > 0 {
+		s.elapsed(out.rtt)
+	}
+	return out.rtt, out.err
+}
+
+func (s *probeScript) count(fp string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.perFP[fp]
+}
+
+func (s *probeScript) total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.probes)
+}
+
+// reportLog records reported outcomes per fingerprint.
+type reportLog struct {
+	mu  sync.Mutex
+	byF map[string][]pan.Outcome
+}
+
+func (r *reportLog) report(path *segment.Path, o pan.Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byF == nil {
+		r.byF = make(map[string][]pan.Outcome)
+	}
+	fp := path.Fingerprint()
+	r.byF[fp] = append(r.byF[fp], o)
+}
+
+func (r *reportLog) outcomes(fp string) []pan.Outcome {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]pan.Outcome(nil), r.byF[fp]...)
+}
+
+var probeErr = errors.New("probe timeout")
+
+// proberFixture is a prober over fake paths on a bare virtual clock.
+func proberFixture(t *testing.T, paths []*segment.Path, script *probeScript, opts pan.ProberOptions) (*pan.Prober, *netsim.SimClock, *reportLog) {
+	t.Helper()
+	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
+	log := &reportLog{}
+	opts.Probe = script.fn
+	p := pan.NewProber(clock, func(addr.IA) []*segment.Path { return paths }, log.report, opts)
+	p.Track(addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 443}, "probe.server")
+	return p, clock, log
+}
+
+// drain advances virtual time in steps, yielding between steps so probe
+// round goroutines launched by timer callbacks get to run.
+func drain(clock *netsim.SimClock, d, step time.Duration) {
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		clock.Advance(step)
+		// A probe round runs in its own goroutine; give it real time to
+		// finish before moving virtual time again.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestProberReportsRTTAndFailure(t *testing.T) {
+	paths := []*segment.Path{fakePath(topology.AS211, 0), fakePath(topology.AS211, 1)}
+	fp0, fp1 := paths[0].Fingerprint(), paths[1].Fingerprint()
+	script := &probeScript{script: map[string][]probeOutcome{
+		fp0: {{rtt: 80 * time.Millisecond}},
+		fp1: {{err: probeErr}},
+	}}
+	p, clock, log := proberFixture(t, paths, script, pan.ProberOptions{Interval: time.Second})
+	p.Start()
+	defer p.Stop()
+
+	drain(clock, 1500*time.Millisecond, 100*time.Millisecond)
+	got := log.outcomes(fp0)
+	if len(got) != 1 || got[0].Failed || got[0].Latency != 80*time.Millisecond {
+		t.Fatalf("path 0 outcomes = %+v, want one success with 80ms", got)
+	}
+	got = log.outcomes(fp1)
+	if len(got) != 1 || !got[0].Failed {
+		t.Fatalf("path 1 outcomes = %+v, want one failure", got)
+	}
+}
+
+func TestProberIntervalScheduling(t *testing.T) {
+	paths := []*segment.Path{fakePath(topology.AS211, 0)}
+	fp := paths[0].Fingerprint()
+	script := &probeScript{script: map[string][]probeOutcome{fp: {{rtt: 10 * time.Millisecond}}}}
+	p, clock, _ := proberFixture(t, paths, script, pan.ProberOptions{Interval: 2 * time.Second})
+	p.Start()
+	defer p.Stop()
+
+	// No probe before the first interval elapses.
+	drain(clock, 1900*time.Millisecond, 100*time.Millisecond)
+	if n := script.count(fp); n != 0 {
+		t.Fatalf("probed %d times before the first interval", n)
+	}
+	// One probe per interval afterwards.
+	drain(clock, 6200*time.Millisecond, 100*time.Millisecond)
+	if n := script.count(fp); n != 4 {
+		t.Fatalf("probed %d times after 8.1s with a 2s interval, want 4", n)
+	}
+	// Stop halts the cycle.
+	p.Stop()
+	drain(clock, 4*time.Second, 100*time.Millisecond)
+	if n := script.count(fp); n != 4 {
+		t.Fatalf("probe after Stop: %d rounds", n)
+	}
+}
+
+func TestProberDownPathBackoff(t *testing.T) {
+	paths := []*segment.Path{fakePath(topology.AS211, 0), fakePath(topology.AS211, 1)}
+	down, live := paths[0].Fingerprint(), paths[1].Fingerprint()
+	script := &probeScript{script: map[string][]probeOutcome{
+		down: {{err: probeErr}, {err: probeErr}, {err: probeErr}, {rtt: 40 * time.Millisecond}},
+		live: {{rtt: 20 * time.Millisecond}},
+	}}
+	p, clock, log := proberFixture(t, paths, script, pan.ProberOptions{
+		Interval: time.Second, DownBackoff: 1, MaxBackoff: 2,
+	})
+	p.Start()
+	defer p.Stop()
+
+	// Rounds:            1     2     3     4     5     6     7     8
+	// down path:        F(1) skip  F(2) skip  skip  F(3) skip  skip
+	// → probe #4 (the recovery) lands in round 9.
+	drain(clock, 9500*time.Millisecond, 100*time.Millisecond)
+	if n := script.count(down); n != 4 {
+		t.Fatalf("down path probed %d times in 9 rounds, want 4 (backoff 1,2,2)", n)
+	}
+	if n := script.count(live); n != 9 {
+		t.Fatalf("live path probed %d times in 9 rounds, want every round", n)
+	}
+	// The recovery is reported as a fresh RTT sample and resets backoff.
+	got := log.outcomes(down)
+	if len(got) != 4 || got[3].Failed || got[3].Latency != 40*time.Millisecond {
+		t.Fatalf("down path outcomes = %+v, want 3 failures then recovery", got)
+	}
+	drain(clock, time.Second, 100*time.Millisecond)
+	if n := script.count(down); n != 5 {
+		t.Fatalf("recovered path must be probed every round again, got %d", n)
+	}
+}
+
+func TestProberRunRoundDirectAndUntrack(t *testing.T) {
+	paths := []*segment.Path{fakePath(topology.AS211, 0)}
+	fp := paths[0].Fingerprint()
+	script := &probeScript{script: map[string][]probeOutcome{fp: {{rtt: 15 * time.Millisecond}}}}
+	p, _, log := proberFixture(t, paths, script, pan.ProberOptions{Interval: time.Second})
+
+	// Direct rounds need no Start and no clock movement.
+	p.RunRound()
+	p.RunRound()
+	if n := script.count(fp); n != 2 {
+		t.Fatalf("2 direct rounds probed %d times", n)
+	}
+	if got := log.outcomes(fp); len(got) != 2 || got[0].Latency != 15*time.Millisecond {
+		t.Fatalf("outcomes = %+v", got)
+	}
+	// Untracked destinations are not probed.
+	p.Untrack(addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 443}, "probe.server")
+	p.RunRound()
+	if n := script.total(); n != 2 {
+		t.Fatalf("probe after Untrack: %d total probes", n)
+	}
+}
+
+// TestProberFeedsLatencySelector closes the loop of the ROADMAP item: RTT
+// reports reorder a LatencySelector's ranking away from stale metadata.
+func TestProberFeedsLatencySelector(t *testing.T) {
+	// Metadata says path 0 is fastest; live probes say path 1 is.
+	paths := []*segment.Path{fakePath(topology.AS211, 0), fakePath(topology.AS211, 1)}
+	fp1 := paths[1].Fingerprint()
+	script := &probeScript{script: map[string][]probeOutcome{
+		paths[0].Fingerprint(): {{rtt: 500 * time.Millisecond}},
+		fp1:                    {{rtt: 5 * time.Millisecond}},
+	}}
+	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
+	ls := pan.NewLatencySelector()
+	p := pan.NewProber(clock, func(addr.IA) []*segment.Path { return paths }, ls.Report,
+		pan.ProberOptions{Interval: time.Second, Probe: script.fn})
+	p.Track(addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 443}, "probe.server")
+
+	before := ls.Rank(topology.AS211, paths)
+	if before[0].Path != paths[0] {
+		t.Fatal("metadata ranking should prefer path 0")
+	}
+	p.RunRound()
+	after := ls.Rank(topology.AS211, paths)
+	if after[0].Path != paths[1] {
+		t.Fatal("live RTT reports must re-rank path 1 first")
+	}
+	health := ls.PathHealth()
+	if len(health) != 2 {
+		t.Fatalf("PathHealth = %+v, want both paths", health)
+	}
+	for _, h := range health {
+		if h.Down {
+			t.Fatalf("no path is down: %+v", h)
+		}
+		if h.Fingerprint == fp1 && h.RTT != 5*time.Millisecond {
+			t.Fatalf("path 1 RTT = %v", h.RTT)
+		}
+	}
+}
+
+// TestProbeOutcomesDoNotAdvanceRoundRobin: probe telemetry must feed
+// health/latency without counting as served traffic — rotation advances on
+// reported USE only.
+func TestProbeOutcomesDoNotAdvanceRoundRobin(t *testing.T) {
+	paths := []*segment.Path{fakePath(topology.AS211, 0), fakePath(topology.AS211, 1)}
+	rr := pan.NewRoundRobinSelector(nil)
+	first := rr.Rank(topology.AS211, paths)[0].Path
+
+	// A whole probe round's worth of successes: rotation must not move.
+	rr.Report(paths[0], pan.Outcome{Latency: 10 * time.Millisecond, Probe: true})
+	rr.Report(paths[1], pan.Outcome{Latency: 20 * time.Millisecond, Probe: true})
+	if got := rr.Rank(topology.AS211, paths)[0].Path; got != first {
+		t.Fatal("probe outcomes advanced the round-robin rotation")
+	}
+	// A real use does.
+	rr.Report(first, pan.Success)
+	if got := rr.Rank(topology.AS211, paths)[0].Path; got == first {
+		t.Fatal("served traffic must advance the rotation")
+	}
+	// A failed probe still demotes the path.
+	rr.Report(paths[0], pan.Outcome{Failed: true, Probe: true})
+	if got := rr.Rank(topology.AS211, paths)[0].Path; got != paths[1] {
+		t.Fatal("failed probe must demote the path in the rotation")
+	}
+}

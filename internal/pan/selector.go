@@ -30,6 +30,11 @@ type Outcome struct {
 	// Latency is an observed round-trip latency sample, when one was
 	// measured (0 = no sample).
 	Latency time.Duration
+	// Probe marks a synthetic measurement (background prober) rather than
+	// real traffic. Health and latency are ingested either way, but
+	// use-driven selectors (RoundRobin rotation) must not treat a probe as
+	// a served request.
+	Probe bool
 }
 
 // Canonical outcomes.
@@ -51,6 +56,51 @@ var (
 type Selector interface {
 	Rank(dst addr.IA, paths []*segment.Path) []Candidate
 	Report(path *segment.Path, outcome Outcome)
+}
+
+// PathHealth is one path's live telemetry as exported by a selector:
+// down-state from failure reports, and the current round-trip estimate when
+// the selector tracks one. It is what the proxy's stats API and the
+// extension UI render as per-path liveness (paper §4.2).
+type PathHealth struct {
+	Fingerprint string        `json:"fingerprint"`
+	Down        bool          `json:"down"`
+	RTT         time.Duration `json:"rtt"` // 0 = no observation yet
+}
+
+// HealthExporter is implemented by selectors that can export per-path
+// telemetry. Every built-in selector implements it; compositions merge
+// their inner selector's view with their own.
+type HealthExporter interface {
+	PathHealth() []PathHealth
+}
+
+// mergePathHealth folds extra into base by fingerprint: Down is OR-ed and a
+// zero RTT never overwrites an observation. The result is sorted by
+// fingerprint so exports are deterministic.
+func mergePathHealth(base, extra []PathHealth) []PathHealth {
+	byFP := make(map[string]PathHealth, len(base)+len(extra))
+	for _, h := range base {
+		byFP[h.Fingerprint] = h
+	}
+	for _, h := range extra {
+		prev, ok := byFP[h.Fingerprint]
+		if !ok {
+			byFP[h.Fingerprint] = h
+			continue
+		}
+		prev.Down = prev.Down || h.Down
+		if prev.RTT == 0 {
+			prev.RTT = h.RTT
+		}
+		byFP[h.Fingerprint] = prev
+	}
+	out := make([]PathHealth, 0, len(byFP))
+	for _, h := range byFP {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
 }
 
 // health tracks per-path liveness shared by the built-in selectors. A path
@@ -77,6 +127,18 @@ func (h *health) report(path *segment.Path, outcome Outcome) {
 	} else if h.down != nil {
 		delete(h.down, path.Fingerprint())
 	}
+}
+
+// healthView exports the down set as PathHealth entries.
+func (h *health) healthView() []PathHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]PathHealth, 0, len(h.down))
+	for fp := range h.down {
+		out = append(out, PathHealth{Fingerprint: fp, Down: true})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
 }
 
 // isDown reports whether the path has an unresolved failure.
@@ -162,6 +224,12 @@ func (s *PolicySelector) Report(path *segment.Path, outcome Outcome) {
 	s.report(path, outcome)
 }
 
+// PathHealth implements HealthExporter: down-state only (the policy
+// selector tracks no latency).
+func (s *PolicySelector) PathHealth() []PathHealth {
+	return s.healthView()
+}
+
 // LatencySelector ranks paths by latency: the metadata latency until
 // observations arrive, then an EWMA of reported round-trip samples. Paths
 // reported down are demoted until they succeed again. Every path is
@@ -226,6 +294,18 @@ func (s *LatencySelector) Report(path *segment.Path, outcome Outcome) {
 	}
 }
 
+// PathHealth implements HealthExporter: every path with an RTT observation
+// or an unresolved failure, RTTs being the live EWMA the ranking uses.
+func (s *LatencySelector) PathHealth() []PathHealth {
+	s.mu.Lock()
+	observed := make([]PathHealth, 0, len(s.observed))
+	for fp, rtt := range s.observed {
+		observed = append(observed, PathHealth{Fingerprint: fp, RTT: rtt})
+	}
+	s.mu.Unlock()
+	return mergePathHealth(observed, s.healthView())
+}
+
 // RoundRobinSelector spreads load across the live compliant paths of an
 // inner selector's ranking. Rotation advances on REPORTED USE — each
 // Report(Success) moves the destination's next first choice — not on Rank,
@@ -276,16 +356,28 @@ func (r *RoundRobinSelector) Rank(dst addr.IA, paths []*segment.Path) []Candidat
 }
 
 // Report implements Selector: outcomes feed the inner selector and the
-// rotation's own health view, and each successful use advances the path's
-// destination to its next first choice.
+// rotation's own health view, and each successful USE advances the path's
+// destination to its next first choice. Probe outcomes contribute health
+// and latency but never advance the rotation — background probing must not
+// skew which paths carry actual traffic.
 func (r *RoundRobinSelector) Report(path *segment.Path, outcome Outcome) {
 	r.inner.Report(path, outcome)
 	r.report(path, outcome)
-	if path != nil && !outcome.Failed {
+	if path != nil && !outcome.Failed && !outcome.Probe {
 		r.mu.Lock()
 		r.next[path.Dst]++
 		r.mu.Unlock()
 	}
+}
+
+// PathHealth implements HealthExporter: the inner selector's view merged
+// with the rotation's own down set.
+func (r *RoundRobinSelector) PathHealth() []PathHealth {
+	var inner []PathHealth
+	if he, ok := r.inner.(HealthExporter); ok {
+		inner = he.PathHealth()
+	}
+	return mergePathHealth(inner, r.healthView())
 }
 
 // PinnedSelector lets the user pin a specific path per destination — the
@@ -355,4 +447,13 @@ func (s *PinnedSelector) Rank(dst addr.IA, paths []*segment.Path) []Candidate {
 // Report implements Selector.
 func (s *PinnedSelector) Report(path *segment.Path, outcome Outcome) {
 	s.inner.Report(path, outcome)
+}
+
+// PathHealth implements HealthExporter by delegation: pinning adds no
+// telemetry of its own.
+func (s *PinnedSelector) PathHealth() []PathHealth {
+	if he, ok := s.inner.(HealthExporter); ok {
+		return he.PathHealth()
+	}
+	return nil
 }

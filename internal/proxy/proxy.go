@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"net/netip"
 	"strconv"
+	"sync"
 	"time"
 
 	"tango/internal/addr"
@@ -29,6 +30,7 @@ import (
 	"tango/internal/netsim"
 	"tango/internal/pan"
 	"tango/internal/sciondetect"
+	"tango/internal/segment"
 	"tango/internal/shttp"
 	"tango/internal/squic"
 )
@@ -60,6 +62,18 @@ type Config struct {
 	// in the paper's Figure 3). Implementations typically sleep on the
 	// simulation clock.
 	Processing func()
+	// RaceWidth, when > 1, dials that many top-ranked SCION paths
+	// concurrently per connection and keeps the first completed handshake;
+	// RaceStagger offsets the racers' starts (0 = pan's default stagger).
+	// Both can be changed at runtime with SetRace.
+	RaceWidth   int
+	RaceStagger time.Duration
+	// ProbeInterval, when positive, runs a background prober that measures
+	// each known path to every SCION origin the proxy has dialed, feeding
+	// live RTT/liveness into the active selector so rankings react to
+	// network conditions between requests (and the stats API's Health
+	// reflects reality, paper §4.2). Changeable at runtime with SetProbing.
+	ProbeInterval time.Duration
 }
 
 // Proxy is the SKIP HTTP proxy.
@@ -70,19 +84,28 @@ type Proxy struct {
 
 	scion  *shttp.Transport
 	legacy *http.Transport
+
+	mu     sync.Mutex
+	prober *pan.Prober
 }
 
 // New builds the proxy.
 func New(cfg Config) *Proxy {
 	p := &Proxy{cfg: cfg, stats: NewStats()}
 	p.dialer = cfg.Host.NewDialer(pan.DialOptions{
-		Selector: cfg.Selector,
-		Mode:     pan.Opportunistic,
+		Selector:    cfg.Selector,
+		Mode:        pan.Opportunistic,
+		RaceWidth:   cfg.RaceWidth,
+		RaceStagger: cfg.RaceStagger,
 	})
 	p.scion = shttp.NewTransport(p.dialSCION)
 	p.legacy = &http.Transport{
 		DialContext:        p.dialLegacy,
 		DisableCompression: true,
+	}
+	p.stats.SetHealthSource(p.PathHealth)
+	if cfg.ProbeInterval > 0 {
+		p.SetProbing(cfg.ProbeInterval)
 	}
 	return p
 }
@@ -102,8 +125,49 @@ func (p *Proxy) SetSelector(s pan.Selector) {
 	p.scion.CloseIdleConnections()
 }
 
-// Close releases pooled connections.
+// SetRace reconfigures connection racing at runtime — the extension's
+// performance knob. Racing is a scheduling change, not a policy change:
+// pooled connections stay valid.
+func (p *Proxy) SetRace(width int, stagger time.Duration) {
+	p.dialer.SetRace(width, stagger)
+}
+
+// SetProbing starts (interval > 0) or stops (interval <= 0) the background
+// per-path RTT prober. A freshly started prober re-learns its targets from
+// the proxy's SCION dials, so the first requests after enabling it seed the
+// probe set.
+func (p *Proxy) SetProbing(interval time.Duration) {
+	p.mu.Lock()
+	old := p.prober
+	p.prober = nil
+	if interval > 0 {
+		// Outcomes route through the dialer's CURRENT selector, so a
+		// SetSelector swap redirects probe feedback automatically.
+		p.prober = p.cfg.Host.NewProber(func(path *segment.Path, o pan.Outcome) {
+			p.dialer.Selector().Report(path, o)
+		}, pan.ProberOptions{Interval: interval})
+		p.prober.Start()
+	}
+	p.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+}
+
+// PathHealth exports the active selector's per-path telemetry (down-state
+// and live RTT estimates) — the path-liveness feed behind the stats API and
+// the extension UI. Selectors that track no telemetry yield nil.
+func (p *Proxy) PathHealth() []PathHealth {
+	he, ok := p.dialer.Selector().(pan.HealthExporter)
+	if !ok {
+		return nil
+	}
+	return he.PathHealth()
+}
+
+// Close releases pooled connections and stops the prober.
 func (p *Proxy) Close() {
+	p.SetProbing(0)
 	p.scion.CloseIdleConnections()
 	p.legacy.CloseIdleConnections()
 	p.dialer.Close()
@@ -144,6 +208,13 @@ func (p *Proxy) dialSCION(ctx context.Context, authority string) (*squic.Conn, e
 	if !ok {
 		return nil, fmt.Errorf("proxy: %s not SCION-reachable", hostOnly(authority))
 	}
+	// Every SCION origin the proxy talks to becomes a probe target, so the
+	// prober's liveness view covers exactly the destinations that matter.
+	p.mu.Lock()
+	if p.prober != nil {
+		p.prober.Track(remote, hostOnly(authority))
+	}
+	p.mu.Unlock()
 	conn, _, err := p.dialer.Dial(ctx, remote, hostOnly(authority))
 	return conn, err
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"tango/internal/pan"
 )
 
 // Via classifies how a request was served.
@@ -34,6 +36,13 @@ type RequestRecord struct {
 	Status    int
 }
 
+// PathHealth is one path's live telemetry as exported through the stats
+// API: down-state from failure reports (dial errors, transport teardowns,
+// failed probes) and the current RTT estimate where the active selector
+// tracks one. It is the per-path liveness feed the paper's §4.2 UI renders
+// next to the usage statistics, and is exactly the selector's own export.
+type PathHealth = pan.PathHealth
+
 // Stats aggregates proxied-request outcomes. It is safe for concurrent use.
 type Stats struct {
 	mu      sync.Mutex
@@ -41,6 +50,7 @@ type Stats struct {
 	byHost  map[string]map[Via]int
 	byPath  map[string]*PathUsage
 	records []RequestRecord
+	health  func() []PathHealth
 }
 
 // PathUsage aggregates per-path feedback.
@@ -84,21 +94,42 @@ func (s *Stats) Record(r RequestRecord) {
 	s.records = append(s.records, r)
 }
 
+// SetHealthSource installs the live path-telemetry provider consulted by
+// Snapshot — the proxy wires it to the active selector's HealthExporter
+// view. The source is called outside the stats lock (it takes the
+// selector's own locks).
+func (s *Stats) SetHealthSource(f func() []PathHealth) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health = f
+}
+
 // Snapshot is an immutable copy of the aggregates.
 type Snapshot struct {
 	ByVia  map[Via]int            `json:"by_via"`
 	ByHost map[string]map[Via]int `json:"by_host"`
 	Paths  []PathUsage            `json:"paths"`
-	Total  int                    `json:"total"`
+	// Health is per-path liveness from the active selector: down-state and
+	// live RTT estimates, refreshed by dial outcomes and background probes.
+	Health []PathHealth `json:"health,omitempty"`
+	Total  int          `json:"total"`
 }
 
 // Snapshot copies the current aggregates.
 func (s *Stats) Snapshot() Snapshot {
 	s.mu.Lock()
+	health := s.health
+	s.mu.Unlock()
+	var liveness []PathHealth
+	if health != nil {
+		liveness = health()
+	}
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Snapshot{
 		ByVia:  make(map[Via]int, len(s.byVia)),
 		ByHost: make(map[string]map[Via]int, len(s.byHost)),
+		Health: liveness,
 		Total:  len(s.records),
 	}
 	for v, n := range s.byVia {

@@ -89,3 +89,26 @@ func TestHostPortHelpers(t *testing.T) {
 		t.Fatal("portOf wrong")
 	}
 }
+
+func TestSnapshotIncludesPathHealth(t *testing.T) {
+	s := NewStats()
+	if h := s.Snapshot().Health; h != nil {
+		t.Fatalf("health without a source = %+v", h)
+	}
+	s.SetHealthSource(func() []PathHealth {
+		return []PathHealth{
+			{Fingerprint: "fp-a", RTT: 42 * time.Millisecond},
+			{Fingerprint: "fp-b", Down: true},
+		}
+	})
+	snap := s.Snapshot()
+	if len(snap.Health) != 2 {
+		t.Fatalf("health = %+v", snap.Health)
+	}
+	if snap.Health[0].Fingerprint != "fp-a" || snap.Health[0].RTT != 42*time.Millisecond || snap.Health[0].Down {
+		t.Fatalf("health[0] = %+v", snap.Health[0])
+	}
+	if !snap.Health[1].Down {
+		t.Fatalf("health[1] = %+v", snap.Health[1])
+	}
+}

@@ -1,6 +1,7 @@
 package squic
 
 import (
+	"context"
 	"crypto/ecdh"
 	"crypto/rand"
 	"encoding/binary"
@@ -249,8 +250,17 @@ func (c *Conn) Close() error {
 // teardown closes the connection. If notify is set and keys exist, a CLOSE
 // frame is sent best-effort.
 func (c *Conn) teardown(code uint64, reason string, cause error, notify bool) {
+	c.teardownIf(nil, code, reason, cause, notify)
+}
+
+// teardownIf is teardown gated on a guard evaluated under the connection
+// lock, atomically with the closed check. Timeout and cancellation watchers
+// use it so their decision ("still not established/confirmed?") cannot race
+// a handshake completing between check and act — a plain check-then-teardown
+// could kill a connection the dialer just returned to its caller.
+func (c *Conn) teardownIf(guard func() bool, code uint64, reason string, cause error, notify bool) {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || (guard != nil && !guard()) {
 		c.mu.Unlock()
 		return
 	}
@@ -331,8 +341,13 @@ func (c *Conn) handleDatagram(dg *snet.Datagram) {
 
 // --- client handshake ---
 
-// dial starts the client handshake; the caller must hold no locks.
-func (c *Conn) dial(remote addr.UDPAddr, path *segment.Path, serverName string) error {
+// dial starts the client handshake; the caller must hold no locks. A
+// cancellation of ctx before the handshake completes tears the connection
+// down with ctx's error as the cause; after completion it is ignored.
+func (c *Conn) dial(ctx context.Context, remote addr.UDPAddr, path *segment.Path, serverName string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	eph, err := newEphemeral()
 	if err != nil {
 		return err
@@ -352,17 +367,31 @@ func (c *Conn) dial(remote addr.UDPAddr, path *segment.Path, serverName string) 
 	c.initialBuf = pkt
 	c.mu.Unlock()
 
+	if done := ctx.Done(); done != nil {
+		// Watch for caller-side cancellation for the duration of the
+		// handshake. Like the handshake timeout, cancellation only kills a
+		// connection that has not established yet: a cancel racing the
+		// final handshake packet must not tear down a usable connection the
+		// caller is about to receive.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				c.teardownIf(func() bool { return !c.established },
+					2, "dial canceled", ctx.Err(), false)
+			case <-stop:
+			}
+		}()
+	}
+
 	c.startReceiving()
 	c.sendRaw(pkt)
 	c.armHandshakeRetransmit(200 * time.Millisecond)
 	c.mu.Lock()
 	c.hsTimeout = c.clock.AfterFunc(c.cfg.HandshakeTimeout, func() {
-		c.mu.Lock()
-		est := c.established
-		c.mu.Unlock()
-		if !est {
-			c.teardown(2, "handshake timeout", ErrHandshakeTimeout, false)
-		}
+		c.teardownIf(func() bool { return !c.established },
+			2, "handshake timeout", ErrHandshakeTimeout, false)
 	})
 	for !c.established && !c.closed {
 		c.hsCond.Wait()
@@ -502,6 +531,19 @@ func serverHandleInitial(pconn PacketConn, cfg *Config, hdr header, body []byte,
 	c.helloBuf = hello
 	c.sendRaw(hello)
 	return c, true
+}
+
+// armConfirmTimeout tears a server connection down if the client never
+// confirms the handshake with a valid 1-RTT packet. This is the fate of an
+// abandoned Initial: a raced dial's canceled loser (or a crashed client)
+// reaches us, we answer with a Hello, and nothing ever comes back. Without
+// the timeout every such handshake would park a zombie connection in the
+// listener — and a goroutine in whatever accept loop serves it — forever.
+func (c *Conn) armConfirmTimeout() {
+	c.clock.AfterFunc(c.cfg.HandshakeTimeout, func() {
+		c.teardownIf(func() bool { return !c.confirmed },
+			2, "handshake never confirmed", ErrHandshakeTimeout, false)
+	})
 }
 
 // --- packet receive path ---

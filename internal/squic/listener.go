@@ -1,6 +1,7 @@
 package squic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -15,9 +16,18 @@ import (
 // expecting the server to prove ownership of serverName's key (looked up in
 // cfg.Pool). The PacketConn is owned by the connection and closed with it.
 func Dial(pconn PacketConn, remote addr.UDPAddr, path *segment.Path, serverName string, cfg *Config) (*Conn, error) {
+	return DialContext(context.Background(), pconn, remote, path, serverName, cfg)
+}
+
+// DialContext is Dial with a cancelable handshake: canceling ctx mid-dial
+// tears the pending connection down promptly and returns ctx's error, rather
+// than letting the handshake run to its timeout. Racing dialers depend on
+// this to discard losers the instant a winner completes. Cancellation after
+// the handshake has completed does not affect the established connection.
+func DialContext(ctx context.Context, pconn PacketConn, remote addr.UDPAddr, path *segment.Path, serverName string, cfg *Config) (*Conn, error) {
 	c := newConn(pconn, cfg.withDefaults(), true)
 	c.ownsPconn = true
-	if err := c.dial(remote, path, serverName); err != nil {
+	if err := c.dial(ctx, remote, path, serverName); err != nil {
 		pconn.Close()
 		return nil, fmt.Errorf("squic: dialing %s: %w", remote, err)
 	}
@@ -61,6 +71,15 @@ func Listen(pconn PacketConn, cfg *Config) (*Listener, error) {
 
 // Addr returns the listening endpoint.
 func (l *Listener) Addr() net.Addr { return l.pconn.LocalAddr() }
+
+// ConnCount returns the number of live connections the listener tracks —
+// an observability hook for tests and operators watching for zombie
+// connections from abandoned handshakes.
+func (l *Listener) ConnCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
 
 // Accept blocks for the next handshaken connection.
 func (l *Listener) Accept() (*Conn, error) {
@@ -127,6 +146,7 @@ func (l *Listener) handleDatagram(dg *snet.Datagram) {
 		l.mu.Lock()
 		l.conns[id] = conn
 		l.mu.Unlock()
+		conn.armConfirmTimeout()
 		select {
 		case l.acceptCh <- conn:
 		default:
