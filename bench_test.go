@@ -423,10 +423,17 @@ func (f *fixedSelector) Rank(addr.IA, []*segment.Path) []pan.Candidate {
 }
 func (f *fixedSelector) Report(*segment.Path, pan.Outcome) {}
 
-// asymmetricDialWorld builds a client/server pair across the ISDs (real
-// path diversity and latency asymmetry) and returns everything a dial
-// benchmark needs.
-func asymmetricDialWorld(b *testing.B) (*netsim.SimClock, *pan.Host, addr.UDPAddr, []*segment.Path) {
+// benchWorld is the shared substrate of the dial/telemetry benchmarks: a
+// full SCION world on a virtual auto-advancing clock.
+type benchWorld struct {
+	clock *netsim.SimClock
+	comb  *pathdb.Combiner
+	pool  *squic.CertPool
+	disp  map[addr.IA]*snet.Dispatcher
+	dw    *dataplane.World
+}
+
+func newBenchWorld(b *testing.B) *benchWorld {
 	b.Helper()
 	topo, infra, reg := controlPlane(b)
 	clock := netsim.NewSimClock(during)
@@ -438,18 +445,31 @@ func asymmetricDialWorld(b *testing.B) (*netsim.SimClock, *pan.Host, addr.UDPAdd
 	for _, as := range topo.ASes() {
 		disp[as.IA] = snet.NewDispatcher(dw.Router(as.IA), clock)
 	}
-	stop := clock.AutoAdvance(0)
-	b.Cleanup(stop)
+	b.Cleanup(clock.AutoAdvance(0))
+	return &benchWorld{
+		clock: clock,
+		comb:  pathdb.NewCombiner(reg),
+		pool:  squic.NewCertPool(),
+		disp:  disp,
+		dw:    dw,
+	}
+}
 
-	comb := pathdb.NewCombiner(reg)
-	pool := squic.NewCertPool()
-	server := pan.NewHost(disp[topology.AS211].Host(netip.MustParseAddr("10.0.0.9"), dw.Router(topology.AS211)), comb, pool)
-	id, err := squic.NewIdentity("bench.race")
+func (w *benchWorld) host(ia addr.IA, ip string) *pan.Host {
+	return pan.NewHost(w.disp[ia].Host(netip.MustParseAddr(ip), w.dw.Router(ia)), w.comb, w.pool)
+}
+
+// listen stands up a handshake-only server (no streams served) and returns
+// its address.
+func (w *benchWorld) listen(b *testing.B, ia addr.IA, ip string, port uint16, name string) addr.UDPAddr {
+	b.Helper()
+	server := w.host(ia, ip)
+	id, err := squic.NewIdentity(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	pool.AddIdentity(id)
-	lis, err := server.Listen(7500, id)
+	w.pool.AddIdentity(id)
+	lis, err := server.Listen(port, id)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -463,14 +483,22 @@ func asymmetricDialWorld(b *testing.B) (*netsim.SimClock, *pan.Host, addr.UDPAdd
 			_ = conn // handshake-only benchmark: no streams served
 		}
 	}()
+	return addr.UDPAddr{Addr: addr.Addr{IA: ia, Host: netip.MustParseAddr(ip)}, Port: port}
+}
 
-	client := pan.NewHost(disp[topology.AS111].Host(netip.MustParseAddr("10.0.0.8"), dw.Router(topology.AS111)), comb, pool)
-	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.9")}, Port: 7500}
+// asymmetricDialWorld builds a client/server pair across the ISDs (real
+// path diversity and latency asymmetry) and returns everything a dial
+// benchmark needs.
+func asymmetricDialWorld(b *testing.B) (*netsim.SimClock, *pan.Host, addr.UDPAddr, []*segment.Path) {
+	b.Helper()
+	w := newBenchWorld(b)
+	remote := w.listen(b, topology.AS211, "10.0.0.9", 7500, "bench.race")
+	client := w.host(topology.AS111, "10.0.0.8")
 	paths := client.Paths(topology.AS211)
 	if len(paths) < 2 {
 		b.Fatal("need path diversity")
 	}
-	return clock, client, remote, paths
+	return w.clock, client, remote, paths
 }
 
 // benchAsymmetricDial dials through a ranking whose TOP candidate is down
@@ -515,23 +543,95 @@ func BenchmarkDialSequential(b *testing.B) { benchAsymmetricDial(b, 0) }
 // candidate is still flailing; the loser is canceled, not awaited.
 func BenchmarkDialRaced(b *testing.B) { benchAsymmetricDial(b, 2) }
 
-// BenchmarkProberRound measures one full probe round — a handshake probe
-// per known inter-ISD path — i.e. the recurring background cost of keeping
-// rankings live.
+// BenchmarkProberRound measures one full probe sweep over a single tracked
+// destination — a handshake probe per known inter-ISD path — i.e. the
+// recurring background cost of keeping one destination's rankings live
+// (name kept from the PR-2 prober for trajectory continuity).
 func BenchmarkProberRound(b *testing.B) {
 	clock, client, remote, paths := asymmetricDialWorld(b)
 	ls := pan.NewLatencySelector()
-	prober := client.NewProber(ls.Report, pan.ProberOptions{Interval: time.Second})
-	prober.Track(remote, "bench.race")
+	monitor := client.NewMonitor(pan.MonitorOptions{BaseInterval: time.Second})
+	monitor.Subscribe(ls.Report)
+	monitor.Track(remote, "bench.race")
 	var virtual time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		start := clock.Now()
-		prober.RunRound()
+		monitor.RunRound()
 		virtual += clock.Since(start)
 	}
 	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtms/round")
 	b.ReportMetric(float64(len(paths)), "paths/round")
+}
+
+// BenchmarkMonitorRound measures one telemetry-plane sweep in the shared
+// configuration the monitor exists for: two destinations across both ISD-2
+// branches tracked by two subscribed selector sinks, deduplicated paths,
+// link decomposition included — the recurring cost of serving many dialers
+// from ONE probe schedule.
+func BenchmarkMonitorRound(b *testing.B) {
+	w := newBenchWorld(b)
+	remote1 := w.listen(b, topology.AS211, "10.0.0.9", 7500, "bench.mon")
+	remote2 := w.listen(b, topology.AS221, "10.0.0.10", 7501, "bench.mon")
+	client := w.host(topology.AS111, "10.0.0.8")
+
+	monitor := client.NewMonitor(pan.MonitorOptions{BaseInterval: time.Second})
+	ls1, ls2 := pan.NewLatencySelector(), pan.NewLatencySelector()
+	monitor.Subscribe(ls1.Report)
+	monitor.Subscribe(ls2.Report)
+	monitor.Track(remote1, "bench.mon")
+	monitor.Track(remote2, "bench.mon")
+
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := w.clock.Now()
+		monitor.RunRound()
+		virtual += w.clock.Since(start)
+	}
+	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtms/round")
+	b.ReportMetric(float64(monitor.TrackedPaths()), "paths/round")
+	b.ReportMetric(float64(len(monitor.LinkStats())), "links")
+}
+
+// BenchmarkDialAdaptive is the adaptive counterpart of BenchmarkDialRaced:
+// same per-dial decision point, but with warm, fresh telemetry and a
+// clearly healthy leader the adviser picks width 1 — the dial costs one
+// handshake instead of RaceWidth of them. The width metric records the
+// decision; virtms/dial the latency it buys.
+func BenchmarkDialAdaptive(b *testing.B) {
+	clock, client, remote, _ := asymmetricDialWorld(b)
+	ls := pan.NewLatencySelector()
+	monitor := client.NewMonitor(pan.MonitorOptions{BaseInterval: time.Second})
+	monitor.Subscribe(ls.Report)
+	monitor.Track(remote, "bench.race")
+	monitor.RunRound() // warm telemetry: fresh estimates, clear leader
+	monitor.Start()    // background schedule keeps it fresh across iterations
+	defer monitor.Stop()
+	d := client.NewDialer(pan.DialOptions{
+		Selector:     ls,
+		ServerName:   "bench.race",
+		Timeout:      2 * time.Second,
+		RaceWidth:    2,
+		AdaptiveRace: true,
+		Monitor:      monitor,
+	})
+	defer d.Close()
+
+	var virtual time.Duration
+	width := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Invalidate() // force a fresh dial per iteration
+		start := clock.Now()
+		if _, _, err := d.Dial(context.Background(), remote, ""); err != nil {
+			b.Fatal(err)
+		}
+		virtual += clock.Since(start)
+		width += d.LastRace().Width
+	}
+	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtms/dial")
+	b.ReportMetric(float64(width)/float64(b.N), "width/dial")
 }
 
 // BenchmarkDataplaneForwarding measures router validation+forwarding of one

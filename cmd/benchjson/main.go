@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repository's bench-trajectory JSON (BENCH_<n>.json): one entry per
+// benchmark with ns/op and every custom metric, so perf regressions are
+// trackable across PRs by diffing small committed files.
+//
+//	go test -bench=. -benchtime=1x -run NONE . | go run ./cmd/benchjson -pr 3 > BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Trajectory is the BENCH_<n>.json document.
+type Trajectory struct {
+	PR         int               `json:"pr"`
+	Go         string            `json:"go,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number stamped into the document")
+	flag.Parse()
+
+	out := Trajectory{PR: *pr, Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue // goos/goarch/cpu/pkg/PASS lines identify the runner only
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  1234 ns/op  [value unit]...
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		name = strings.TrimPrefix(name, "Benchmark")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		r := Result{NsPerOp: ns, Iters: iters}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -27,6 +27,8 @@ func main() {
 	strict := flag.Bool("strict", false, "enable strict mode for all hosts")
 	noExt := flag.Bool("no-extension", false, "disable the extension (direct BGP/IP fetching)")
 	raceWidth := flag.Int("race-width", 0, "race this many top-ranked paths per SCION connection")
+	probeInterval := flag.Duration("probe-interval", 0, "background path telemetry probe interval (0 = off)")
+	adaptiveRace := flag.Bool("adaptive-race", false, "tune the race width from telemetry (needs -probe-interval)")
 	flag.Parse()
 
 	w, client, err := experiments.Demo(1)
@@ -53,8 +55,25 @@ func main() {
 		client.Extension.SetRace(*raceWidth, 0)
 		fmt.Printf("racing: top %d ranked paths per connection\n", *raceWidth)
 	}
+	if *probeInterval > 0 {
+		client.Extension.SetProbing(*probeInterval)
+		fmt.Printf("probing: telemetry monitor at %v base interval\n", *probeInterval)
+	}
+	if *adaptiveRace {
+		if *probeInterval <= 0 {
+			fmt.Fprintln(os.Stderr, "-adaptive-race needs -probe-interval")
+			os.Exit(1)
+		}
+		client.Extension.SetAdaptiveRace(true)
+		fmt.Println("adaptive racing: width picked per dial from telemetry")
+	}
 
 	pl, err := client.Browser.LoadPage(context.Background(), *url)
+	if *probeInterval > 0 {
+		// Let the monitor's jittered schedule complete a probe round so the
+		// telemetry printout below shows live RTTs and link estimates.
+		w.Clock.Sleep(*probeInterval + *probeInterval/4)
+	}
 	if pl != nil {
 		fmt.Printf("\nPage:      %s\n", pl.URL)
 		fmt.Printf("PLT:       %v\n", pl.PLT)
@@ -93,6 +112,11 @@ func main() {
 		} else {
 			fmt.Printf("  path %s: %s\n", h.Fingerprint, state)
 		}
+	}
+	// Per-link congestion from the monitor's probe decomposition: where
+	// the variance lives, not just which paths feel it.
+	for _, l := range client.Extension.LinkHealth() {
+		fmt.Printf("  link %s <-> %s: excess=%v dev=%v sharers=%d\n", l.A, l.B, l.Congestion, l.Dev, l.Sharers)
 	}
 }
 

@@ -1,9 +1,18 @@
 // Command reverseproxy demonstrates the paper's SCION reverse proxy: an
 // IP-only origin gains SCION reachability through a reverse proxy deployed
 // in a nearby AS ("we have implemented a simple reverse proxy to add SCION
-// support to web servers", paper §5.1). The demo fetches the same origin
-// directly over the (slow) legacy route and over SCION via the reverse
-// proxy, and compares.
+// support to web servers", paper §5.1).
+//
+// The demo has two parts. First it fetches the origin directly over the
+// (slow) legacy route and over SCION via the reverse proxy, and compares.
+// Then it stands up several clients at once — the load the reverse proxy
+// actually exists to serve — and spreads their traffic across the peering
+// links: every client's dialer shares ONE pan.Monitor (the telemetry
+// plane), each rotates over the live paths with a RoundRobinSelector whose
+// health feedback comes from the shared probes, and the per-path usage
+// statistics plus the monitor's link congestion view show the spread.
+//
+//	reverseproxy -clients 3 -requests 4 -probe-budget 16 -adaptive-race
 package main
 
 import (
@@ -11,12 +20,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tango/internal/experiments"
+	"tango/internal/pan"
+	"tango/internal/topology"
 )
 
 func main() {
+	clients := flag.Int("clients", 3, "concurrent clients to spread across the peering links")
+	requests := flag.Int("requests", 4, "page loads per client")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "shared monitor's base per-path probe interval")
+	probeBudget := flag.Float64("probe-budget", 0, "global probes/sec cap across all tracked paths (0 = pan default)")
+	adaptiveRace := flag.Bool("adaptive-race", false, "auto-tune each client's race width from the shared telemetry")
 	flag.Parse()
+
 	w, client, err := experiments.Demo(4)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "building world: %v\n", err)
@@ -26,7 +44,7 @@ func main() {
 
 	const page = "http://www.proxied.example/index.html"
 
-	// Over SCION via the reverse proxy (extension enabled).
+	// Part 1: one client, SCION vs legacy.
 	pl, err := client.Browser.LoadPage(context.Background(), page)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "SCION load: %v\n", err)
@@ -34,7 +52,6 @@ func main() {
 	}
 	fmt.Printf("via SCION reverse proxy: PLT %-12v indicator %s\n", pl.PLT, pl.Indicator)
 
-	// Direct over legacy IP (extension disabled).
 	client.Browser.SetExtensionEnabled(false)
 	pl2, err := client.Browser.LoadPage(context.Background(), page)
 	if err != nil {
@@ -49,4 +66,79 @@ func main() {
 	} else {
 		fmt.Printf("\nlegacy IP wins by %v on this route.\n", pl.PLT-pl2.PLT)
 	}
+
+	// Part 2: many clients, one telemetry plane, rotation over live paths.
+	fmt.Printf("\n== spreading %d clients across the peering links ==\n", *clients)
+	vantage := w.PANHost(topology.AS111, "10.0.9.250")
+	monitor := vantage.NewMonitor(pan.MonitorOptions{
+		BaseInterval: *probeInterval,
+		ProbeBudget:  *probeBudget,
+	})
+	monitor.Start()
+
+	type bundle struct {
+		c  *experiments.Client
+		rr *pan.RoundRobinSelector
+	}
+	fleet := make([]bundle, 0, *clients)
+	for i := 0; i < *clients; i++ {
+		c, err := w.NewClient(experiments.ClientConfig{
+			IA:           topology.AS111,
+			IP:           fmt.Sprintf("10.0.7.%d", i+1),
+			LegacyName:   fmt.Sprintf("rp-client-%d", i+1),
+			Monitor:      monitor, // ONE monitor, many dialers
+			RaceWidth:    3,
+			AdaptiveRace: *adaptiveRace,
+			Seed:         int64(i + 1),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "client %d: %v\n", i+1, err)
+			os.Exit(1)
+		}
+		defer c.Proxy.Close()
+		// Rotation over a hotspot-aware base ranking: the shared probes
+		// feed health and latency; served requests advance the rotation.
+		rr := pan.NewRoundRobinSelector(pan.NewHotspotSelector(monitor))
+		c.Extension.SetSelector(rr)
+		fleet = append(fleet, bundle{c: c, rr: rr})
+	}
+
+	for r := 0; r < *requests; r++ {
+		for i, b := range fleet {
+			if r > 0 {
+				// Rotation advances per dialed connection; drop the pooled
+				// connection so every load dials afresh and the spread is
+				// visible in the path-usage statistics.
+				b.c.Proxy.Dialer().Invalidate()
+			}
+			if _, err := b.c.Browser.LoadPage(context.Background(), page); err != nil {
+				fmt.Fprintf(os.Stderr, "client %d load %d: %v\n", i+1, r+1, err)
+			}
+		}
+	}
+	// Give the shared schedule a couple of jittered probe rounds.
+	w.Clock.Sleep(2 * *probeInterval)
+
+	fmt.Printf("telemetry plane: %d destinations, %d paths tracked for %d dialers\n",
+		monitor.TargetCount(), monitor.TrackedPaths(), len(fleet))
+	fmt.Println("per-client path usage (RoundRobinSelector statistics, the feedback signal):")
+	for i, b := range fleet {
+		snap := b.c.Proxy.Stats().Snapshot()
+		fmt.Printf("  client %d:\n", i+1)
+		for _, u := range snap.Paths {
+			fmt.Printf("    %s  requests=%d\n", u.Fingerprint, u.Requests)
+		}
+		if *adaptiveRace {
+			dec := b.c.Proxy.Dialer().LastRace()
+			fmt.Printf("    last race decision: width=%d (%s)\n", dec.Width, dec.Reason)
+		}
+	}
+	if links := monitor.LinkStats(); len(links) > 0 {
+		fmt.Println("link congestion estimates (shared telemetry, min-across-paths attribution):")
+		for _, l := range links {
+			fmt.Printf("  %s <-> %s  excess=%-6s dev=%-6s sharers=%d\n",
+				l.A, l.B, l.Congestion.Round(time.Millisecond), l.Dev.Round(time.Millisecond), l.Sharers)
+		}
+	}
+	monitor.Stop()
 }

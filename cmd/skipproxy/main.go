@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tango/internal/experiments"
 	"tango/internal/pan"
@@ -24,10 +25,12 @@ import (
 
 func main() {
 	policyFile := flag.String("policy", "", "PPL policy JSON file")
-	selector := flag.String("selector", "", "path-selection strategy: latency or roundrobin (default: policy-driven)")
+	selector := flag.String("selector", "", "path-selection strategy: latency, roundrobin, or hotspot (default: policy-driven)")
 	requests := flag.Int("requests", 6, "requests to send through the proxy per origin")
 	raceWidth := flag.Int("race-width", 0, "dial this many top-ranked paths concurrently per connection (0/1 = sequential failover)")
-	probeInterval := flag.Duration("probe-interval", 0, "background per-path RTT probe interval (0 = probing off)")
+	probeInterval := flag.Duration("probe-interval", 0, "base per-path RTT probe interval of the telemetry monitor (0 = probing off)")
+	probeBudget := flag.Float64("probe-budget", 0, "global probes/sec cap across all tracked paths (0 = pan default)")
+	adaptiveRace := flag.Bool("adaptive-race", false, "auto-tune the race width from telemetry freshness and RTT spread (needs -probe-interval)")
 	flag.Parse()
 
 	if *policyFile != "" && *selector != "" {
@@ -56,6 +59,14 @@ func main() {
 		client.Extension.SetPolicy(&pol)
 		fmt.Printf("installed policy %q\n", pol.Name)
 	}
+	if *probeInterval > 0 {
+		client.Proxy.SetProbing(*probeInterval, *probeBudget)
+		if *probeBudget > 0 {
+			fmt.Printf("telemetry monitor: base interval %v, budget %.1f probes/s\n", *probeInterval, *probeBudget)
+		} else {
+			fmt.Printf("telemetry monitor: base interval %v\n", *probeInterval)
+		}
+	}
 	switch *selector {
 	case "":
 	case "latency":
@@ -64,8 +75,15 @@ func main() {
 	case "roundrobin":
 		client.Extension.SetSelector(pan.NewRoundRobinSelector(nil))
 		fmt.Println("installed round-robin selector")
+	case "hotspot":
+		if *probeInterval <= 0 {
+			fmt.Fprintln(os.Stderr, "-selector hotspot needs -probe-interval (link telemetry comes from the monitor)")
+			os.Exit(1)
+		}
+		client.Extension.SetSelector(pan.NewHotspotSelector(client.Proxy.Monitor()))
+		fmt.Println("installed hotspot-aware selector (latency + shared-link variance penalty)")
 	default:
-		fmt.Fprintf(os.Stderr, "unknown selector %q (want latency or roundrobin)\n", *selector)
+		fmt.Fprintf(os.Stderr, "unknown selector %q (want latency, roundrobin, or hotspot)\n", *selector)
 		os.Exit(1)
 	}
 
@@ -73,9 +91,13 @@ func main() {
 		client.Proxy.SetRace(*raceWidth, 0)
 		fmt.Printf("racing the top %d ranked paths per connection\n", *raceWidth)
 	}
-	if *probeInterval > 0 {
-		client.Proxy.SetProbing(*probeInterval)
-		fmt.Printf("probing every known path each %v\n", *probeInterval)
+	if *adaptiveRace {
+		if *probeInterval <= 0 {
+			fmt.Fprintln(os.Stderr, "-adaptive-race needs -probe-interval (width decisions come from telemetry)")
+			os.Exit(1)
+		}
+		client.Proxy.SetAdaptiveRace(true)
+		fmt.Println("adaptive racing: width tuned per dial from telemetry freshness and RTT spread")
 	}
 
 	origins := []string{"www.scion.example", "www.legacy.example", "www.proxied.example"}
@@ -132,5 +154,16 @@ func main() {
 			}
 			fmt.Printf("  %s  %-4s %s\n", h.Fingerprint, state, rtt)
 		}
+	}
+	if len(snap.Links) > 0 {
+		fmt.Println("link congestion (monitor decomposition of path probes):")
+		for _, l := range snap.Links {
+			fmt.Printf("  %s <-> %s  excess=%-6s dev=%-6s sharers=%d\n",
+				l.A, l.B, l.Congestion.Round(time.Millisecond), l.Dev.Round(time.Millisecond), l.Sharers)
+		}
+	}
+	if *adaptiveRace {
+		dec := client.Proxy.Dialer().LastRace()
+		fmt.Printf("last race decision: width=%d (%s)\n", dec.Width, dec.Reason)
 	}
 }

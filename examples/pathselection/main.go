@@ -2,9 +2,10 @@
 // two ASes and apply the property policies of the paper's Table 1 — low
 // latency, high bandwidth, fewest hops, green (CO2) routing, and a PPL
 // sequence constraint — then demonstrate the live-telemetry machinery:
-// multipath connection racing and background RTT probing.
+// multipath connection racing, the shared telemetry monitor, hotspot-aware
+// ranking, and adaptive race widths.
 //
-// Racing and probing knobs (pan.DialOptions / pan.ProberOptions):
+// Racing and telemetry knobs (pan.DialOptions / pan.MonitorOptions):
 //
 //   - RaceWidth: how many top-ranked candidates a Dialer dials
 //     concurrently per connection, keeping the first completed handshake
@@ -14,15 +15,19 @@
 //     choice wins without extra handshakes on the wire (0 = pan's
 //     DefaultRaceStagger; negative = no stagger).
 //
-//   - ProberOptions.Interval: how often every known path to each tracked
-//     destination is probed (a minimal squic handshake each).
+//   - Monitor (DialOptions.Monitor): the host's shared telemetry plane.
+//     One monitor serves any number of dialers: destinations are tracked
+//     while pooled, probes are phase-jittered per path with churn-adaptive
+//     intervals under a global probes/sec budget (MonitorOptions), and
+//     each measurement is decomposed into per-link congestion estimates.
 //
-//   - ProberOptions.Timeout: per-probe cap, so dead paths cannot stall a
-//     round past the next one.
+//   - NewHotspotSelector(monitor): ranks by observed latency PLUS a
+//     penalty for every high-variance shared link the path crosses, so
+//     congestion on a link two paths share demotes both at once.
 //
-//   - ProberOptions.DownBackoff / MaxBackoff: rounds a failed path sits
-//     out, doubling per consecutive failure, so mostly-dead path sets
-//     don't burn every round in timeouts.
+//   - AdaptiveRace: the dialer asks the monitor for a width per dial —
+//     wide only while the leader's estimate is stale or contested, a
+//     single handshake once the leader is clearly healthy.
 //
 // Run with:
 //
@@ -124,17 +129,24 @@ func main() {
 	ls.Report(best, pan.Success)
 	show("after recovery", ls)
 
-	// Live telemetry: race the top-ranked candidates per dial and keep the
-	// rankings fresh with a background RTT prober. The demo world serves
-	// www.scion.example from 2-ff00:0:211 port 80 — dial it for real.
-	fmt.Println("\nmultipath racing + RTT probing:")
-	live := pan.NewLatencySelector()
+	// Live telemetry: ONE monitor per host is the shared plane every dialer
+	// feeds from. The hotspot selector ranks over its link decomposition,
+	// and AdaptiveRace lets it pick the race width per dial. The demo world
+	// serves www.scion.example from 2-ff00:0:211 port 80 — dial it for real.
+	fmt.Println("\nshared telemetry monitor + hotspot ranking + adaptive racing:")
+	monitor := host.NewMonitor(pan.MonitorOptions{
+		BaseInterval: 3 * time.Second, // churn-adapted per path between Base/4 and 4*Base
+		Timeout:      time.Second,
+		ProbeBudget:  16, // global probes/sec cap across every tracked path
+	})
+	live := pan.NewHotspotSelector(monitor) // latency + shared-link variance penalty
 	dialer := host.NewDialer(pan.DialOptions{
-		Selector:    live,
-		ServerName:  "www.scion.example",
-		Timeout:     2 * time.Second,
-		RaceWidth:   3,                     // race the top 3 ranked paths
-		RaceStagger: 15 * time.Millisecond, // head start per rank
+		Selector:     live,
+		ServerName:   "www.scion.example",
+		Timeout:      2 * time.Second,
+		RaceWidth:    3, // cap: adaptive racing never goes wider
+		AdaptiveRace: true,
+		Monitor:      monitor,
 	})
 	defer dialer.Close()
 	remote := addr.UDPAddr{Addr: addr.Addr{IA: dst, Host: netip.MustParseAddr("10.0.0.2")}, Port: 80}
@@ -143,19 +155,15 @@ func main() {
 		log.Fatal(err)
 	}
 	_ = conn // pooled; the dialer owns its lifecycle
-	fmt.Printf("  raced winner     -> %v over %s\n", rsel.Path.Meta.Latency, rsel.Path)
+	dec := dialer.LastRace()
+	fmt.Printf("  first dial       -> %v over %s\n", rsel.Path.Meta.Latency, rsel.Path)
+	fmt.Printf("                      raced width %d (%s): no telemetry yet, race wide\n", dec.Width, dec.Reason)
 
-	// The prober measures every known path each Interval; RunRound runs
-	// one deterministic round inline (a daemon would call Start instead).
-	prober := host.NewProber(live.Report, pan.ProberOptions{
-		Interval:    3 * time.Second,
-		Timeout:     time.Second,
-		DownBackoff: 1,
-		MaxBackoff:  4,
-	})
-	prober.Track(remote, "www.scion.example")
-	prober.RunRound()
-	prober.RunRound()
+	// The dial pooled a connection, so the destination is now tracked; a
+	// daemon would just let the monitor's jittered schedule run (Start),
+	// tests and demos drive deterministic rounds inline.
+	monitor.RunRound()
+	monitor.RunRound()
 	fmt.Println("  per-path telemetry after two probe rounds:")
 	for _, h := range live.PathHealth() {
 		state := "live"
@@ -164,4 +172,19 @@ func main() {
 		}
 		fmt.Printf("    %s  %-4s observed-rtt=%v\n", h.Fingerprint, state, h.RTT)
 	}
+	for _, p := range host.Paths(dst) {
+		if tel, ok := monitor.Telemetry(p.Fingerprint()); ok {
+			fmt.Printf("    %s  interval=%-4v dev=%-6v fresh=%v\n",
+				p.Fingerprint(), tel.Interval, tel.Dev, tel.Fresh)
+		}
+	}
+
+	// With fresh telemetry and a clear leader the next dial doesn't race at
+	// all: width 1, zero extra handshakes on the wire.
+	dialer.Invalidate() // drop the pooled conn so the next Dial decides anew
+	if _, _, err := dialer.Dial(context.Background(), remote, ""); err != nil {
+		log.Fatal(err)
+	}
+	dec = dialer.LastRace()
+	fmt.Printf("  re-dial          -> raced width %d (%s)\n", dec.Width, dec.Reason)
 }

@@ -147,11 +147,18 @@ func (e *Extension) SetRace(width int, stagger time.Duration) {
 	e.proxy.SetRace(width, stagger)
 }
 
-// SetProbing starts (interval > 0) or stops the proxy's background per-path
-// RTT prober, which keeps rankings and the liveness view fresh between
-// requests.
+// SetProbing starts (interval > 0) or stops the proxy's background path
+// telemetry monitor, which keeps rankings and the liveness view fresh
+// between requests.
 func (e *Extension) SetProbing(interval time.Duration) {
-	e.proxy.SetProbing(interval)
+	e.proxy.SetProbing(interval, 0)
+}
+
+// SetAdaptiveRace toggles telemetry-driven race-width tuning: the proxy
+// races wide only while the leading path's estimate is stale or contested.
+// Needs probing enabled to have effect.
+func (e *Extension) SetAdaptiveRace(on bool) {
+	e.proxy.SetAdaptiveRace(on)
 }
 
 // PathHealth surfaces the proxy's per-path liveness and live RTT telemetry
@@ -159,6 +166,12 @@ func (e *Extension) SetProbing(interval time.Duration) {
 // paper's §4.2 path-selection UI.
 func (e *Extension) PathHealth() []proxy.PathHealth {
 	return e.proxy.PathHealth()
+}
+
+// LinkHealth surfaces the monitor's per-link congestion estimates — the UI
+// layer that can show WHERE congestion lives, not just which paths feel it.
+func (e *Extension) LinkHealth() []proxy.LinkStat {
+	return e.proxy.LinkStats()
 }
 
 // strictFor decides whether a request to host runs in strict mode: user

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/pan"
+	"tango/internal/segment"
+	"tango/internal/topology"
+)
+
+// TestHotspotRoutingAndAdaptiveRaceE2E is the deterministic netsim scenario
+// of the shared telemetry plane: congestion on ONE shared link degrades TWO
+// paths at once, and only the link-level decomposition can localize it.
+//
+// Topology: of the three inter-ISD paths AS111 → AS211, the two fastest
+// (via 120-210 at 91ms and via 120-220-210 at 116ms one-way) both cross the
+// 110-120 core link; the third (the slow 110-210 geodesic, 126ms) avoids
+// it. The test oscillates 110-120's latency (+40ms every other probe round,
+// a square wave), so the degraded paths' RTT alternates between baseline
+// and +80ms:
+//
+//   - LatencySelector's end-to-end EWMA averages the oscillation away: the
+//     fast path's estimate peaks at ~228ms, still below the clean path's
+//     steady 252ms, so it KEEPS ranking the degraded path first — it
+//     cannot see where the variance lives.
+//   - HotspotSelector reads the monitor's link store, where the
+//     min-across-paths attribution pins the excess to exactly 110-120
+//     (both crossing paths run hot; every link a clean path crosses is
+//     exonerated), and the variance penalty demotes BOTH degraded paths
+//     below the stable one: it routes around the hotspot.
+//
+// One Monitor serves both selectors' dialers (refcounted tracking), and
+// adaptive racing is asserted on the same telemetry: the first dial (no
+// telemetry) races the full width, while a dial one probe round after the
+// leader's estimate is in drops to width 1 — the leader is fresh and
+// clearly ahead, so no extra handshakes touch the wire.
+func TestHotspotRoutingAndAdaptiveRaceE2E(t *testing.T) {
+	w, err := NewWorld(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	server := w.PANHost(topology.AS211, "10.0.0.88")
+	lis := echoListener(t, server, 7400, "hotspot.e2e", w.Pool)
+	t.Cleanup(func() { lis.Close() })
+	client := w.PANHost(topology.AS111, "10.0.8.40")
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.88")}, Port: 7400}
+
+	paths := client.Paths(topology.AS211)
+	var hot []*segment.Path
+	var clean *segment.Path
+	for _, p := range paths {
+		if pathUsesLink(p, topology.Core110, topology.Core120) {
+			hot = append(hot, p)
+		} else {
+			clean = p
+		}
+	}
+	if len(hot) < 2 || clean == nil {
+		t.Fatalf("scenario needs ≥2 paths over 110-120 and one avoiding it; got %d hot, clean=%v", len(hot), clean)
+	}
+
+	monitor := client.NewMonitor(pan.MonitorOptions{
+		BaseInterval: 2 * time.Second,
+		Timeout:      time.Second,
+	})
+	hs := pan.NewHotspotSelector(monitor)
+	ls := pan.NewLatencySelector()
+	// Two dialers, ONE monitor: the shared-plane deployment shape.
+	dHot := client.NewDialer(pan.DialOptions{
+		Selector:     hs,
+		ServerName:   "hotspot.e2e",
+		Timeout:      2 * time.Second,
+		RaceWidth:    3,
+		AdaptiveRace: true,
+		Monitor:      monitor,
+	})
+	t.Cleanup(dHot.Close)
+	dLat := client.NewDialer(pan.DialOptions{
+		Selector:   ls,
+		ServerName: "hotspot.e2e",
+		Timeout:    2 * time.Second,
+		Monitor:    monitor,
+	})
+	t.Cleanup(dLat.Close)
+
+	// First dial: no telemetry yet — adaptive racing must go full width.
+	conn, _, err := dHot.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatalf("first dial: %v", err)
+	}
+	echoRoundTrip(t, conn)
+	if dec := dHot.LastRace(); !dec.Adaptive || dec.Width != 3 {
+		t.Fatalf("first dial raced width %d (%s), want full width 3 without telemetry", dec.Width, dec.Reason)
+	}
+	if _, _, err := dLat.Dial(context.Background(), remote, ""); err != nil {
+		t.Fatalf("latency dialer dial: %v", err)
+	}
+	if n := monitor.TargetCount(); n != 1 {
+		t.Fatalf("two dialers pooling one destination must refcount to 1 target, got %d", n)
+	}
+
+	// Congest the shared link with a deterministic square wave: +40ms
+	// one-way every other probe round. Probes within a round are
+	// sequential on the virtual clock, so each round samples one phase.
+	link := w.DW.Link(topology.Core110, topology.Core120)
+	if link == nil {
+		t.Fatal("default topology must have the 110-120 core link")
+	}
+	base := link.Props()
+	for round := 0; round < 8; round++ {
+		props := base
+		if round%2 == 1 {
+			props.Latency = base.Latency + 40*time.Millisecond
+		}
+		link.SetProps(props)
+		monitor.RunRound()
+	}
+	link.SetProps(base)
+
+	// The monitor's link store must localize the congestion: 110-120
+	// blamed (both crossing paths ran hot), the clean path's links
+	// exonerated by min-across-paths attribution.
+	var blamed bool
+	for _, l := range monitor.LinkStats() {
+		is110120 := (l.A == topology.Core110 && l.B == topology.Core120) || (l.A == topology.Core120 && l.B == topology.Core110)
+		if is110120 {
+			if l.Sharers < 2 || l.Dev <= 10*time.Millisecond {
+				t.Fatalf("shared hot link 110-120 under-attributed: %+v", l)
+			}
+			blamed = true
+		}
+		crossesClean := pathUsesLink(clean, l.A, l.B)
+		if crossesClean && l.Congestion+2*l.Dev > 10*time.Millisecond {
+			t.Fatalf("link %s<->%s on the clean path blamed: %+v", l.A, l.B, l)
+		}
+	}
+	if !blamed {
+		t.Fatalf("no congestion attributed to 110-120: %+v", monitor.LinkStats())
+	}
+
+	// LatencySelector still ranks a degraded path first (the oscillation's
+	// EWMA mean stays below the clean path's RTT) — it does NOT route
+	// around the hotspot...
+	if top := ls.Rank(topology.AS211, paths)[0].Path; !pathUsesLink(top, topology.Core110, topology.Core120) {
+		t.Fatalf("latency ranking routed around the hot link (top %s) — scenario lost its discriminating power", top)
+	}
+	// ...while HotspotSelector does, demoting BOTH degraded paths.
+	hsRank := hs.Rank(topology.AS211, paths)
+	if top := hsRank[0].Path; top.Fingerprint() != clean.Fingerprint() {
+		t.Fatalf("hotspot ranking top = %s, want the clean path %s", top, clean)
+	}
+
+	// Adaptive racing on the same telemetry: the leader (clean path) is
+	// fresh and ~20ms ahead of the next stable estimate, so one probe
+	// round after stabilizing, the dial drops to width 1 and wins on the
+	// clean path.
+	dHot.Invalidate()
+	conn2, sel2, err := dHot.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatalf("post-telemetry dial: %v", err)
+	}
+	echoRoundTrip(t, conn2)
+	if dec := dHot.LastRace(); !dec.Adaptive || dec.Width != 1 || dec.Reason != "clear-leader" {
+		t.Fatalf("post-telemetry race decision = %+v, want width 1 clear-leader", dec)
+	}
+	if sel2.Path.Fingerprint() != clean.Fingerprint() {
+		t.Fatalf("hotspot dial won on %s, want the clean path %s", sel2.Path, clean)
+	}
+
+	// The latency dialer keeps using a degraded path — only the hotspot
+	// selector routed around the shared congestion.
+	dLat.Invalidate()
+	_, selLat, err := dLat.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatalf("latency dial: %v", err)
+	}
+	if !pathUsesLink(selLat.Path, topology.Core110, topology.Core120) {
+		t.Fatalf("latency dialer unexpectedly avoided the hot link: %s", selLat.Path)
+	}
+}

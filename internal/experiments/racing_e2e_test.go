@@ -174,7 +174,7 @@ func TestProxyProbingSurfacesHealthStats(t *testing.T) {
 //  2. Loser cleanup: once the canceled racers' abandoned handshakes are
 //     reaped, the server tracks exactly the one pooled connection.
 //  3. Killing the winning path mid-run is detected by the background
-//     prober within one probe interval (+ probe timeout), and the next
+//     monitor within one probe interval (+ probe timeout), and the next
 //     dial fails over to the fastest path still alive.
 //  4. Nothing leaks: goroutines return to baseline after teardown.
 func TestRacingAndProbingE2E(t *testing.T) {
@@ -232,10 +232,17 @@ func TestRacingAndProbingE2E(t *testing.T) {
 		t.Fatalf("winner's live RTT sample missing: %+v", ls.PathHealth())
 	}
 
-	// Background prober keeps every path's RTT fresh between dials.
-	prober := client.NewProber(ls.Report, pan.ProberOptions{Interval: 4 * time.Second, Timeout: time.Second})
-	prober.Track(remote, "race.e2e")
-	prober.Start()
+	// The background telemetry monitor keeps every path's RTT fresh between
+	// dials. MaxInterval is pinned to the base so churn adaptation cannot
+	// stretch a stable path's schedule beyond the detection budget below.
+	monitor := client.NewMonitor(pan.MonitorOptions{
+		BaseInterval: 4 * time.Second,
+		MaxInterval:  4 * time.Second,
+		Timeout:      time.Second,
+	})
+	monitor.Subscribe(ls.Report)
+	monitor.Track(remote, "race.e2e")
+	monitor.Start()
 	w.Clock.Sleep(5 * time.Second)
 	for _, p := range paths {
 		if pathUsesLink(p, topology.Core110, topology.Core210) {
@@ -257,15 +264,16 @@ func TestRacingAndProbingE2E(t *testing.T) {
 		t.Fatalf("server tracks %d conns, want only the pooled winner", n)
 	}
 
-	// 3. Kill the winning path's distinguishing link mid-run: the prober
-	// must mark it down within one interval (+ probe timeout), and the
-	// next dial must fail over to the fastest live path.
+	// 3. Kill the winning path's distinguishing link mid-run: the monitor
+	// must mark it down within one (jittered: ≤1.15×) probe interval plus
+	// the probe timeout, and the next dial must fail over to the fastest
+	// live path.
 	dead := w.DW.Link(topology.Core120, topology.Core210)
 	dprops := dead.Props()
 	dprops.LossRate = 1
 	dead.SetProps(dprops)
 	killedAt := w.Clock.Now()
-	const detectionBudget = 4*time.Second + time.Second + 500*time.Millisecond
+	const detectionBudget = 4*time.Second*115/100 + time.Second + 500*time.Millisecond
 	for {
 		if h, ok := healthOf(ls, fastest.Fingerprint()); ok && h.Down {
 			break
@@ -301,7 +309,7 @@ func TestRacingAndProbingE2E(t *testing.T) {
 
 	// 4. Teardown leaves nothing behind: let any in-flight probe resolve
 	// while the clock still advances, then close everything.
-	prober.Stop()
+	monitor.Stop()
 	w.Clock.Sleep(2 * time.Second)
 	d.Close()
 	if conn2.Err() == nil {

@@ -164,9 +164,19 @@ type ClientConfig struct {
 	// racers' starts (0 = pan's default stagger when racing).
 	RaceWidth   int
 	RaceStagger time.Duration
-	// ProbeInterval, when positive, runs the proxy's background per-path
-	// RTT prober on the world's virtual clock.
+	// ProbeInterval, when positive, runs the proxy's background path
+	// telemetry monitor on the world's virtual clock. Ignored when Monitor
+	// is set.
 	ProbeInterval time.Duration
+	// ProbeBudget caps the owned monitor's probes/sec (0 = pan default).
+	ProbeBudget float64
+	// Monitor attaches the client's proxy to a shared telemetry plane —
+	// several clients' dialers feeding from (and into) one monitor, the
+	// skip-proxy deployment shape.
+	Monitor *pan.Monitor
+	// AdaptiveRace lets telemetry pick the race width per dial (RaceWidth
+	// caps it).
+	AdaptiveRace bool
 	// Seed drives the overhead jitter so repeated runs differ.
 	Seed int64
 }
@@ -205,6 +215,9 @@ func (w *World) NewClient(cfg ClientConfig) (*Client, error) {
 		RaceWidth:     cfg.RaceWidth,
 		RaceStagger:   cfg.RaceStagger,
 		ProbeInterval: cfg.ProbeInterval,
+		ProbeBudget:   cfg.ProbeBudget,
+		Monitor:       cfg.Monitor,
+		AdaptiveRace:  cfg.AdaptiveRace,
 	})
 
 	// Loopback: zero-latency same-machine route, unique port per client.

@@ -40,6 +40,30 @@ type DialOptions struct {
 	// wins without the network ever seeing the extra handshakes. 0 picks
 	// DefaultRaceStagger when racing; negative disables staggering.
 	RaceStagger time.Duration
+	// Monitor, when set, attaches the dialer to a shared telemetry plane:
+	// probe outcomes feed the active selector, every destination with a
+	// pooled connection is tracked (and untracked when its pooled
+	// connection is evicted), and AdaptiveRace can draw on the telemetry.
+	// Several dialers may share one Monitor.
+	Monitor *Monitor
+	// AdaptiveRace, with a Monitor attached, auto-tunes the per-dial race
+	// width from telemetry freshness and RTT spread: stale or contested
+	// leaders race up to RaceWidth (or DefaultAdaptiveRaceWidth when
+	// RaceWidth ≤ 1), a clearly healthy leader dials alone.
+	AdaptiveRace bool
+}
+
+// RaceDecision records how the most recent Dial chose its race width — the
+// observability hook for adaptive racing.
+type RaceDecision struct {
+	// Width is the number of candidates dialed concurrently (1 =
+	// sequential failover).
+	Width int
+	// Adaptive reports whether telemetry picked the width.
+	Adaptive bool
+	// Reason is the adviser's one-word rationale ("clear-leader",
+	// "stale-leader", "close-contenders", ...); "configured" when static.
+	Reason string
 }
 
 // DefaultRaceStagger is the inter-racer start offset applied when racing
@@ -69,13 +93,28 @@ type Dialer struct {
 	// at the current epoch, surviving the pooled connection's death so a
 	// response served just before a failure still annotates correctly.
 	last map[string]Selection
+	// tracked mirrors the pool into the monitor's probe set: a destination
+	// is tracked while (and only while) it has a pooled connection, so a
+	// long-lived proxy stops probing origins it no longer talks to.
+	tracked  map[string]trackRef
+	unsub    func()
+	lastRace RaceDecision
+}
+
+// trackRef remembers what was passed to Monitor.Track so the matching
+// Untrack is exact.
+type trackRef struct {
+	remote     addr.UDPAddr
+	serverName string
 }
 
 // pooledConn is one reusable connection plus the selection that produced it.
 type pooledConn struct {
-	conn  *squic.Conn
-	sel   Selection
-	epoch uint64
+	conn       *squic.Conn
+	sel        Selection
+	epoch      uint64
+	remote     addr.UDPAddr
+	serverName string
 }
 
 // NewDialer builds a Dialer on the host.
@@ -87,15 +126,84 @@ func (h *Host) NewDialer(opts DialOptions) *Dialer {
 		opts.MaxAttempts = 3
 	}
 	opts.RaceStagger = normalizeStagger(opts.RaceWidth, opts.RaceStagger)
-	return &Dialer{host: h, opts: opts, conns: make(map[string]*pooledConn), last: make(map[string]Selection)}
+	d := &Dialer{host: h, opts: opts, conns: make(map[string]*pooledConn), last: make(map[string]Selection), tracked: make(map[string]trackRef)}
+	if opts.Monitor != nil {
+		d.subscribeLocked(opts.Monitor)
+	}
+	return d
 }
 
+// subscribeLocked wires probe outcomes from the monitor into whatever
+// selector is active at delivery time, so SetSelector swaps redirect probe
+// feedback automatically.
+func (d *Dialer) subscribeLocked(m *Monitor) {
+	d.unsub = m.Subscribe(func(p *segment.Path, o Outcome) {
+		d.Selector().Report(p, o)
+	})
+}
+
+// Monitor returns the attached telemetry plane, if any.
+func (d *Dialer) Monitor() *Monitor {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.opts.Monitor
+}
+
+// SetMonitor attaches the dialer to a (possibly shared) telemetry plane at
+// runtime, detaching from the previous one: its subscription is dropped and
+// every destination this dialer tracked is untracked. Destinations with a
+// live pooled connection are re-tracked on the new monitor immediately.
+func (d *Dialer) SetMonitor(m *Monitor) {
+	d.mu.Lock()
+	unsub := d.unsub
+	if old := d.opts.Monitor; old != nil {
+		for _, ref := range d.tracked {
+			old.Untrack(ref.remote, ref.serverName)
+		}
+	}
+	d.tracked = make(map[string]trackRef)
+	d.opts.Monitor = m
+	d.unsub = nil
+	if m != nil {
+		d.subscribeLocked(m)
+		for key, pc := range d.conns {
+			if pc.conn.Err() == nil {
+				ref := trackRef{remote: pc.remote, serverName: pc.serverName}
+				d.tracked[key] = ref
+				m.Track(ref.remote, ref.serverName)
+			}
+		}
+	}
+	d.mu.Unlock()
+	if unsub != nil {
+		unsub()
+	}
+}
+
+// SetAdaptiveRace toggles telemetry-driven race-width tuning at runtime (a
+// scheduling concern: the epoch is not bumped). It has effect only with a
+// Monitor attached.
+func (d *Dialer) SetAdaptiveRace(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.opts.AdaptiveRace = on
+}
+
+// LastRace reports how the most recent Dial chose its race width.
+func (d *Dialer) LastRace() RaceDecision {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastRace
+}
+
+// normalizeStagger resolves the zero value (racing configured, stagger
+// unset) to the default. A NEGATIVE stagger is the caller explicitly
+// disabling staggering and is preserved as-is — dial paths treat any
+// non-positive stagger as "no stagger", so the disabled state survives an
+// adaptive-racing width widening too.
 func normalizeStagger(width int, stagger time.Duration) time.Duration {
 	if width > 1 && stagger == 0 {
 		return DefaultRaceStagger
-	}
-	if stagger < 0 {
-		return 0
 	}
 	return stagger
 }
@@ -156,13 +264,22 @@ func (d *Dialer) SetMode(m Mode) {
 
 // Invalidate bumps the epoch and closes every pooled connection without
 // changing the selector — useful when external state (e.g. trust material)
-// changed under the pool.
+// changed under the pool. Evicted destinations leave the monitor's probe
+// set; the re-dial that replaces a pooled connection re-tracks it.
 func (d *Dialer) Invalidate() {
 	d.mu.Lock()
 	d.epoch++
 	conns := d.conns
 	d.conns = make(map[string]*pooledConn)
 	d.last = make(map[string]Selection) // selected under a superseded policy
+	if m := d.opts.Monitor; m != nil {
+		// Under d.mu: a concurrent Dial cannot interleave its Track between
+		// this snapshot and the release, so the refcounts stay exact.
+		for _, ref := range d.tracked {
+			m.Untrack(ref.remote, ref.serverName)
+		}
+	}
+	d.tracked = make(map[string]trackRef)
 	d.mu.Unlock()
 	for _, pc := range conns {
 		pc.conn.Close()
@@ -171,11 +288,17 @@ func (d *Dialer) Invalidate() {
 
 // Close releases all pooled connections and makes the dialer terminal:
 // later Dial calls fail with ErrDialerClosed instead of silently pooling
-// connections nothing will ever close.
+// connections nothing will ever close. Its monitor subscription and probe
+// tracking are released too.
 func (d *Dialer) Close() {
 	d.mu.Lock()
 	d.closed = true
+	unsub := d.unsub
+	d.unsub = nil
 	d.mu.Unlock()
+	if unsub != nil {
+		unsub()
+	}
 	d.Invalidate()
 }
 
@@ -219,10 +342,26 @@ func (d *Dialer) ReportFailure(remote addr.UDPAddr, serverName string) {
 		return
 	}
 	delete(d.conns, key)
+	d.untrackKeyLocked(key)
 	sel := d.opts.Selector
 	d.mu.Unlock()
 	pc.conn.Close()
 	sel.Report(pc.sel.Path, Failure)
+}
+
+// untrackKeyLocked removes key from the tracking mirror and releases its
+// monitor reference. Every dialer-side Track/Untrack runs under d.mu (lock
+// order d.mu → monitor.mu, never reversed: the monitor calls its sinks
+// outside its own lock), so a concurrent Dial can never re-Track a
+// destination between an Invalidate's snapshot and its release — the
+// refcount stays exact.
+func (d *Dialer) untrackKeyLocked(key string) {
+	ref, ok := d.tracked[key]
+	if !ok || d.opts.Monitor == nil {
+		return
+	}
+	delete(d.tracked, key)
+	d.opts.Monitor.Untrack(ref.remote, ref.serverName)
 }
 
 // Dial returns a connection to remote whose server proves serverName
@@ -247,14 +386,17 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 	epoch := d.epoch
 	sel, mode, timeout, attempts := d.opts.Selector, d.opts.Mode, d.opts.Timeout, d.opts.MaxAttempts
 	width, stagger := d.opts.RaceWidth, d.opts.RaceStagger
+	monitor, adaptive := d.opts.Monitor, d.opts.AdaptiveRace
 	if pc := d.conns[key]; pc != nil {
 		if pc.epoch == epoch && pc.conn.Err() == nil {
 			d.mu.Unlock()
 			return pc.conn, pc.sel, nil
 		}
 		// Stale: superseded epoch or dead transport. Drop silently — dial
-		// failures below, not graceful closes, feed the health signal.
+		// failures below, not graceful closes, feed the health signal. The
+		// probe set follows the pool: a successful re-dial re-tracks.
 		delete(d.conns, key)
+		d.untrackKeyLocked(key)
 		defer pc.conn.Close()
 	}
 	d.mu.Unlock()
@@ -263,6 +405,28 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 	if err != nil {
 		return nil, selection, err
 	}
+	decision := RaceDecision{Width: 1, Reason: "configured"}
+	if width > 1 && len(cands) > 1 {
+		decision.Width = width
+		if decision.Width > len(cands) {
+			decision.Width = len(cands)
+		}
+	}
+	if adaptive && monitor != nil && len(cands) > 1 {
+		maxWidth := width
+		if maxWidth <= 1 {
+			maxWidth = DefaultAdaptiveRaceWidth
+		}
+		w, reason := monitor.RaceWidth(cands, maxWidth)
+		width = w
+		decision = RaceDecision{Width: w, Adaptive: true, Reason: reason}
+		if width > 1 && stagger == 0 {
+			stagger = DefaultRaceStagger
+		}
+	}
+	d.mu.Lock()
+	d.lastRace = decision
+	d.mu.Unlock()
 	var conn *squic.Conn
 	var won Candidate
 	var hsLatency time.Duration
@@ -298,8 +462,18 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 		conn.Close()
 		return existing.conn, existing.sel, nil
 	}
-	d.conns[key] = &pooledConn{conn: conn, sel: selection, epoch: epoch}
+	d.conns[key] = &pooledConn{conn: conn, sel: selection, epoch: epoch, remote: remote, serverName: serverName}
 	d.last[key] = selection
+	if m := d.opts.Monitor; m != nil {
+		if _, ok := d.tracked[key]; !ok {
+			// The pooled destination joins the shared probe set — under
+			// d.mu, so a concurrent Invalidate/Close cannot slip between
+			// the mirror entry and the refcount. The matching Untrack fires
+			// when this pool entry is evicted or closed.
+			d.tracked[key] = trackRef{remote: remote, serverName: serverName}
+			m.Track(remote, serverName)
+		}
+	}
 	d.mu.Unlock()
 	// Report Success only for a connection actually put into service: a
 	// discarded race-loser or stale-epoch dial must not advance use-driven

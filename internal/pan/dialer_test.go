@@ -385,3 +385,140 @@ func TestDialerStrictModeRefusesNonCompliant(t *testing.T) {
 		t.Fatal("strict dial through blocked ISD succeeded")
 	}
 }
+
+// TestDialerTracksPooledDestinationsOnMonitor is the probe-set-leak
+// regression: a destination joins the monitor's probe set when its
+// connection is pooled and leaves it whenever the pooled connection is
+// closed or evicted — a long-lived proxy must not probe dead origins
+// forever.
+func TestDialerTracksPooledDestinationsOnMonitor(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	m := client.NewMonitor(pan.MonitorOptions{BaseInterval: time.Second})
+	d := client.NewDialer(pan.DialOptions{ServerName: "dialer.server", Monitor: m})
+
+	if n := m.TargetCount(); n != 0 {
+		t.Fatalf("fresh dialer tracks %d targets", n)
+	}
+	conn, _, err := d.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.TargetCount(); n != 1 {
+		t.Fatalf("pooled destination not tracked: %d targets", n)
+	}
+	// Re-dial (pool hit) must not double-track.
+	if _, _, err := d.Dial(context.Background(), remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.TargetCount(); n != 1 {
+		t.Fatalf("pool hit re-tracked: %d targets", n)
+	}
+
+	// Eviction via ReportFailure (dead transport) untracks.
+	conn.Close()
+	d.ReportFailure(remote, "")
+	if n := m.TargetCount(); n != 0 {
+		t.Fatalf("evicted destination still tracked: %d targets (the probe-set leak)", n)
+	}
+
+	// Re-dial re-tracks; Invalidate (epoch bump) untracks again.
+	if _, _, err := d.Dial(context.Background(), remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.TargetCount(); n != 1 {
+		t.Fatalf("re-dial did not re-track: %d targets", n)
+	}
+	d.Invalidate()
+	if n := m.TargetCount(); n != 0 {
+		t.Fatalf("Invalidate left %d targets tracked", n)
+	}
+
+	// And Close unsubscribes + untracks whatever is left.
+	if _, _, err := d.Dial(context.Background(), remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if n := m.TargetCount(); n != 0 {
+		t.Fatalf("Close left %d targets tracked", n)
+	}
+}
+
+// TestMonitorSharedByTwoDialers: the shared-plane contract end to end —
+// one monitor, two dialers, refcounted tracking, probe outcomes fanned out
+// to both selectors.
+func TestMonitorSharedByTwoDialers(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	m := client.NewMonitor(pan.MonitorOptions{BaseInterval: time.Second})
+	ls1, ls2 := pan.NewLatencySelector(), pan.NewLatencySelector()
+	d1 := client.NewDialer(pan.DialOptions{Selector: ls1, ServerName: "dialer.server", Monitor: m})
+	d2 := client.NewDialer(pan.DialOptions{Selector: ls2, ServerName: "dialer.server", Monitor: m})
+
+	if _, _, err := d1.Dial(context.Background(), remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d2.Dial(context.Background(), remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.TargetCount(); n != 1 {
+		t.Fatalf("shared destination counted %d times", n)
+	}
+
+	// One deterministic probe sweep feeds BOTH dialers' selectors.
+	m.RunRound()
+	paths := client.Paths(remote.IA)
+	for i, ls := range []*pan.LatencySelector{ls1, ls2} {
+		for _, p := range paths {
+			h, ok := healthFor(ls, p.Fingerprint())
+			if !ok || h.RTT <= 0 {
+				t.Fatalf("dialer %d selector missing probe RTT for %s", i+1, p)
+			}
+		}
+	}
+
+	// The first Close releases one reference; the destination stays probed
+	// for the surviving dialer.
+	d1.Close()
+	if n := m.TargetCount(); n != 1 {
+		t.Fatalf("first Close dropped the shared destination (%d targets)", n)
+	}
+	d2.Close()
+	if n := m.TargetCount(); n != 0 {
+		t.Fatalf("last Close left %d targets", n)
+	}
+}
+
+// TestDialerAdaptiveRaceWidth: with no telemetry the dialer races the full
+// cap; once the monitor has fresh estimates the width follows the RTT
+// spread (the default topology's fastest inter-ISD path leads the second by
+// 50ms RTT — a clear leader, so the dialer stops racing entirely).
+func TestDialerAdaptiveRaceWidth(t *testing.T) {
+	_, client, remote := dialWorld(t)
+	m := client.NewMonitor(pan.MonitorOptions{BaseInterval: 2 * time.Second})
+	ls := pan.NewLatencySelector()
+	d := client.NewDialer(pan.DialOptions{
+		Selector:     ls,
+		ServerName:   "dialer.server",
+		RaceWidth:    3,
+		AdaptiveRace: true,
+		Monitor:      m,
+	})
+	defer d.Close()
+
+	if _, _, err := d.Dial(context.Background(), remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	dec := d.LastRace()
+	if !dec.Adaptive || dec.Width != 3 || dec.Reason != "no-leader-telemetry" {
+		t.Fatalf("first dial race decision = %+v, want full width without telemetry", dec)
+	}
+
+	m.RunRound()
+	d.Invalidate()
+	if _, _, err := d.Dial(context.Background(), remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	dec = d.LastRace()
+	if !dec.Adaptive || dec.Width != 1 || dec.Reason != "clear-leader" {
+		t.Fatalf("post-probe race decision = %+v, want width 1 (leader 50ms ahead of the field)", dec)
+	}
+}

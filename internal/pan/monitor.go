@@ -1,0 +1,929 @@
+package pan
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/segment"
+	"tango/internal/squic"
+)
+
+// ProbeFunc measures one round trip to remote over path, bounded by
+// timeout. It returns the observed RTT, or an error when the path did not
+// answer in time.
+type ProbeFunc func(remote addr.UDPAddr, serverName string, path *segment.Path, timeout time.Duration) (time.Duration, error)
+
+// Scheduling defaults of the telemetry plane.
+const (
+	// DefaultProbeInterval is the base per-path probe interval.
+	DefaultProbeInterval = 3 * time.Second
+	// DefaultProbeBudget is the global probes-per-second cap shared by all
+	// paths a Monitor tracks: a proxy serving thousands of origins
+	// stretches per-path intervals instead of flooding the network.
+	DefaultProbeBudget = 32.0
+)
+
+// MonitorOptions parameterizes a Monitor. The zero value gets sensible
+// defaults from NewMonitor.
+type MonitorOptions struct {
+	// BaseInterval is the per-path probe interval for a path of ordinary
+	// stability (default DefaultProbeInterval). Churn adaptation moves each
+	// path's actual interval between MinInterval and MaxInterval around
+	// this base.
+	BaseInterval time.Duration
+	// MinInterval bounds how fast an unstable path is probed (default
+	// BaseInterval/4).
+	MinInterval time.Duration
+	// MaxInterval bounds how lazily a rock-stable (or repeatedly failing)
+	// path is probed (default 4*BaseInterval).
+	MaxInterval time.Duration
+	// Timeout caps one probe (default: BaseInterval, at most squic's
+	// default handshake timeout) so a dead path can never stall its own
+	// schedule indefinitely.
+	Timeout time.Duration
+	// ProbeBudget is the global probes/sec cap across every tracked path
+	// (default DefaultProbeBudget; negative = uncapped). When the per-path
+	// intervals would exceed the budget, every interval is floored at
+	// tracked-paths/budget seconds.
+	ProbeBudget float64
+	// Probe overrides the measurement. Host.NewMonitor defaults it to a
+	// minimal squic handshake against the tracked server (one round trip
+	// on the wire); tests inject deterministic fakes.
+	Probe ProbeFunc
+}
+
+// PathTelemetry is one tracked path's live probe-derived state, the raw
+// material for adaptive racing and churn-aware scheduling.
+type PathTelemetry struct {
+	Fingerprint string
+	// RTT and Dev are the EWMA round-trip estimate and its EWMA absolute
+	// deviation (Jacobson-style, gains 1/4).
+	RTT time.Duration
+	Dev time.Duration
+	// Samples counts successful probes ingested so far.
+	Samples int
+	// Down marks an unresolved probe failure.
+	Down bool
+	// Age is the time since the path was last probed (success or failure).
+	Age time.Duration
+	// Interval is the path's current churn-adapted probe interval.
+	Interval time.Duration
+	// Fresh reports whether the telemetry is recent relative to the path's
+	// own schedule (Age within two intervals): stale estimates must not
+	// justify narrow racing.
+	Fresh bool
+}
+
+// LinkStat is the congestion estimate of one inter-AS link, derived by
+// decomposing end-to-end path probes. Congestion is the minimum observed
+// excess RTT (over the paths' metadata baseline) among all tracked paths
+// crossing the link — boolean-tomography style, so a link is only blamed
+// when EVERY path crossing it runs hot — and Dev is the deviation of that
+// minimal series, the instability signal HotspotSelector penalizes.
+type LinkStat struct {
+	A, B       addr.IA       // link endpoints, canonical order
+	Congestion time.Duration // min EWMA excess RTT across crossing paths
+	Dev        time.Duration // EWMA absolute deviation of the minimal series
+	Sharers    int           // tracked paths currently crossing the link
+}
+
+// linkKey identifies an inter-AS link independent of direction.
+type linkKey struct{ a, b addr.IA }
+
+func canonicalLink(x, y addr.IA) linkKey {
+	if y.ISD < x.ISD || (y.ISD == x.ISD && y.AS < x.AS) {
+		x, y = y, x
+	}
+	return linkKey{a: x, b: y}
+}
+
+// pathLinks enumerates the inter-AS links of a path in travel order.
+func pathLinks(p *segment.Path) []linkKey {
+	out := make([]linkKey, 0, len(p.Hops))
+	for i := 1; i < len(p.Hops); i++ {
+		if p.Hops[i-1].IA != p.Hops[i].IA {
+			out = append(out, canonicalLink(p.Hops[i-1].IA, p.Hops[i].IA))
+		}
+	}
+	return out
+}
+
+// excessSeries is the EWMA of one path's excess RTT as seen across one link.
+type excessSeries struct {
+	mean    time.Duration
+	dev     time.Duration
+	samples int
+	last    time.Time
+}
+
+func (s *excessSeries) ingest(x time.Duration, now time.Time) {
+	if s.samples == 0 {
+		s.mean = x
+	} else {
+		diff := x - s.mean
+		if diff < 0 {
+			diff = -diff
+		}
+		s.dev = s.dev - s.dev/4 + diff/4
+		s.mean = s.mean - s.mean/4 + x/4
+	}
+	s.samples++
+	s.last = now
+}
+
+// monTarget is one refcounted destination whose paths are probed.
+type monTarget struct {
+	remote     addr.UDPAddr
+	serverName string
+	refs       int
+}
+
+// monEntry is the per-path telemetry and schedule state.
+type monEntry struct {
+	path    *segment.Path
+	targets map[string]*monTarget // target keys this path serves
+
+	rtt, dev   time.Duration
+	samples    int
+	lastSample time.Time
+	down       bool
+	failures   int
+
+	interval time.Duration
+	seq      uint64 // reschedule counter, varies the jitter
+	cancel   func() bool
+	probing  bool
+}
+
+// Monitor is the shared telemetry plane below the selectors: ONE monitor per
+// host schedules probes for every destination any of its dialers tracks,
+// measures per-path RTT, and decomposes the measurements into link-level
+// congestion estimates.
+//
+// Scheduling, per the paper's proxy deployment concern, is per PATH rather
+// than per round: every tracked path carries its own next-probe deadline
+// with a deterministic phase jitter (so a proxy serving thousands of origins
+// never emits synchronized probe bursts) and a churn-adaptive interval —
+// high EWMA RTT deviation shortens the interval toward MinInterval, a flat
+// series stretches it toward MaxInterval — under a global probes/sec budget.
+//
+// Destinations are tracked with reference counts: several Dialers share one
+// Monitor, and a destination stops being probed only when the LAST tracker
+// untracks it. Probe outcomes fan out to every subscribed sink (typically
+// each dialer's active selector), and the link-level series feed
+// HotspotSelector and the adaptive race-width adviser.
+//
+// All scheduling runs on the injected Clock, so experiments drive the
+// monitor deterministically on virtual time. Probes run in their own
+// goroutines (never inside a timer callback, which would stall a virtual
+// clock advance).
+type Monitor struct {
+	clock netsim.Clock
+	paths func(addr.IA) []*segment.Path
+	opts  MonitorOptions
+
+	mu      sync.Mutex
+	targets map[string]*monTarget
+	entries map[string]*monEntry // path fingerprint → state
+	// byTarget indexes each target's entries so Track/Untrack and path-set
+	// reconciliation cost O(paths of that target), not O(all entries).
+	byTarget map[string]map[string]*monEntry
+	// active counts entries with at least one target (the schedulable set),
+	// kept incrementally so the budget floor is O(1) per query.
+	active   int
+	links    map[linkKey]map[string]*excessSeries
+	sinks    map[int]func(*segment.Path, Outcome)
+	nextSink int
+	started  bool
+}
+
+// NewMonitor builds a monitor from its parts: a clock, a path source (what
+// Host.Paths provides), and options. Most callers want Host.NewMonitor,
+// which wires the default squic-handshake probe.
+func NewMonitor(clock netsim.Clock, paths func(addr.IA) []*segment.Path, opts MonitorOptions) *Monitor {
+	if opts.BaseInterval <= 0 {
+		opts.BaseInterval = DefaultProbeInterval
+	}
+	if opts.MinInterval <= 0 {
+		opts.MinInterval = opts.BaseInterval / 4
+	}
+	if opts.MaxInterval <= 0 {
+		opts.MaxInterval = 4 * opts.BaseInterval
+	}
+	if opts.MaxInterval < opts.BaseInterval {
+		opts.MaxInterval = opts.BaseInterval
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = opts.BaseInterval
+		if opts.Timeout > squic.DefaultHandshakeTimeout {
+			opts.Timeout = squic.DefaultHandshakeTimeout
+		}
+	}
+	if opts.ProbeBudget == 0 {
+		opts.ProbeBudget = DefaultProbeBudget
+	}
+	return &Monitor{
+		clock:    clock,
+		paths:    paths,
+		opts:     opts,
+		targets:  make(map[string]*monTarget),
+		entries:  make(map[string]*monEntry),
+		byTarget: make(map[string]map[string]*monEntry),
+		links:    make(map[linkKey]map[string]*excessSeries),
+		sinks:    make(map[int]func(*segment.Path, Outcome)),
+	}
+}
+
+// NewMonitor builds the host's telemetry plane whose default probe is a
+// minimal squic handshake against the tracked server — one round trip on
+// the wire, closed immediately after.
+func (h *Host) NewMonitor(opts MonitorOptions) *Monitor {
+	if opts.Probe == nil {
+		opts.Probe = h.handshakeProbe
+	}
+	return NewMonitor(h.clock, h.Paths, opts)
+}
+
+// handshakeProbe measures a path by completing (and immediately closing) a
+// squic handshake: exactly one round trip on the wire, with the server
+// proving its identity, so a probe "success" means the path really carries
+// application traffic end to end.
+func (h *Host) handshakeProbe(remote addr.UDPAddr, serverName string, path *segment.Path, timeout time.Duration) (time.Duration, error) {
+	sock, err := h.stack.Listen(0)
+	if err != nil {
+		return 0, err
+	}
+	start := h.clock.Now()
+	conn, err := squic.Dial(sock, remote, path, serverName, &squic.Config{
+		Clock:            h.clock,
+		Pool:             h.pool,
+		HandshakeTimeout: timeout,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rtt := h.clock.Since(start)
+	conn.Close()
+	return rtt, nil
+}
+
+func targetKey(remote addr.UDPAddr, serverName string) string {
+	return remote.String() + "|" + serverName
+}
+
+// Track adds a destination to the probe set, reference-counted: a
+// destination tracked by several dialers is probed once, and keeps being
+// probed until every tracker has untracked it.
+func (m *Monitor) Track(remote addr.UDPAddr, serverName string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := targetKey(remote, serverName)
+	tgt := m.targets[key]
+	if tgt == nil {
+		tgt = &monTarget{remote: remote, serverName: serverName}
+		m.targets[key] = tgt
+	}
+	tgt.refs++
+	if tgt.refs == 1 {
+		m.pruneLocked()
+		m.syncTargetLocked(key, tgt)
+	}
+}
+
+// Untrack drops one reference to a destination; at zero references its
+// paths leave the probe schedule (paths still serving another tracked
+// destination stay).
+func (m *Monitor) Untrack(remote addr.UDPAddr, serverName string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := targetKey(remote, serverName)
+	tgt := m.targets[key]
+	if tgt == nil {
+		return
+	}
+	tgt.refs--
+	if tgt.refs > 0 {
+		return
+	}
+	delete(m.targets, key)
+	for _, e := range m.byTarget[key] {
+		delete(e.targets, key)
+		if len(e.targets) == 0 {
+			m.active--
+			m.retireEntryLocked(e)
+		}
+	}
+	delete(m.byTarget, key)
+}
+
+// retireEntryLocked takes a path off the probe schedule while KEEPING its
+// telemetry: tracking is scheduling, telemetry is knowledge — a destination
+// evicted from a pool and re-dialed moments later must not restart from
+// zero. Long-stale retired entries are pruned by pruneLocked.
+func (m *Monitor) retireEntryLocked(e *monEntry) {
+	if e.cancel != nil {
+		e.cancel()
+		e.cancel = nil
+	}
+}
+
+// pruneLocked drops retired entries — and link excess series — whose
+// telemetry has gone stale beyond recall, bounding memory on long-lived
+// monitors even when nothing ever queries LinkStats. Runs on each new
+// destination Track, so churn itself drives the cleanup.
+func (m *Monitor) pruneLocked() {
+	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
+	now := m.clock.Now()
+	for fp, e := range m.entries {
+		if len(e.targets) == 0 && (e.lastSample.IsZero() || now.Sub(e.lastSample) > horizon) {
+			delete(m.entries, fp)
+		}
+	}
+	for lk, series := range m.links {
+		for fp, s := range series {
+			if now.Sub(s.last) > horizon {
+				delete(series, fp)
+			}
+		}
+		if len(series) == 0 {
+			delete(m.links, lk)
+		}
+	}
+}
+
+// syncTargetLocked reconciles the entry set with the target's current
+// paths: unseen paths get entries (and, when started, a phase-jittered
+// first deadline), and entries this target referenced whose path the
+// control plane no longer offers drop the reference — so path expiry and
+// turnover retire defunct schedules instead of probing ghosts forever.
+func (m *Monitor) syncTargetLocked(key string, tgt *monTarget) {
+	idx := m.byTarget[key]
+	if idx == nil {
+		idx = make(map[string]*monEntry)
+		m.byTarget[key] = idx
+	}
+	current := make(map[string]bool)
+	for _, p := range m.paths(tgt.remote.IA) {
+		fp := p.Fingerprint()
+		current[fp] = true
+		e := m.entries[fp]
+		if e == nil {
+			e = &monEntry{
+				path:     p,
+				targets:  make(map[string]*monTarget),
+				interval: m.opts.BaseInterval,
+			}
+			m.entries[fp] = e
+		}
+		wasInactive := len(e.targets) == 0
+		e.path = p
+		e.targets[key] = tgt
+		idx[fp] = e
+		if wasInactive {
+			m.active++
+			m.scheduleLocked(fp, e, true)
+		}
+	}
+	for fp, e := range idx {
+		if !current[fp] {
+			delete(idx, fp)
+			delete(e.targets, key)
+			if len(e.targets) == 0 {
+				m.active--
+				m.retireEntryLocked(e)
+			}
+		}
+	}
+}
+
+// TargetCount returns the number of distinct tracked destinations.
+func (m *Monitor) TargetCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.targets)
+}
+
+// TrackedPaths returns the number of paths currently on the probe schedule
+// (retired entries kept only for their telemetry don't count).
+func (m *Monitor) TrackedPaths() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active
+}
+
+// Subscribe registers a probe-outcome sink — Outcome{Latency, Probe: true}
+// on success, Failure (with Probe set) on timeout — and returns its
+// unsubscribe function. A Dialer subscribes its active selector, so one
+// monitor feeds every dialer sharing it.
+func (m *Monitor) Subscribe(sink func(*segment.Path, Outcome)) (unsubscribe func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextSink
+	m.nextSink++
+	m.sinks[id] = sink
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(m.sinks, id)
+	}
+}
+
+// Start arms the probe schedule: every tracked path gets a phase-jittered
+// first deadline within one interval. Idempotent while running; callable
+// again after Stop.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	for fp, e := range m.entries {
+		m.scheduleLocked(fp, e, true)
+	}
+}
+
+// Stop cancels the probe schedule. Probes already in flight drain without
+// reporting or rescheduling.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.started = false
+	for _, e := range m.entries {
+		if e.cancel != nil {
+			e.cancel()
+			e.cancel = nil
+		}
+	}
+}
+
+// jitterHash folds a fingerprint and a sequence number into a uniform
+// 0..999 bucket, the deterministic substitute for random phase jitter.
+func jitterHash(fp string, seq uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seq >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64() % 1000
+}
+
+// budgetFloorLocked is the minimum per-path interval that keeps the global
+// probe rate within ProbeBudget given the current tracked-path count.
+func (m *Monitor) budgetFloorLocked() time.Duration {
+	if m.opts.ProbeBudget <= 0 || m.active == 0 {
+		return 0
+	}
+	return time.Duration(float64(m.active) / m.opts.ProbeBudget * float64(time.Second))
+}
+
+// effectiveIntervalLocked is the interval the schedule actually honors:
+// the churn-adapted interval, floored by the global probe budget.
+func (m *Monitor) effectiveIntervalLocked(e *monEntry) time.Duration {
+	iv := e.interval
+	if floor := m.budgetFloorLocked(); iv < floor {
+		iv = floor
+	}
+	return iv
+}
+
+// scheduleLocked arms the entry's next probe. The first deadline spreads
+// paths uniformly across one interval (phase = hash(fingerprint)); later
+// deadlines are the churn-adapted interval ±15% deterministic jitter, so
+// phases never re-synchronize into bursts.
+func (m *Monitor) scheduleLocked(fp string, e *monEntry, first bool) {
+	if !m.started || e.cancel != nil || len(e.targets) == 0 {
+		return
+	}
+	iv := m.effectiveIntervalLocked(e)
+	var d time.Duration
+	if first {
+		// Phase offset in [iv/8, iv]: never immediate, never bursty.
+		d = iv/8 + time.Duration(jitterHash(fp, 0))*(iv-iv/8)/1000
+	} else {
+		// iv scaled by a deterministic factor in [0.85, 1.15].
+		d = iv*85/100 + time.Duration(jitterHash(fp, e.seq))*(iv*30/100)/1000
+	}
+	e.seq++
+	e.cancel = m.clock.AfterFunc(d, func() { m.fire(fp) })
+}
+
+// fire runs inside a clock timer callback and must not block: it hands the
+// probe to a goroutine.
+func (m *Monitor) fire(fp string) {
+	m.mu.Lock()
+	e := m.entries[fp]
+	if e == nil || !m.started {
+		m.mu.Unlock()
+		return
+	}
+	e.cancel = nil
+	if e.probing {
+		// A manual round still has this path in flight; retry next interval.
+		m.scheduleLocked(fp, e, false)
+		m.mu.Unlock()
+		return
+	}
+	e.probing = true
+	m.mu.Unlock()
+	go m.probeEntry(fp, true)
+}
+
+// probeEntry measures one path, ingests the outcome, reschedules, and fans
+// the outcome out to the sinks. scheduled distinguishes background probes
+// (which respect Stop and re-arm) from manual RunRound probes.
+func (m *Monitor) probeEntry(fp string, scheduled bool) {
+	m.mu.Lock()
+	e := m.entries[fp]
+	if e == nil {
+		m.mu.Unlock()
+		return
+	}
+	var tgt *monTarget
+	for _, t := range e.targets {
+		if tgt == nil || targetKey(t.remote, t.serverName) < targetKey(tgt.remote, tgt.serverName) {
+			tgt = t
+		}
+	}
+	path := e.path
+	timeout := m.opts.Timeout
+	m.mu.Unlock()
+	if tgt == nil {
+		m.clearProbing(fp)
+		return
+	}
+
+	rtt, err := m.opts.Probe(tgt.remote, tgt.serverName, path, timeout)
+
+	m.mu.Lock()
+	e = m.entries[fp]
+	if e == nil {
+		m.mu.Unlock()
+		return
+	}
+	e.probing = false
+	outcome := m.ingestLocked(e, rtt, err)
+	alive := !scheduled || m.started
+	if scheduled && m.started {
+		m.scheduleLocked(fp, e, false)
+	}
+	sinks := make([]func(*segment.Path, Outcome), 0, len(m.sinks))
+	ids := make([]int, 0, len(m.sinks))
+	for id := range m.sinks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		sinks = append(sinks, m.sinks[id])
+	}
+	m.mu.Unlock()
+
+	if !alive {
+		return
+	}
+	for _, sink := range sinks {
+		sink(path, outcome)
+	}
+	if scheduled {
+		m.resyncEntryTargets(fp)
+	}
+}
+
+func (m *Monitor) clearProbing(fp string) {
+	m.mu.Lock()
+	if e := m.entries[fp]; e != nil {
+		e.probing = false
+	}
+	m.mu.Unlock()
+}
+
+// resyncEntryTargets reconciles the path sets of the targets the probed
+// entry serves, picking up paths that appeared (discovery, expiry
+// turnover) and dropping ones the control plane withdrew — so long-running
+// monitors follow the control plane without an explicit refresh call.
+// Scoping the resync to the probed entry's own targets keeps the per-probe
+// cost proportional to that destination, not to every origin the host
+// serves.
+func (m *Monitor) resyncEntryTargets(fp string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[fp]
+	if e == nil {
+		return
+	}
+	keys := make([]string, 0, len(e.targets))
+	for key := range e.targets {
+		keys = append(keys, key)
+	}
+	for _, key := range keys {
+		if tgt := m.targets[key]; tgt != nil {
+			m.syncTargetLocked(key, tgt)
+		}
+	}
+}
+
+// ingestLocked folds one probe result into the entry's telemetry, adapts
+// its interval to the observed churn, and attributes success excess to the
+// traversed links. Returns the outcome to fan out.
+func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error) Outcome {
+	now := m.clock.Now()
+	e.lastSample = now
+	if err != nil {
+		e.failures++
+		e.down = true
+		// Failure backoff: double toward MaxInterval so a mostly-dead path
+		// set cannot consume the probe budget in timeouts.
+		e.interval *= 2
+		if e.interval > m.opts.MaxInterval {
+			e.interval = m.opts.MaxInterval
+		}
+		return Outcome{Failed: true, Probe: true}
+	}
+	e.failures = 0
+	e.down = false
+	if e.samples == 0 {
+		// Optimistic deviation start: a first sample carries no churn
+		// evidence, and adaptive racing should not stay wide on a path
+		// whose only observation is clean.
+		e.rtt, e.dev = rtt, 0
+	} else {
+		diff := rtt - e.rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.dev = e.dev - e.dev/4 + diff/4
+		e.rtt = e.rtt - e.rtt/4 + rtt/4
+	}
+	e.samples++
+
+	// Churn adaptation (cf. entropy-aware probing, PAPERS.md): deviation
+	// large relative to the RTT → probe faster; a flat series → stretch the
+	// interval and spend the budget elsewhere.
+	switch {
+	case e.dev*4 >= e.rtt && e.rtt > 0:
+		e.interval = m.opts.MinInterval
+	case e.dev*8 >= e.rtt && e.rtt > 0:
+		e.interval = m.opts.BaseInterval / 2
+		if e.interval < m.opts.MinInterval {
+			e.interval = m.opts.MinInterval
+		}
+	case e.dev*32 <= e.rtt && e.samples >= 3:
+		e.interval *= 2
+		if e.interval > m.opts.MaxInterval {
+			e.interval = m.opts.MaxInterval
+		}
+	default:
+		e.interval = m.opts.BaseInterval
+	}
+
+	// Link attribution: the path's excess RTT over its metadata baseline is
+	// recorded against every link it crosses; LinkStats' min-across-paths
+	// later exonerates links that any clean path also crosses.
+	excess := rtt - 2*e.path.Meta.Latency
+	if excess < 0 {
+		excess = 0
+	}
+	fp := e.path.Fingerprint()
+	for _, lk := range pathLinks(e.path) {
+		series := m.links[lk]
+		if series == nil {
+			series = make(map[string]*excessSeries)
+			m.links[lk] = series
+		}
+		s := series[fp]
+		if s == nil {
+			s = &excessSeries{}
+			series[fp] = s
+		}
+		s.ingest(excess, now)
+	}
+	return Outcome{Latency: rtt, Probe: true}
+}
+
+// RunRound synchronously probes every tracked path once, in fingerprint
+// order, ignoring the background schedule — the deterministic round tests,
+// tools, and benchmarks drive directly. Outcomes are ingested and fanned
+// out exactly as scheduled probes are.
+func (m *Monitor) RunRound() {
+	m.mu.Lock()
+	for key, tgt := range m.targets {
+		m.syncTargetLocked(key, tgt)
+	}
+	fps := make([]string, 0, len(m.entries))
+	for fp, e := range m.entries {
+		if e.probing || len(e.targets) == 0 {
+			continue // mid-flight or retired; skip, don't double-probe
+		}
+		e.probing = true
+		fps = append(fps, fp)
+	}
+	m.mu.Unlock()
+	sort.Strings(fps)
+	for _, fp := range fps {
+		m.probeEntry(fp, false)
+	}
+}
+
+// Telemetry returns the live telemetry of one tracked path.
+func (m *Monitor) Telemetry(fp string) (PathTelemetry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[fp]
+	if e == nil {
+		return PathTelemetry{}, false
+	}
+	return m.telemetryLocked(fp, e), true
+}
+
+func (m *Monitor) telemetryLocked(fp string, e *monEntry) PathTelemetry {
+	// Freshness (and the exported interval) judge against the schedule the
+	// monitor actually runs — the budget-floored interval — so a tightly
+	// budgeted proxy doesn't misread its own slower cadence as staleness
+	// and race wide on every dial.
+	iv := m.effectiveIntervalLocked(e)
+	t := PathTelemetry{
+		Fingerprint: fp,
+		RTT:         e.rtt,
+		Dev:         e.dev,
+		Samples:     e.samples,
+		Down:        e.down,
+		Interval:    iv,
+	}
+	if !e.lastSample.IsZero() {
+		t.Age = m.clock.Since(e.lastSample)
+		t.Fresh = t.Age <= 2*iv+m.opts.Timeout
+	}
+	return t
+}
+
+// staleSeriesAfter is how long a link's per-path excess series survives
+// without a new sample before LinkStats ignores it.
+const staleSeriesAfter = 10
+
+// linkStatLocked computes one link's congestion estimate: the minimum EWMA
+// excess among the live series of paths crossing it (with that series'
+// deviation). Boolean-tomography logic: if ANY path crossing the link is
+// clean, the link is exonerated and the congestion lives elsewhere.
+func (m *Monitor) linkStatLocked(lk linkKey, series map[string]*excessSeries, now time.Time) (LinkStat, bool) {
+	st := LinkStat{A: lk.a, B: lk.b}
+	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
+	found := false
+	for fp, s := range series {
+		if s.samples == 0 || now.Sub(s.last) > horizon {
+			delete(series, fp)
+			continue
+		}
+		st.Sharers++
+		if !found || s.mean < st.Congestion || (s.mean == st.Congestion && s.dev < st.Dev) {
+			st.Congestion, st.Dev = s.mean, s.dev
+			found = true
+		}
+	}
+	return st, found
+}
+
+// LinkStats exports the per-link congestion estimates, sorted by endpoints
+// for deterministic output.
+func (m *Monitor) LinkStats() []LinkStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clock.Now()
+	out := make([]LinkStat, 0, len(m.links))
+	for lk, series := range m.links {
+		if st, ok := m.linkStatLocked(lk, series, now); ok {
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A.ISD < out[j].A.ISD || (out[i].A.ISD == out[j].A.ISD && out[i].A.AS < out[j].A.AS)
+		}
+		return out[i].B.ISD < out[j].B.ISD || (out[i].B.ISD == out[j].B.ISD && out[i].B.AS < out[j].B.AS)
+	})
+	return out
+}
+
+// PathPenalty is the hotspot cost of routing over p: the sum over its links
+// of congestion + 2·deviation. A path avoiding every hot shared link pays
+// ~zero; a path crossing a high-variance shared link pays the instability
+// that end-to-end EWMA averaging hides. This is what HotspotSelector adds
+// to its latency ranking key.
+func (m *Monitor) PathPenalty(p *segment.Path) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clock.Now()
+	var sum time.Duration
+	for _, lk := range pathLinks(p) {
+		series := m.links[lk]
+		if series == nil {
+			continue
+		}
+		if st, ok := m.linkStatLocked(lk, series, now); ok {
+			sum += st.Congestion + 2*st.Dev
+		}
+	}
+	return sum
+}
+
+// DefaultAdaptiveRaceWidth caps adaptive racing when the Dialer's RaceWidth
+// leaves the cap unset.
+const DefaultAdaptiveRaceWidth = 3
+
+// RaceSpreadMargin is the minimum RTT band within which a follower counts
+// as a close contender worth racing, regardless of how tight the leader's
+// deviation estimate is.
+const RaceSpreadMargin = 15 * time.Millisecond
+
+// AdviseRaceWidth picks a race width from the telemetry of the top-ranked
+// candidates (rank order, tels[0] = leader), capped at max:
+//
+//   - unknown, stale, or down leader telemetry → race the full width (the
+//     ranking cannot be trusted narrow);
+//   - a fresh, healthy leader races only the followers that are plausibly
+//     the real leader: unknown/stale followers, and fresh ones whose
+//     PESSIMISTIC estimate (RTT + 2·deviation — an unstable path must not
+//     look attractive on its mean) lands within max(2·leader deviation,
+//     RaceSpreadMargin) of the leader's RTT;
+//   - a fresh follower that is clearly slower or unstable — or fresh and
+//     down — is not raced.
+//
+// With a clearly healthy leader the advice collapses to width 1: no extra
+// handshakes on the wire, exactly the paper's "race wide only when it could
+// pay" behavior.
+func AdviseRaceWidth(tels []PathTelemetry, max int) (width int, reason string) {
+	if max < 1 {
+		max = DefaultAdaptiveRaceWidth
+	}
+	if len(tels) < max {
+		max = len(tels)
+	}
+	if max <= 1 {
+		return 1, "single-candidate"
+	}
+	leader := tels[0]
+	switch {
+	case leader.Samples == 0 && !leader.Down:
+		return max, "no-leader-telemetry"
+	case !leader.Fresh:
+		return max, "stale-leader"
+	case leader.Down:
+		return max, "leader-down"
+	}
+	band := 2 * leader.Dev
+	if band < RaceSpreadMargin {
+		band = RaceSpreadMargin
+	}
+	width = 1
+	contested := false
+	for _, f := range tels[1:] {
+		if width >= max {
+			break
+		}
+		switch {
+		case f.Samples == 0 && !f.Down, !f.Fresh:
+			width++ // can't rule the follower out
+		case f.Down:
+			// Fresh and down: never worth a racer.
+		case f.RTT+2*f.Dev < leader.RTT+band:
+			width++
+			contested = true
+		}
+	}
+	if width == 1 {
+		return 1, "clear-leader"
+	}
+	if contested {
+		return width, "close-contenders"
+	}
+	return width, "unknown-contenders"
+}
+
+// RaceWidth maps a ranked candidate list through AdviseRaceWidth using this
+// monitor's telemetry.
+func (m *Monitor) RaceWidth(cands []Candidate, max int) (int, string) {
+	if max < 1 {
+		max = DefaultAdaptiveRaceWidth
+	}
+	n := max
+	if len(cands) < n {
+		n = len(cands)
+	}
+	tels := make([]PathTelemetry, 0, n)
+	m.mu.Lock()
+	for _, c := range cands[:n] {
+		fp := c.Path.Fingerprint()
+		if e := m.entries[fp]; e != nil {
+			tels = append(tels, m.telemetryLocked(fp, e))
+		} else {
+			tels = append(tels, PathTelemetry{Fingerprint: fp})
+		}
+	}
+	m.mu.Unlock()
+	return AdviseRaceWidth(tels, max)
+}

@@ -28,10 +28,16 @@
 //     winning dial reports its measured handshake latency as a live RTT
 //     sample).
 //
-//   - A Prober keeps rankings fresh BETWEEN dials: it periodically probes
-//     every known path to its tracked destinations (a minimal squic
-//     handshake per probe) and reports the measured RTT — or a failure —
-//     into the selector, with per-path retry backoff for down paths.
+//   - A Monitor is the shared telemetry plane below all of it: ONE monitor
+//     per host probes every path of every destination any dialer tracks (a
+//     minimal squic handshake per probe), on per-path phase-jittered,
+//     churn-adaptive schedules under a global probes/sec budget, and fans
+//     the outcomes out to every subscribed selector. It decomposes each
+//     end-to-end measurement into per-link congestion estimates
+//     (boolean-tomography style), which HotspotSelector ranks over —
+//     penalizing paths through high-variance shared links — and which
+//     AdaptiveRace draws on to decide, per dial, whether racing wide could
+//     pay (stale or contested leader) or a single handshake suffices.
 //
 // The paper's two operational modes (§4.2) apply at selection time:
 //

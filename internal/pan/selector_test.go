@@ -1,6 +1,7 @@
 package pan_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -294,5 +295,79 @@ func TestPolicySelectorDemotesDownWithinClass(t *testing.T) {
 	}
 	if !sel2.Compliant {
 		t.Fatal("failover must stay within the compliant class")
+	}
+}
+
+// TestSelectorConcurrencyHammer drives RoundRobinSelector.Rank/Report (and
+// through it the shared health.report/healthView bookkeeping) from many
+// goroutines while PathHealth() is read concurrently — the proxy's steady
+// state, where in-flight requests, the monitor's probe sinks, and the stats
+// API all hit one selector. Run under -race this is the data-race oracle;
+// the invariants checked here are just sanity.
+func TestSelectorConcurrencyHammer(t *testing.T) {
+	paths := make([]*segment.Path, 6)
+	for i := range paths {
+		paths[i] = fakePath(topology.AS211, i)
+	}
+	rr := pan.NewRoundRobinSelector(pan.NewLatencySelector())
+
+	const workers = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				p := paths[(w+i)%len(paths)]
+				switch i % 4 {
+				case 0:
+					cands := rr.Rank(topology.AS211, paths)
+					if len(cands) != len(paths) {
+						t.Errorf("Rank returned %d of %d candidates", len(cands), len(paths))
+						return
+					}
+				case 1:
+					rr.Report(p, pan.Outcome{Latency: time.Duration(1+i%50) * time.Millisecond})
+				case 2:
+					rr.Report(p, pan.Outcome{Failed: true, Probe: i%2 == 0})
+				case 3:
+					rr.Report(p, pan.Outcome{Latency: time.Duration(1+i%20) * time.Millisecond, Probe: true})
+				}
+			}
+		}(w)
+	}
+	// Concurrent telemetry readers (the stats snapshot path).
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				for _, h := range rr.PathHealth() {
+					if h.Fingerprint == "" {
+						t.Error("PathHealth entry without fingerprint")
+						return
+					}
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// Quiesce to a known state: every path reported live with a sample.
+	for _, p := range paths {
+		rr.Report(p, pan.Outcome{Latency: 10 * time.Millisecond, Probe: true})
+	}
+	for _, h := range rr.PathHealth() {
+		if h.Down {
+			t.Fatalf("path %s still down after final successes", h.Fingerprint)
+		}
+	}
+	if got := rr.Rank(topology.AS211, paths); len(got) != len(paths) {
+		t.Fatalf("final Rank lost candidates: %d", len(got))
 	}
 }

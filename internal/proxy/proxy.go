@@ -30,7 +30,6 @@ import (
 	"tango/internal/netsim"
 	"tango/internal/pan"
 	"tango/internal/sciondetect"
-	"tango/internal/segment"
 	"tango/internal/shttp"
 	"tango/internal/squic"
 )
@@ -68,12 +67,25 @@ type Config struct {
 	// Both can be changed at runtime with SetRace.
 	RaceWidth   int
 	RaceStagger time.Duration
-	// ProbeInterval, when positive, runs a background prober that measures
-	// each known path to every SCION origin the proxy has dialed, feeding
-	// live RTT/liveness into the active selector so rankings react to
-	// network conditions between requests (and the stats API's Health
-	// reflects reality, paper §4.2). Changeable at runtime with SetProbing.
+	// ProbeInterval, when positive, runs a proxy-owned background telemetry
+	// monitor probing each known path to every SCION origin the proxy
+	// currently pools a connection to, feeding live RTT/liveness into the
+	// active selector so rankings react to network conditions between
+	// requests (and the stats API's Health reflects reality, paper §4.2).
+	// Changeable at runtime with SetProbing. Ignored when Monitor is set.
 	ProbeInterval time.Duration
+	// ProbeBudget caps the owned monitor's global probe rate in probes/sec
+	// (0 = pan's default).
+	ProbeBudget float64
+	// Monitor, when set, attaches the proxy to an externally owned shared
+	// telemetry plane instead of running its own — the deployment shape of
+	// a skip proxy host serving many clients: one monitor, many dialers.
+	// The proxy never stops a shared monitor.
+	Monitor *pan.Monitor
+	// AdaptiveRace auto-tunes the race width per dial from telemetry
+	// freshness and RTT spread (RaceWidth then caps the width); requires
+	// probing (ProbeInterval or Monitor). Changeable with SetAdaptiveRace.
+	AdaptiveRace bool
 }
 
 // Proxy is the SKIP HTTP proxy.
@@ -85,27 +97,32 @@ type Proxy struct {
 	scion  *shttp.Transport
 	legacy *http.Transport
 
-	mu     sync.Mutex
-	prober *pan.Prober
+	mu         sync.Mutex
+	monitor    *pan.Monitor
+	ownMonitor bool
 }
 
 // New builds the proxy.
 func New(cfg Config) *Proxy {
 	p := &Proxy{cfg: cfg, stats: NewStats()}
 	p.dialer = cfg.Host.NewDialer(pan.DialOptions{
-		Selector:    cfg.Selector,
-		Mode:        pan.Opportunistic,
-		RaceWidth:   cfg.RaceWidth,
-		RaceStagger: cfg.RaceStagger,
+		Selector:     cfg.Selector,
+		Mode:         pan.Opportunistic,
+		RaceWidth:    cfg.RaceWidth,
+		RaceStagger:  cfg.RaceStagger,
+		Monitor:      cfg.Monitor,
+		AdaptiveRace: cfg.AdaptiveRace,
 	})
+	p.monitor = cfg.Monitor
 	p.scion = shttp.NewTransport(p.dialSCION)
 	p.legacy = &http.Transport{
 		DialContext:        p.dialLegacy,
 		DisableCompression: true,
 	}
 	p.stats.SetHealthSource(p.PathHealth)
-	if cfg.ProbeInterval > 0 {
-		p.SetProbing(cfg.ProbeInterval)
+	p.stats.SetLinkSource(p.LinkStats)
+	if cfg.Monitor == nil && cfg.ProbeInterval > 0 {
+		p.SetProbing(cfg.ProbeInterval, cfg.ProbeBudget)
 	}
 	return p
 }
@@ -132,26 +149,44 @@ func (p *Proxy) SetRace(width int, stagger time.Duration) {
 	p.dialer.SetRace(width, stagger)
 }
 
-// SetProbing starts (interval > 0) or stops (interval <= 0) the background
-// per-path RTT prober. A freshly started prober re-learns its targets from
-// the proxy's SCION dials, so the first requests after enabling it seed the
-// probe set.
-func (p *Proxy) SetProbing(interval time.Duration) {
-	p.mu.Lock()
-	old := p.prober
-	p.prober = nil
+// SetProbing starts (interval > 0) or stops (interval <= 0) the proxy's
+// background path telemetry: an owned pan.Monitor with the given base probe
+// interval and probes/sec budget (0 = pan's default). The dialer re-tracks
+// its pooled destinations on the new monitor immediately, so probing
+// resumes without waiting for fresh dials. A shared Monitor attached via
+// Config is detached (but never stopped) by SetProbing(0, 0).
+func (p *Proxy) SetProbing(interval time.Duration, budget float64) {
+	var m *pan.Monitor
 	if interval > 0 {
-		// Outcomes route through the dialer's CURRENT selector, so a
-		// SetSelector swap redirects probe feedback automatically.
-		p.prober = p.cfg.Host.NewProber(func(path *segment.Path, o pan.Outcome) {
-			p.dialer.Selector().Report(path, o)
-		}, pan.ProberOptions{Interval: interval})
-		p.prober.Start()
+		m = p.cfg.Host.NewMonitor(pan.MonitorOptions{BaseInterval: interval, ProbeBudget: budget})
 	}
+	p.mu.Lock()
+	old, owned := p.monitor, p.ownMonitor
+	p.monitor, p.ownMonitor = m, m != nil
 	p.mu.Unlock()
-	if old != nil {
+	// Probe outcomes route through the dialer's CURRENT selector, so a
+	// SetSelector swap redirects feedback automatically.
+	p.dialer.SetMonitor(m)
+	if m != nil {
+		m.Start()
+	}
+	if old != nil && owned {
 		old.Stop()
 	}
+}
+
+// SetAdaptiveRace toggles telemetry-driven race-width tuning at runtime —
+// the "race wide only when it could pay" knob. Effective only while a
+// monitor is attached (SetProbing or Config.Monitor).
+func (p *Proxy) SetAdaptiveRace(on bool) {
+	p.dialer.SetAdaptiveRace(on)
+}
+
+// Monitor returns the attached telemetry plane, owned or shared, if any.
+func (p *Proxy) Monitor() *pan.Monitor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.monitor
 }
 
 // PathHealth exports the active selector's per-path telemetry (down-state
@@ -165,9 +200,23 @@ func (p *Proxy) PathHealth() []PathHealth {
 	return he.PathHealth()
 }
 
-// Close releases pooled connections and stops the prober.
+// LinkStats exports the monitor's per-link congestion estimates (nil
+// without probing) — the hotspot feed behind the stats API and the CLI
+// liveness printouts.
+func (p *Proxy) LinkStats() []LinkStat {
+	p.mu.Lock()
+	m := p.monitor
+	p.mu.Unlock()
+	if m == nil {
+		return nil
+	}
+	return m.LinkStats()
+}
+
+// Close releases pooled connections, detaches from the monitor, and stops
+// it when proxy-owned.
 func (p *Proxy) Close() {
-	p.SetProbing(0)
+	p.SetProbing(0, 0)
 	p.scion.CloseIdleConnections()
 	p.legacy.CloseIdleConnections()
 	p.dialer.Close()
@@ -208,13 +257,9 @@ func (p *Proxy) dialSCION(ctx context.Context, authority string) (*squic.Conn, e
 	if !ok {
 		return nil, fmt.Errorf("proxy: %s not SCION-reachable", hostOnly(authority))
 	}
-	// Every SCION origin the proxy talks to becomes a probe target, so the
-	// prober's liveness view covers exactly the destinations that matter.
-	p.mu.Lock()
-	if p.prober != nil {
-		p.prober.Track(remote, hostOnly(authority))
-	}
-	p.mu.Unlock()
+	// The dialer tracks every origin it pools a connection to on the
+	// monitor (and untracks it when the pooled connection is evicted), so
+	// the probe set covers exactly the destinations that matter right now.
 	conn, _, err := p.dialer.Dial(ctx, remote, hostOnly(authority))
 	return conn, err
 }

@@ -43,6 +43,11 @@ type RequestRecord struct {
 // next to the usage statistics, and is exactly the selector's own export.
 type PathHealth = pan.PathHealth
 
+// LinkStat is one inter-AS link's congestion estimate as exported through
+// the stats API: the monitor's decomposition of end-to-end probes into the
+// shared-link hotspots HotspotSelector routes around.
+type LinkStat = pan.LinkStat
+
 // Stats aggregates proxied-request outcomes. It is safe for concurrent use.
 type Stats struct {
 	mu      sync.Mutex
@@ -51,6 +56,7 @@ type Stats struct {
 	byPath  map[string]*PathUsage
 	records []RequestRecord
 	health  func() []PathHealth
+	links   func() []LinkStat
 }
 
 // PathUsage aggregates per-path feedback.
@@ -104,6 +110,15 @@ func (s *Stats) SetHealthSource(f func() []PathHealth) {
 	s.health = f
 }
 
+// SetLinkSource installs the per-link congestion provider consulted by
+// Snapshot — the proxy wires it to the attached monitor's LinkStats. Called
+// outside the stats lock.
+func (s *Stats) SetLinkSource(f func() []LinkStat) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.links = f
+}
+
 // Snapshot is an immutable copy of the aggregates.
 type Snapshot struct {
 	ByVia  map[Via]int            `json:"by_via"`
@@ -112,17 +127,24 @@ type Snapshot struct {
 	// Health is per-path liveness from the active selector: down-state and
 	// live RTT estimates, refreshed by dial outcomes and background probes.
 	Health []PathHealth `json:"health,omitempty"`
-	Total  int          `json:"total"`
+	// Links is the monitor's per-link congestion view (empty without
+	// probing): where in the network the variance lives.
+	Links []LinkStat `json:"links,omitempty"`
+	Total int        `json:"total"`
 }
 
 // Snapshot copies the current aggregates.
 func (s *Stats) Snapshot() Snapshot {
 	s.mu.Lock()
-	health := s.health
+	health, links := s.health, s.links
 	s.mu.Unlock()
 	var liveness []PathHealth
 	if health != nil {
 		liveness = health()
+	}
+	var linkStats []LinkStat
+	if links != nil {
+		linkStats = links()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -130,6 +152,7 @@ func (s *Stats) Snapshot() Snapshot {
 		ByVia:  make(map[Via]int, len(s.byVia)),
 		ByHost: make(map[string]map[Via]int, len(s.byHost)),
 		Health: liveness,
+		Links:  linkStats,
 		Total:  len(s.records),
 	}
 	for v, n := range s.byVia {
