@@ -634,6 +634,93 @@ func BenchmarkDialAdaptive(b *testing.B) {
 	b.ReportMetric(float64(width)/float64(b.N), "width/dial")
 }
 
+// BenchmarkMonitorPassive measures passive-sample ingest throughput: one
+// Observe call per iteration against a tracked inter-ISD destination — the
+// EWMA/deviation update, churn adaptation, and per-link excess attribution
+// a pooled connection's every ack RTT pays on the hot path. This must stay
+// cheap: a proxy-scale deployment ingests orders of magnitude more passive
+// samples than probes.
+func BenchmarkMonitorPassive(b *testing.B) {
+	clock, client, remote, paths := asymmetricDialWorld(b)
+	_ = clock
+	ls := pan.NewLatencySelector()
+	monitor := client.NewMonitor(pan.MonitorOptions{BaseInterval: time.Second})
+	monitor.Subscribe(ls.Report)
+	monitor.Track(remote, "bench.race")
+	base := 2 * paths[0].Meta.Latency
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary the sample so the EWMA/deviation arithmetic does real work.
+		monitor.Observe(paths[0], base+time.Duration(i%8)*time.Millisecond)
+	}
+	b.StopTimer()
+	tel, ok := monitor.Telemetry(paths[0].Fingerprint())
+	if !ok || tel.PassiveSamples != b.N {
+		b.Fatalf("ingested %d of %d passive samples", tel.PassiveSamples, b.N)
+	}
+}
+
+// BenchmarkDialWarmPassive is the passive counterpart of
+// BenchmarkDialAdaptive: the telemetry is warmed exclusively by passive
+// samples (as live traffic would), never by a single active probe, and the
+// adaptive dial still collapses to width 1 — fresh passively-fed estimates
+// are as good as probed ones, at zero probe budget. The probes/dial metric
+// records the (zero) active cost; width/dial the race decision.
+func BenchmarkDialWarmPassive(b *testing.B) {
+	clock, client, remote, paths := asymmetricDialWorld(b)
+	ls := pan.NewLatencySelector()
+	probes := 0
+	monitor := client.NewMonitor(pan.MonitorOptions{
+		BaseInterval: time.Second,
+		Probe: func(addr.UDPAddr, string, *segment.Path, time.Duration) (time.Duration, error) {
+			probes++
+			return 0, context.DeadlineExceeded
+		},
+	})
+	monitor.Subscribe(ls.Report)
+	monitor.Track(remote, "bench.race")
+	warm := func() {
+		for _, p := range paths {
+			monitor.Observe(p, 2*p.Meta.Latency)
+		}
+	}
+	warm()
+	d := client.NewDialer(pan.DialOptions{
+		Selector:     ls,
+		ServerName:   "bench.race",
+		Timeout:      2 * time.Second,
+		RaceWidth:    2,
+		AdaptiveRace: true,
+		Monitor:      monitor,
+		Passive:      true,
+	})
+	defer d.Close()
+
+	var virtual time.Duration
+	width := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Invalidate() // force a fresh dial per iteration
+		warm()         // steady traffic keeps the passive estimates fresh
+		start := clock.Now()
+		if _, _, err := d.Dial(context.Background(), remote, ""); err != nil {
+			b.Fatal(err)
+		}
+		virtual += clock.Since(start)
+		width += d.LastRace().Width
+	}
+	b.StopTimer()
+	if probes != 0 {
+		b.Fatalf("passively-warmed dial spent %d active probes, want 0", probes)
+	}
+	if width != b.N {
+		b.Fatalf("adaptive width averaged %.2f over passive telemetry, want 1", float64(width)/float64(b.N))
+	}
+	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtms/dial")
+	b.ReportMetric(float64(width)/float64(b.N), "width/dial")
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/dial")
+}
+
 // BenchmarkDataplaneForwarding measures router validation+forwarding of one
 // packet across the full inter-ISD path (virtual network, real CPU cost).
 func BenchmarkDataplaneForwarding(b *testing.B) {

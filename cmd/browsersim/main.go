@@ -29,6 +29,7 @@ func main() {
 	raceWidth := flag.Int("race-width", 0, "race this many top-ranked paths per SCION connection")
 	probeInterval := flag.Duration("probe-interval", 0, "background path telemetry probe interval (0 = off)")
 	adaptiveRace := flag.Bool("adaptive-race", false, "tune the race width from telemetry (needs -probe-interval)")
+	passive := flag.Bool("passive", true, "feed live-traffic RTTs into the telemetry monitor as zero-cost samples (needs -probe-interval)")
 	flag.Parse()
 
 	w, client, err := experiments.Demo(1)
@@ -57,7 +58,11 @@ func main() {
 	}
 	if *probeInterval > 0 {
 		client.Extension.SetProbing(*probeInterval)
+		client.Extension.SetPassive(*passive)
 		fmt.Printf("probing: telemetry monitor at %v base interval\n", *probeInterval)
+		if *passive {
+			fmt.Println("passive telemetry: browsed origins sustain their own estimates for free")
+		}
 	}
 	if *adaptiveRace {
 		if *probeInterval <= 0 {
@@ -117,6 +122,11 @@ func main() {
 	// the variance lives, not just which paths feel it.
 	for _, l := range client.Extension.LinkHealth() {
 		fmt.Printf("  link %s <-> %s: excess=%v dev=%v sharers=%d\n", l.A, l.B, l.Congestion, l.Dev, l.Sharers)
+	}
+	// Passive-vs-probe sample split per origin: which destinations pay for
+	// their own telemetry with live traffic and which draw on the budget.
+	for host, split := range client.Extension.TelemetrySamples() {
+		fmt.Printf("  origin %s: %d passive / %d probe samples\n", host, split.Passive, split.Probes)
 	}
 }
 

@@ -33,6 +33,7 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "shared monitor's base per-path probe interval")
 	probeBudget := flag.Float64("probe-budget", 0, "global probes/sec cap across all tracked paths (0 = pan default)")
 	adaptiveRace := flag.Bool("adaptive-race", false, "auto-tune each client's race width from the shared telemetry")
+	passive := flag.Bool("passive", true, "stream the fleet's live-traffic RTTs into the shared monitor as zero-cost samples, suppressing active probes for origins with traffic")
 	flag.Parse()
 
 	w, client, err := experiments.Demo(4)
@@ -89,6 +90,7 @@ func main() {
 			Monitor:      monitor, // ONE monitor, many dialers
 			RaceWidth:    3,
 			AdaptiveRace: *adaptiveRace,
+			Passive:      *passive,
 			Seed:         int64(i + 1),
 		})
 		if err != nil {
@@ -131,6 +133,9 @@ func main() {
 		if *adaptiveRace {
 			dec := b.c.Proxy.Dialer().LastRace()
 			fmt.Printf("    last race decision: width=%d (%s)\n", dec.Width, dec.Reason)
+		}
+		for host, split := range snap.Samples {
+			fmt.Printf("    %s: %d passive / %d probe samples\n", host, split.Passive, split.Probes)
 		}
 	}
 	if links := monitor.LinkStats(); len(links) > 0 {

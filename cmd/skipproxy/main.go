@@ -31,6 +31,7 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 0, "base per-path RTT probe interval of the telemetry monitor (0 = probing off)")
 	probeBudget := flag.Float64("probe-budget", 0, "global probes/sec cap across all tracked paths (0 = pan default)")
 	adaptiveRace := flag.Bool("adaptive-race", false, "auto-tune the race width from telemetry freshness and RTT spread (needs -probe-interval)")
+	passive := flag.Bool("passive", true, "feed live-traffic RTTs (connection acks, request first-byte times) into the telemetry monitor as zero-cost samples, suppressing active probes for busy origins (needs -probe-interval)")
 	flag.Parse()
 
 	if *policyFile != "" && *selector != "" {
@@ -61,10 +62,14 @@ func main() {
 	}
 	if *probeInterval > 0 {
 		client.Proxy.SetProbing(*probeInterval, *probeBudget)
+		client.Proxy.SetPassive(*passive)
 		if *probeBudget > 0 {
 			fmt.Printf("telemetry monitor: base interval %v, budget %.1f probes/s\n", *probeInterval, *probeBudget)
 		} else {
 			fmt.Printf("telemetry monitor: base interval %v\n", *probeInterval)
+		}
+		if *passive {
+			fmt.Println("passive telemetry: live-traffic RTTs suppress active probes for busy origins")
 		}
 	}
 	switch *selector {
@@ -160,6 +165,12 @@ func main() {
 		for _, l := range snap.Links {
 			fmt.Printf("  %s <-> %s  excess=%-6s dev=%-6s sharers=%d\n",
 				l.A, l.B, l.Congestion.Round(time.Millisecond), l.Dev.Round(time.Millisecond), l.Sharers)
+		}
+	}
+	if len(snap.Samples) > 0 {
+		fmt.Println("telemetry sample split (passive = free, probes = budget):")
+		for host, split := range snap.Samples {
+			fmt.Printf("  %-22s %d passive / %d probe samples\n", host, split.Passive, split.Probes)
 		}
 	}
 	if *adaptiveRace {

@@ -161,6 +161,21 @@ func (e *Extension) SetAdaptiveRace(on bool) {
 	e.proxy.SetAdaptiveRace(on)
 }
 
+// SetPassive toggles passive telemetry: pooled connections' ack RTTs and
+// per-request first-byte times feed the monitor as zero-cost samples, so
+// origins the user actually browses keep fresh estimates without spending
+// the probe budget. Needs probing enabled to have effect.
+func (e *Extension) SetPassive(on bool) {
+	e.proxy.SetPassive(on)
+}
+
+// TelemetrySamples surfaces the per-origin passive-vs-probe sample split —
+// the UI layer that can show which origins sustain their own telemetry
+// from live traffic and which the probe budget is spent on.
+func (e *Extension) TelemetrySamples() map[string]proxy.SampleSplit {
+	return e.proxy.SampleSplits()
+}
+
 // PathHealth surfaces the proxy's per-path liveness and live RTT telemetry
 // — the data behind rendering each path as live, degraded, or down in the
 // paper's §4.2 path-selection UI.

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/pan"
+	"tango/internal/segment"
+	"tango/internal/topology"
+)
+
+// TestPassiveTelemetrySuppressesProbesE2E is the deterministic netsim
+// scenario of the passive telemetry path: under a tight global ProbeBudget,
+// a destination with continuous live traffic keeps all of its telemetry
+// fresh from the traffic itself — squic ack RTTs streaming through the
+// pooled connections' observers into Monitor.Observe — and its scheduled
+// active probes are suppressed to (near-)zero, while an idle destination
+// retains its full probe schedule. This is the ROADMAP's budget-aware
+// target prioritization obtained structurally: no LRU heuristic decides
+// where probes go; destinations that can pay for their own telemetry simply
+// stop drawing on the budget.
+//
+// The same passively-fed telemetry then drives adaptive racing: a dial to
+// the busy destination sees a fresh, clearly-ahead leader and races at
+// width 1 — zero extra handshakes, zero probes spent.
+func TestPassiveTelemetrySuppressesProbesE2E(t *testing.T) {
+	w, err := NewWorld(11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	busyHost := w.PANHost(topology.AS211, "10.0.0.91")
+	idleHost := w.PANHost(topology.AS221, "10.0.0.92")
+	busyLis := echoListener(t, busyHost, 7410, "busy.e2e", w.Pool)
+	idleLis := echoListener(t, idleHost, 7411, "idle.e2e", w.Pool)
+	t.Cleanup(func() { busyLis.Close(); idleLis.Close() })
+
+	client := w.PANHost(topology.AS111, "10.0.8.50")
+	busyRemote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.91")}, Port: 7410}
+	idleRemote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS221, Host: netip.MustParseAddr("10.0.0.92")}, Port: 7411}
+
+	busyPaths := client.Paths(topology.AS211)
+	idlePaths := client.Paths(topology.AS221)
+	if len(busyPaths) < 2 || len(idlePaths) < 1 {
+		t.Fatalf("scenario needs path diversity: %d busy, %d idle paths", len(busyPaths), len(idlePaths))
+	}
+
+	// Count every active probe per destination AS, wrapping the host's real
+	// handshake probe so the on-the-wire cost stays genuine.
+	var mu sync.Mutex
+	probesByIA := make(map[addr.IA]int)
+	realProbe := client.HandshakeProbe()
+	countingProbe := func(remote addr.UDPAddr, serverName string, path *segment.Path, timeout time.Duration) (time.Duration, error) {
+		mu.Lock()
+		probesByIA[remote.IA]++
+		mu.Unlock()
+		return realProbe(remote, serverName, path, timeout)
+	}
+	probeCount := func(ia addr.IA) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return probesByIA[ia]
+	}
+
+	const (
+		baseInterval = 2 * time.Second
+		maxInterval  = 8 * time.Second
+	)
+	monitor := pan.NewMonitor(w.Clock, client.Paths, pan.MonitorOptions{
+		BaseInterval: baseInterval,
+		MaxInterval:  maxInterval,
+		Timeout:      time.Second,
+		ProbeBudget:  1.5, // tight: every probe spent matters
+		Probe:        countingProbe,
+	})
+
+	// The busy destination's traffic covers ALL of its paths (the shape a
+	// proxy's racing/rotation history produces): one passive-enabled dialer
+	// pinned per path, each pooling one long-lived connection.
+	type pinnedConn struct {
+		path *segment.Path
+		d    *pan.Dialer
+	}
+	var busyConns []pinnedConn
+	busyEcho := func(pc pinnedConn) {
+		conn, _, err := pc.d.Dial(context.Background(), busyRemote, "")
+		if err != nil {
+			t.Fatalf("busy dial over %s: %v", pc.path, err)
+		}
+		echoRoundTrip(t, conn)
+	}
+	for _, p := range busyPaths {
+		pin := pan.NewPinnedSelector(nil)
+		pin.Pin(topology.AS211, p.Fingerprint())
+		d := client.NewDialer(pan.DialOptions{
+			Selector:   pin,
+			ServerName: "busy.e2e",
+			Timeout:    2 * time.Second,
+			Monitor:    monitor,
+			Passive:    true,
+		})
+		t.Cleanup(d.Close)
+		pc := pinnedConn{path: p, d: d}
+		busyConns = append(busyConns, pc)
+		conn, sel, err := d.Dial(context.Background(), busyRemote, "")
+		if err != nil {
+			t.Fatalf("pinned dial: %v", err)
+		}
+		if sel.Path.Fingerprint() != p.Fingerprint() {
+			t.Fatalf("pinned dial won on %s, want %s", sel.Path, p)
+		}
+		_ = conn
+	}
+	// The idle destination is tracked (it matters to someone) but carries no
+	// traffic: its telemetry can only come from the probe budget.
+	monitor.Track(idleRemote, "idle.e2e")
+	monitor.Start()
+	t.Cleanup(monitor.Stop)
+
+	// 60 virtual seconds of steady traffic on every busy path: one echo
+	// round trip per second per connection, each streaming its ack RTTs
+	// into the monitor.
+	for i := 0; i < 60; i++ {
+		for _, pc := range busyConns {
+			busyEcho(pc)
+		}
+		w.Clock.Sleep(time.Second)
+	}
+
+	busyProbes, idleProbes := probeCount(topology.AS211), probeCount(topology.AS221)
+	if idleProbes < 10 {
+		t.Fatalf("idle destination probed only %d times in 60s — schedule not retained", idleProbes)
+	}
+	if busyProbes*10 >= idleProbes {
+		t.Fatalf("busy destination probed %d times vs idle %d — passive suppression failed (< 10%% required)", busyProbes, idleProbes)
+	}
+
+	// Despite (near-)zero probes, the busy destination's telemetry is fresh
+	// on every path, fed passively, and never older than MaxInterval.
+	for _, p := range busyPaths {
+		tel, ok := monitor.Telemetry(p.Fingerprint())
+		if !ok {
+			t.Fatalf("no telemetry for busy path %s", p)
+		}
+		if !tel.Fresh || tel.Age > maxInterval {
+			t.Fatalf("busy path %s telemetry stale: %+v", p, tel)
+		}
+		if tel.PassiveSamples == 0 || tel.PassiveSamples < tel.Samples-1 {
+			t.Fatalf("busy path %s not passively fed: %d/%d passive", p, tel.PassiveSamples, tel.Samples)
+		}
+		if tel.RTT <= 0 || tel.Down {
+			t.Fatalf("busy path %s telemetry unhealthy: %+v", p, tel)
+		}
+	}
+	split, ok := monitor.TargetSamples(busyRemote, "busy.e2e")
+	if !ok || split.Passive < 100 || split.Probes > split.Passive/10 {
+		t.Fatalf("busy sample split = %+v, %v; want overwhelmingly passive", split, ok)
+	}
+
+	// Adaptive racing on the passively-warmed telemetry: the leader is
+	// fresh and clearly ahead, so the dial goes out at width 1 — and spends
+	// zero probes doing it.
+	before := probeCount(topology.AS211)
+	dAdaptive := client.NewDialer(pan.DialOptions{
+		Selector:     pan.NewLatencySelector(),
+		ServerName:   "busy.e2e",
+		Timeout:      2 * time.Second,
+		RaceWidth:    3,
+		AdaptiveRace: true,
+		Monitor:      monitor,
+		Passive:      true,
+	})
+	t.Cleanup(dAdaptive.Close)
+	conn, _, err := dAdaptive.Dial(context.Background(), busyRemote, "")
+	if err != nil {
+		t.Fatalf("adaptive dial: %v", err)
+	}
+	echoRoundTrip(t, conn)
+	if dec := dAdaptive.LastRace(); !dec.Adaptive || dec.Width != 1 || dec.Reason != "clear-leader" {
+		t.Fatalf("adaptive race decision = %+v, want width 1 clear-leader on passive telemetry", dec)
+	}
+	if after := probeCount(topology.AS211); after != before {
+		t.Fatalf("adaptive dial spent %d probes on the busy destination", after-before)
+	}
+}

@@ -177,6 +177,10 @@ type ClientConfig struct {
 	// AdaptiveRace lets telemetry pick the race width per dial (RaceWidth
 	// caps it).
 	AdaptiveRace bool
+	// Passive streams pooled connections' ack RTTs and per-request
+	// first-byte times into the monitor as zero-cost telemetry samples,
+	// suppressing scheduled probes for origins with live traffic.
+	Passive bool
 	// Seed drives the overhead jitter so repeated runs differ.
 	Seed int64
 }
@@ -218,6 +222,7 @@ func (w *World) NewClient(cfg ClientConfig) (*Client, error) {
 		ProbeBudget:   cfg.ProbeBudget,
 		Monitor:       cfg.Monitor,
 		AdaptiveRace:  cfg.AdaptiveRace,
+		Passive:       cfg.Passive,
 	})
 
 	// Loopback: zero-latency same-machine route, unique port per client.

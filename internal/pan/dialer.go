@@ -51,6 +51,12 @@ type DialOptions struct {
 	// leaders race up to RaceWidth (or DefaultAdaptiveRaceWidth when
 	// RaceWidth ≤ 1), a clearly healthy leader dials alone.
 	AdaptiveRace bool
+	// Passive, with a Monitor attached, streams every pooled connection's
+	// ack RTT samples into Monitor.Observe for the connection's lifetime:
+	// zero-cost telemetry from traffic the dialer already carries, which
+	// keeps busy destinations fresh and suppresses their scheduled active
+	// probes. Toggled at runtime with SetPassive.
+	Passive bool
 }
 
 // RaceDecision records how the most recent Dial chose its race width — the
@@ -99,6 +105,10 @@ type Dialer struct {
 	tracked  map[string]trackRef
 	unsub    func()
 	lastRace RaceDecision
+	// dials counts fresh connections pooled, ever; each pooledConn is
+	// stamped with the value at its pooling (see pooledConn.gen), giving
+	// every pool entry a unique, monotonic generation.
+	dials uint64
 }
 
 // trackRef remembers what was passed to Monitor.Track so the matching
@@ -113,6 +123,7 @@ type pooledConn struct {
 	conn       *squic.Conn
 	sel        Selection
 	epoch      uint64
+	gen        uint64 // unique per pooling; PoolState's re-dial detector
 	remote     addr.UDPAddr
 	serverName string
 }
@@ -187,6 +198,31 @@ func (d *Dialer) SetAdaptiveRace(on bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.opts.AdaptiveRace = on
+}
+
+// SetPassive toggles passive telemetry at runtime. Disabling stops the
+// sample flow immediately (already-registered connection observers check
+// the flag per sample); enabling takes effect per connection as it is
+// (re-)pooled — the epoch is not bumped. Effective only with a Monitor
+// attached.
+func (d *Dialer) SetPassive(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.opts.Passive = on
+}
+
+// observePassive routes one passive RTT sample from a pooled connection on
+// path into the currently attached monitor. Reading the monitor per sample
+// (rather than capturing it at registration) keeps a SetMonitor swap from
+// leaking samples into a detached plane.
+func (d *Dialer) observePassive(path *segment.Path, rtt time.Duration) {
+	d.mu.Lock()
+	m, on := d.opts.Monitor, d.opts.Passive
+	d.mu.Unlock()
+	if m == nil || !on {
+		return
+	}
+	m.Observe(path, rtt)
 }
 
 // LastRace reports how the most recent Dial chose its race width.
@@ -322,6 +358,28 @@ func (d *Dialer) Cached(remote addr.UDPAddr, serverName string) (Selection, bool
 	return sel, ok
 }
 
+// PoolState reports whether a live pooled connection to remote exists at
+// the current epoch — i.e. whether the next Dial will reuse it instead of
+// dialing — and, when live, that pool entry's generation (unique per
+// pooling). Unlike Cached (which keeps answering from the last selection
+// after the connection has died), this consults the pool itself. The
+// proxy's passive-telemetry feed brackets a round trip with it: live
+// before and the SAME generation after proves the round trip rode that
+// pooled connection, with no re-dial (and no failover's worth of handshake
+// timeouts) hiding inside.
+func (d *Dialer) PoolState(remote addr.UDPAddr, serverName string) (gen uint64, live bool) {
+	if serverName == "" {
+		serverName = d.opts.ServerName
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pc := d.conns[d.key(remote, serverName)]
+	if pc == nil || pc.epoch != d.epoch || pc.conn.Err() != nil {
+		return 0, false
+	}
+	return pc.gen, true
+}
+
 // ReportFailure reports a transport-level failure observed on the pooled
 // connection to remote (e.g. an HTTP round-trip error): if the pooled
 // connection is dead, it is dropped and its path reported down so the next
@@ -386,7 +444,7 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 	epoch := d.epoch
 	sel, mode, timeout, attempts := d.opts.Selector, d.opts.Mode, d.opts.Timeout, d.opts.MaxAttempts
 	width, stagger := d.opts.RaceWidth, d.opts.RaceStagger
-	monitor, adaptive := d.opts.Monitor, d.opts.AdaptiveRace
+	monitor, adaptive, passive := d.opts.Monitor, d.opts.AdaptiveRace, d.opts.Passive
 	if pc := d.conns[key]; pc != nil {
 		if pc.epoch == epoch && pc.conn.Err() == nil {
 			d.mu.Unlock()
@@ -462,7 +520,8 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 		conn.Close()
 		return existing.conn, existing.sel, nil
 	}
-	d.conns[key] = &pooledConn{conn: conn, sel: selection, epoch: epoch, remote: remote, serverName: serverName}
+	d.dials++
+	d.conns[key] = &pooledConn{conn: conn, sel: selection, epoch: epoch, gen: d.dials, remote: remote, serverName: serverName}
 	d.last[key] = selection
 	if m := d.opts.Monitor; m != nil {
 		if _, ok := d.tracked[key]; !ok {
@@ -475,6 +534,15 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 		}
 	}
 	d.mu.Unlock()
+	if monitor != nil && passive {
+		// Stream the pooled connection's ack RTTs into the telemetry plane
+		// for as long as it lives: every request the caller sends doubles as
+		// a free probe of the winning path. The observer re-reads the
+		// dialer's monitor/passive state per sample, so SetMonitor and
+		// SetPassive apply to live connections immediately.
+		path := won.Path
+		conn.OnRTTSample(func(rtt time.Duration) { d.observePassive(path, rtt) })
+	}
 	// Report Success only for a connection actually put into service: a
 	// discarded race-loser or stale-epoch dial must not advance use-driven
 	// selectors (RoundRobin rotation). The measured handshake latency rides

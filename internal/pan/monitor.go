@@ -64,8 +64,13 @@ type PathTelemetry struct {
 	// deviation (Jacobson-style, gains 1/4).
 	RTT time.Duration
 	Dev time.Duration
-	// Samples counts successful probes ingested so far.
+	// Samples counts successful measurements ingested so far — active
+	// probes plus passive samples.
 	Samples int
+	// PassiveSamples is how many of Samples were zero-cost passive
+	// observations from live traffic (Monitor.Observe) rather than active
+	// probes.
+	PassiveSamples int
 	// Down marks an unresolved probe failure.
 	Down bool
 	// Age is the time since the path was last probed (success or failure).
@@ -140,23 +145,42 @@ type monTarget struct {
 	remote     addr.UDPAddr
 	serverName string
 	refs       int
+	// passive/probes split the destination's ingested samples by origin —
+	// the "N passive / M probe samples" observability feed. A sample on a
+	// path serving several destinations credits each of them: they all
+	// consume its freshness.
+	passive, probes int
 }
 
-// monEntry is the per-path telemetry and schedule state.
+// SampleSplit is a destination's telemetry sample count split by origin:
+// zero-cost passive observations from live traffic versus active probes
+// spent from the budget.
+type SampleSplit struct {
+	Passive int `json:"passive"`
+	Probes  int `json:"probes"`
+}
+
+// monEntry is the per-path telemetry and schedule state. In-flight probe
+// tracking lives in Monitor.inflight, NOT here: entries can be pruned and
+// re-created (by fingerprint) while a probe is still in flight, and a flag
+// on the entry object would then latch or clear the wrong incarnation.
 type monEntry struct {
 	path    *segment.Path
 	targets map[string]*monTarget // target keys this path serves
 
 	rtt, dev   time.Duration
 	samples    int
+	passive    int // how many of samples came from Observe
 	lastSample time.Time
-	down       bool
-	failures   int
+	// lastPassive is when Observe last fed this path; fire() skips the
+	// active probe while it is younger than the effective interval.
+	lastPassive time.Time
+	down        bool
+	failures    int
 
 	interval time.Duration
 	seq      uint64 // reschedule counter, varies the jitter
 	cancel   func() bool
-	probing  bool
 }
 
 // Monitor is the shared telemetry plane below the selectors: ONE monitor per
@@ -177,6 +201,13 @@ type monEntry struct {
 // each dialer's active selector), and the link-level series feed
 // HotspotSelector and the adaptive race-width adviser.
 //
+// Active probes are only half the input: Observe ingests zero-cost passive
+// RTT samples skimmed off live traffic (pooled squic connections' ack RTTs,
+// proxied requests' first-byte times) through the same pipeline, and a
+// scheduled probe is skipped whenever a passive sample landed within the
+// path's current interval — destinations with traffic keep themselves
+// fresh for free, and the probe budget concentrates on the idle ones.
+//
 // All scheduling runs on the injected Clock, so experiments drive the
 // monitor deterministically on virtual time. Probes run in their own
 // goroutines (never inside a timer callback, which would stall a virtual
@@ -194,9 +225,21 @@ type Monitor struct {
 	byTarget map[string]map[string]*monEntry
 	// active counts entries with at least one target (the schedulable set),
 	// kept incrementally so the budget floor is O(1) per query.
-	active   int
+	active int
+	// inflight marks fingerprints with a probe currently on the wire, at
+	// most one per path. Monitor-level (not per-entry) so a probe draining
+	// across entry pruning/re-creation — or across a Stop→Start cycle —
+	// always clears exactly its own mark and can never leave a re-created
+	// entry latched out of the schedule.
+	inflight map[string]bool
 	links    map[linkKey]map[string]*excessSeries
 	sinks    map[int]func(*segment.Path, Outcome)
+	// sinkList caches the id-ordered fan-out slice (nil = rebuild on next
+	// use). Passive ingest fans out per ack sample, and rebuilding+sorting
+	// the list for every one of them would be avoidable hot-path garbage;
+	// Subscribe/unsubscribe (rare) invalidate it. Rebuilds always allocate
+	// a FRESH slice, so callers may iterate it outside the lock.
+	sinkList []func(*segment.Path, Outcome)
 	nextSink int
 	started  bool
 }
@@ -233,6 +276,7 @@ func NewMonitor(clock netsim.Clock, paths func(addr.IA) []*segment.Path, opts Mo
 		targets:  make(map[string]*monTarget),
 		entries:  make(map[string]*monEntry),
 		byTarget: make(map[string]map[string]*monEntry),
+		inflight: make(map[string]bool),
 		links:    make(map[linkKey]map[string]*excessSeries),
 		sinks:    make(map[int]func(*segment.Path, Outcome)),
 	}
@@ -247,6 +291,12 @@ func (h *Host) NewMonitor(opts MonitorOptions) *Monitor {
 	}
 	return NewMonitor(h.clock, h.Paths, opts)
 }
+
+// HandshakeProbe returns the host's default active probe — the measurement
+// Host.NewMonitor installs when MonitorOptions.Probe is unset. Exported so
+// scenario harnesses can wrap it (e.g. to count probes per destination)
+// while keeping the real on-the-wire handshake cost.
+func (h *Host) HandshakeProbe() ProbeFunc { return h.handshakeProbe }
 
 // handshakeProbe measures a path by completing (and immediately closing) a
 // squic handshake: exactly one round trip on the wire, with the server
@@ -425,10 +475,12 @@ func (m *Monitor) Subscribe(sink func(*segment.Path, Outcome)) (unsubscribe func
 	id := m.nextSink
 	m.nextSink++
 	m.sinks[id] = sink
+	m.sinkList = nil
 	return func() {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		delete(m.sinks, id)
+		m.sinkList = nil
 	}
 }
 
@@ -524,13 +576,24 @@ func (m *Monitor) fire(fp string) {
 		return
 	}
 	e.cancel = nil
-	if e.probing {
+	if m.inflight[fp] {
 		// A manual round still has this path in flight; retry next interval.
 		m.scheduleLocked(fp, e, false)
 		m.mu.Unlock()
 		return
 	}
-	e.probing = true
+	if !e.lastPassive.IsZero() && m.clock.Since(e.lastPassive) < m.effectiveIntervalLocked(e) {
+		// Probe suppression: live traffic measured this path within the
+		// current interval, so the active probe would spend budget on
+		// nothing — skip it and push the schedule. Deciding here (rather
+		// than re-arming the timer from Observe on every ack sample) keeps
+		// the passive hot path free of timer churn; once traffic stops,
+		// the very next deadline probes again.
+		m.scheduleLocked(fp, e, false)
+		m.mu.Unlock()
+		return
+	}
+	m.inflight[fp] = true
 	m.mu.Unlock()
 	go m.probeEntry(fp, true)
 }
@@ -542,6 +605,10 @@ func (m *Monitor) probeEntry(fp string, scheduled bool) {
 	m.mu.Lock()
 	e := m.entries[fp]
 	if e == nil {
+		// Pruned between fire() and here; the mark MUST clear anyway — an
+		// fp can be re-created by a later Track, and a leaked mark would
+		// silence its schedule forever.
+		delete(m.inflight, fp)
 		m.mu.Unlock()
 		return
 	}
@@ -555,33 +622,31 @@ func (m *Monitor) probeEntry(fp string, scheduled bool) {
 	timeout := m.opts.Timeout
 	m.mu.Unlock()
 	if tgt == nil {
-		m.clearProbing(fp)
+		m.clearInflight(fp)
 		return
 	}
 
 	rtt, err := m.opts.Probe(tgt.remote, tgt.serverName, path, timeout)
 
 	m.mu.Lock()
+	delete(m.inflight, fp)
 	e = m.entries[fp]
 	if e == nil {
 		m.mu.Unlock()
 		return
 	}
-	e.probing = false
-	outcome := m.ingestLocked(e, rtt, err)
+	outcome := m.ingestLocked(e, rtt, err, false)
 	alive := !scheduled || m.started
-	if scheduled && m.started {
+	// Re-arm whenever the monitor is running and the entry has no pending
+	// deadline — regardless of who launched this probe. A probe that was in
+	// flight across a Stop→Start cycle (Start already armed a fresh timer)
+	// no-ops here; one that drained after the restart consumed its deadline
+	// re-arms itself, so the path can never fall silently out of the
+	// schedule.
+	if m.started && len(e.targets) > 0 {
 		m.scheduleLocked(fp, e, false)
 	}
-	sinks := make([]func(*segment.Path, Outcome), 0, len(m.sinks))
-	ids := make([]int, 0, len(m.sinks))
-	for id := range m.sinks {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		sinks = append(sinks, m.sinks[id])
-	}
+	sinks := m.sinksLocked()
 	m.mu.Unlock()
 
 	if !alive {
@@ -595,11 +660,28 @@ func (m *Monitor) probeEntry(fp string, scheduled bool) {
 	}
 }
 
-func (m *Monitor) clearProbing(fp string) {
-	m.mu.Lock()
-	if e := m.entries[fp]; e != nil {
-		e.probing = false
+// sinksLocked returns the sink fan-out list in deterministic id order,
+// rebuilding the cache only after a Subscribe/unsubscribe change; the
+// caller invokes the sinks after releasing m.mu.
+func (m *Monitor) sinksLocked() []func(*segment.Path, Outcome) {
+	if m.sinkList == nil {
+		sinks := make([]func(*segment.Path, Outcome), 0, len(m.sinks))
+		ids := make([]int, 0, len(m.sinks))
+		for id := range m.sinks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			sinks = append(sinks, m.sinks[id])
+		}
+		m.sinkList = sinks
 	}
+	return m.sinkList
+}
+
+func (m *Monitor) clearInflight(fp string) {
+	m.mu.Lock()
+	delete(m.inflight, fp)
 	m.mu.Unlock()
 }
 
@@ -628,12 +710,22 @@ func (m *Monitor) resyncEntryTargets(fp string) {
 	}
 }
 
-// ingestLocked folds one probe result into the entry's telemetry, adapts
-// its interval to the observed churn, and attributes success excess to the
-// traversed links. Returns the outcome to fan out.
-func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error) Outcome {
+// ingestLocked folds one measurement — an active probe result or a passive
+// traffic sample — into the entry's telemetry, adapts its interval to the
+// observed churn, and attributes success excess to the traversed links.
+// Probes and passive samples share this pipeline end to end; only the
+// outcome marking (and the per-target sample split) records the origin.
+// Returns the outcome to fan out.
+func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error, passive bool) Outcome {
 	now := m.clock.Now()
 	e.lastSample = now
+	for _, tgt := range e.targets {
+		if passive {
+			tgt.passive++
+		} else {
+			tgt.probes++
+		}
+	}
 	if err != nil {
 		e.failures++
 		e.down = true
@@ -647,6 +739,10 @@ func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error) Outcom
 	}
 	e.failures = 0
 	e.down = false
+	if passive {
+		e.passive++
+		e.lastPassive = now
+	}
 	if e.samples == 0 {
 		// Optimistic deviation start: a first sample carries no churn
 		// evidence, and adaptive racing should not stay wide on a path
@@ -703,7 +799,59 @@ func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error) Outcom
 		}
 		s.ingest(excess, now)
 	}
+	if passive {
+		return Outcome{Latency: rtt, Passive: true}
+	}
 	return Outcome{Latency: rtt, Probe: true}
+}
+
+// Observe ingests one zero-cost RTT sample observed on live traffic over
+// path — a pooled squic connection's ack RTT, a proxied request's
+// time-to-first-byte. The sample flows through exactly the probe ingest
+// pipeline (EWMA and deviation, churn-adaptive interval, link attribution,
+// sink fan-out) but is marked Outcome{Probe: false, Passive: true} so
+// use-driven selectors don't mistake ack cadence for request cadence.
+//
+// The budget saver: the sample stamps the path's lastPassive time, and the
+// scheduled fire() SKIPS the active probe (rescheduling only) while that
+// stamp is younger than the path's effective interval. A destination with
+// continuous traffic therefore keeps fresh telemetry while consuming
+// (near-)zero probe budget, a tight ProbeBudget concentrates structurally
+// on the destinations with no traffic to learn from, and — because the
+// suppression decision lives at the (rare) fire, not here — the per-ack
+// hot path never touches a timer. Samples for untracked paths are dropped:
+// tracking is the scheduling contract, and passive data must not keep
+// telemetry alive for paths nothing dials anymore.
+func (m *Monitor) Observe(path *segment.Path, rtt time.Duration) {
+	if path == nil || rtt <= 0 {
+		return
+	}
+	fp := path.Fingerprint()
+	m.mu.Lock()
+	e := m.entries[fp]
+	if e == nil || len(e.targets) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	outcome := m.ingestLocked(e, rtt, nil, true)
+	sinks := m.sinksLocked()
+	m.mu.Unlock()
+	for _, sink := range sinks {
+		sink(path, outcome)
+	}
+}
+
+// TargetSamples reports a tracked destination's telemetry sample split —
+// how many zero-cost passive samples versus active probes have fed its
+// paths. ok is false for destinations the monitor does not track.
+func (m *Monitor) TargetSamples(remote addr.UDPAddr, serverName string) (SampleSplit, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tgt := m.targets[targetKey(remote, serverName)]
+	if tgt == nil {
+		return SampleSplit{}, false
+	}
+	return SampleSplit{Passive: tgt.passive, Probes: tgt.probes}, true
 }
 
 // RunRound synchronously probes every tracked path once, in fingerprint
@@ -717,10 +865,10 @@ func (m *Monitor) RunRound() {
 	}
 	fps := make([]string, 0, len(m.entries))
 	for fp, e := range m.entries {
-		if e.probing || len(e.targets) == 0 {
+		if m.inflight[fp] || len(e.targets) == 0 {
 			continue // mid-flight or retired; skip, don't double-probe
 		}
-		e.probing = true
+		m.inflight[fp] = true
 		fps = append(fps, fp)
 	}
 	m.mu.Unlock()
@@ -748,12 +896,13 @@ func (m *Monitor) telemetryLocked(fp string, e *monEntry) PathTelemetry {
 	// and race wide on every dial.
 	iv := m.effectiveIntervalLocked(e)
 	t := PathTelemetry{
-		Fingerprint: fp,
-		RTT:         e.rtt,
-		Dev:         e.dev,
-		Samples:     e.samples,
-		Down:        e.down,
-		Interval:    iv,
+		Fingerprint:    fp,
+		RTT:            e.rtt,
+		Dev:            e.dev,
+		Samples:        e.samples,
+		PassiveSamples: e.passive,
+		Down:           e.down,
+		Interval:       iv,
 	}
 	if !e.lastSample.IsZero() {
 		t.Age = m.clock.Since(e.lastSample)

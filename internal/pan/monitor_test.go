@@ -706,3 +706,220 @@ func TestMonitorDropsVanishedPaths(t *testing.T) {
 		t.Fatal("withdrawn path's telemetry dropped immediately")
 	}
 }
+
+// TestMonitorObserveMatchesProbePipeline: a passive sample stream must land
+// in exactly the telemetry an identical probe stream produces — same EWMA,
+// same deviation, same sample count, same link attribution — differing only
+// in the passive/probe marking of the outcomes and counters.
+func TestMonitorObserveMatchesProbePipeline(t *testing.T) {
+	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
+	samples := []time.Duration{100 * time.Millisecond, 180 * time.Millisecond, 60 * time.Millisecond}
+
+	// Two monitors on one clock: one fed by probes, one fed by Observe.
+	// Identical metadata latency (45ms one-way) so excess attribution
+	// matches; distinct interface seeds so the paths are distinct.
+	probed := fakePathVia(topology.AS211, 0, 45*time.Millisecond, topology.Core120, topology.Core210)
+	observed := fakePathVia(topology.AS211, 1, 45*time.Millisecond, topology.Core120, topology.Core210)
+	script := &probeScript{script: map[string][]probeOutcome{probed.Fingerprint(): {
+		{rtt: samples[0]}, {rtt: samples[1]}, {rtt: samples[2]},
+	}}}
+	mProbe := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{probed} }, pan.MonitorOptions{
+		BaseInterval: time.Second, Probe: script.fn,
+	})
+	mProbe.Track(probeTarget(0), "probe.server")
+	mPassive := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{observed} }, pan.MonitorOptions{
+		BaseInterval: time.Second, Probe: script.fn,
+	})
+	log := &reportLog{}
+	mPassive.Subscribe(log.report)
+	mPassive.Track(probeTarget(0), "probe.server")
+
+	for _, rtt := range samples {
+		mProbe.RunRound()
+		mPassive.Observe(observed, rtt)
+	}
+
+	pt, ok1 := mProbe.Telemetry(probed.Fingerprint())
+	ot, ok2 := mPassive.Telemetry(observed.Fingerprint())
+	if !ok1 || !ok2 {
+		t.Fatalf("telemetry missing: probe %v passive %v", ok1, ok2)
+	}
+	if pt.RTT != ot.RTT || pt.Dev != ot.Dev || pt.Samples != ot.Samples || pt.Interval != ot.Interval {
+		t.Fatalf("passive pipeline diverged from probe pipeline:\n  probe   %+v\n  passive %+v", pt, ot)
+	}
+	if pt.PassiveSamples != 0 || ot.PassiveSamples != len(samples) {
+		t.Fatalf("passive split: probe-fed %d, observe-fed %d, want 0 and %d", pt.PassiveSamples, ot.PassiveSamples, len(samples))
+	}
+	if !ot.Fresh {
+		t.Fatal("passive samples must refresh staleness")
+	}
+	// Link attribution went through the same decomposition.
+	if pp, op := mProbe.PathPenalty(probed), mPassive.PathPenalty(observed); pp != op {
+		t.Fatalf("link penalties diverged: probe %v passive %v", pp, op)
+	}
+	// Outcomes fan out marked passive, never as probes.
+	got := log.outcomes(observed.Fingerprint())
+	if len(got) != len(samples) {
+		t.Fatalf("sinks saw %d passive outcomes, want %d", len(got), len(samples))
+	}
+	for i, o := range got {
+		if o.Probe || !o.Passive || o.Failed || o.Latency != samples[i] {
+			t.Fatalf("passive outcome %d = %+v, want Passive latency %v", i, o, samples[i])
+		}
+	}
+	// The per-destination split mirrors it.
+	if split, ok := mPassive.TargetSamples(probeTarget(0), "probe.server"); !ok || split.Passive != len(samples) || split.Probes != 0 {
+		t.Fatalf("TargetSamples = %+v, %v; want %d passive / 0 probes", split, ok, len(samples))
+	}
+}
+
+// TestMonitorObserveSuppressesScheduledProbes is the budget-prioritization
+// contract: a path with continuous passive samples keeps re-arming its next
+// scheduled probe and stays fresh at (near-)zero probe cost, while an idle
+// path keeps its full schedule.
+func TestMonitorObserveSuppressesScheduledProbes(t *testing.T) {
+	busy := fakePath(topology.AS211, 0)
+	idle := fakePath(topology.AS211, 1)
+	script := &probeScript{script: map[string][]probeOutcome{
+		busy.Fingerprint(): {{rtt: 40 * time.Millisecond}},
+		idle.Fingerprint(): {{rtt: 60 * time.Millisecond}},
+	}}
+	m, clock, _ := monitorFixture(t, []*segment.Path{busy, idle}, script, pan.MonitorOptions{
+		BaseInterval: 4 * time.Second,
+		MaxInterval:  4 * time.Second, // pin the idle cadence for exact counting
+	})
+	m.Start()
+	defer m.Stop()
+
+	// 24s of traffic on the busy path: one passive sample per second,
+	// starting before the first phase-jittered deadline (>= iv/8 = 500ms)
+	// can fire.
+	for i := 0; i < 24; i++ {
+		m.Observe(busy, 40*time.Millisecond)
+		drain(clock, time.Second, 100*time.Millisecond)
+	}
+
+	if n := script.count(busy.Fingerprint()); n != 0 {
+		t.Fatalf("busy path probed %d times despite continuous passive samples", n)
+	}
+	if n := script.count(idle.Fingerprint()); n < 4 {
+		t.Fatalf("idle path probed only %d times in 24s at a 4s interval", n)
+	}
+	tel, ok := m.Telemetry(busy.Fingerprint())
+	if !ok || !tel.Fresh || tel.RTT != 40*time.Millisecond {
+		t.Fatalf("busy telemetry = %+v, %v; want fresh 40ms with zero probes", tel, ok)
+	}
+	if tel.PassiveSamples != tel.Samples || tel.Samples < 20 {
+		t.Fatalf("busy samples = %d (%d passive), want all-passive >= 20", tel.Samples, tel.PassiveSamples)
+	}
+
+	// Traffic stops: the schedule keeps firing and, once the last passive
+	// sample has aged past the interval, active probing resumes — within
+	// two intervals at worst (a fire landing just inside the freshness
+	// window skips once more). Suppression must never strand a path.
+	drain(clock, 10*time.Second, 100*time.Millisecond)
+	if n := script.count(busy.Fingerprint()); n == 0 {
+		t.Fatal("probing never resumed after passive traffic stopped")
+	}
+}
+
+// TestMonitorObserveUntrackedPathDropped: passive samples must not create or
+// refresh telemetry for paths nothing tracks — tracking is the scheduling
+// contract.
+func TestMonitorObserveUntrackedPathDropped(t *testing.T) {
+	tracked := fakePath(topology.AS211, 0)
+	stranger := fakePath(topology.AS211, 1) // never offered by the paths func
+	script := &probeScript{script: map[string][]probeOutcome{
+		tracked.Fingerprint(): {{rtt: 50 * time.Millisecond}},
+	}}
+	m, _, log := monitorFixture(t, []*segment.Path{tracked}, script, pan.MonitorOptions{BaseInterval: time.Second})
+
+	m.Observe(stranger, 10*time.Millisecond)
+	if _, ok := m.Telemetry(stranger.Fingerprint()); ok {
+		t.Fatal("Observe created telemetry for an untracked path")
+	}
+	if got := log.outcomes(stranger.Fingerprint()); len(got) != 0 {
+		t.Fatalf("untracked passive sample fanned out: %+v", got)
+	}
+
+	// A retired entry (telemetry kept, schedule dropped) is equally off
+	// limits: its knowledge may be kept, but passive data must not keep
+	// refreshing a destination nothing dials.
+	m.RunRound()
+	m.Untrack(probeTarget(0), "probe.server")
+	before, _ := m.Telemetry(tracked.Fingerprint())
+	m.Observe(tracked, 10*time.Millisecond)
+	after, _ := m.Telemetry(tracked.Fingerprint())
+	if after.Samples != before.Samples || after.RTT != before.RTT {
+		t.Fatalf("Observe refreshed a retired entry: %+v -> %+v", before, after)
+	}
+	if got := log.outcomes(tracked.Fingerprint()); len(got) != 1 {
+		t.Fatalf("retired-path passive sample fanned out: %d outcomes", len(got))
+	}
+}
+
+// TestMonitorStopRestartMidProbe is the stuck-probing regression test: a
+// probe still on the wire while the monitor is stopped and restarted must
+// neither latch the path out of the schedule nor lose its deadline —
+// probing resumes after the drain.
+func TestMonitorStopRestartMidProbe(t *testing.T) {
+	p := fakePath(topology.AS211, 0)
+	fp := p.Fingerprint()
+	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
+	gate := make(chan struct{})
+	launched := make(chan struct{}, 16)
+	var mu sync.Mutex
+	probes := 0
+	probe := func(remote addr.UDPAddr, serverName string, path *segment.Path, timeout time.Duration) (time.Duration, error) {
+		mu.Lock()
+		probes++
+		first := probes == 1
+		mu.Unlock()
+		launched <- struct{}{}
+		if first {
+			<-gate // hold the first probe in flight across Stop/Start
+		}
+		return 30 * time.Millisecond, nil
+	}
+	m := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{p} }, pan.MonitorOptions{
+		BaseInterval: time.Second, Probe: probe,
+	})
+	m.Track(probeTarget(0), "probe.server")
+	m.Start()
+	defer m.Stop()
+
+	// Advance until the first scheduled probe is in flight.
+	for i := 0; i < 40; i++ {
+		clock.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+		select {
+		case <-launched:
+			i = 40
+		default:
+		}
+	}
+	mu.Lock()
+	inFlight := probes == 1
+	mu.Unlock()
+	if !inFlight {
+		t.Fatal("first probe never launched")
+	}
+
+	m.Stop()
+	m.Start()
+	close(gate) // the held probe drains after the restart
+	time.Sleep(5 * time.Millisecond)
+
+	// Probing must resume: the drained probe (or Start) re-armed the
+	// schedule, and later deadlines keep firing.
+	drain(clock, 5*time.Second, 100*time.Millisecond)
+	mu.Lock()
+	total := probes
+	mu.Unlock()
+	if total < 3 {
+		t.Fatalf("probing did not resume after stop/restart mid-probe: %d probes total", total)
+	}
+	if tel, ok := m.Telemetry(fp); !ok || tel.Samples == 0 {
+		t.Fatalf("telemetry after resume = %+v, %v", tel, ok)
+	}
+}

@@ -35,6 +35,14 @@ type Outcome struct {
 	// use-driven selectors (RoundRobin rotation) must not treat a probe as
 	// a served request.
 	Probe bool
+	// Passive marks a zero-cost measurement skimmed off live traffic
+	// (pooled-connection ack RTTs, proxied-request first-byte times) rather
+	// than a dial or a probe. Like probes, passive samples feed health and
+	// latency but must not advance use-driven selectors: one served request
+	// produces MANY passive samples, and counting each as a "use" would
+	// spin a round-robin rotation on ack cadence instead of request
+	// cadence.
+	Passive bool
 }
 
 // Canonical outcomes.
@@ -357,13 +365,14 @@ func (r *RoundRobinSelector) Rank(dst addr.IA, paths []*segment.Path) []Candidat
 
 // Report implements Selector: outcomes feed the inner selector and the
 // rotation's own health view, and each successful USE advances the path's
-// destination to its next first choice. Probe outcomes contribute health
-// and latency but never advance the rotation — background probing must not
-// skew which paths carry actual traffic.
+// destination to its next first choice. Probe and passive outcomes
+// contribute health and latency but never advance the rotation —
+// background probing and per-ack passive samples must not skew which paths
+// carry actual traffic.
 func (r *RoundRobinSelector) Report(path *segment.Path, outcome Outcome) {
 	r.inner.Report(path, outcome)
 	r.report(path, outcome)
-	if path != nil && !outcome.Failed && !outcome.Probe {
+	if path != nil && !outcome.Failed && !outcome.Probe && !outcome.Passive {
 		r.mu.Lock()
 		r.next[path.Dst]++
 		r.mu.Unlock()

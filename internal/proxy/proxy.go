@@ -30,6 +30,7 @@ import (
 	"tango/internal/netsim"
 	"tango/internal/pan"
 	"tango/internal/sciondetect"
+	"tango/internal/segment"
 	"tango/internal/shttp"
 	"tango/internal/squic"
 )
@@ -86,6 +87,16 @@ type Config struct {
 	// freshness and RTT spread (RaceWidth then caps the width); requires
 	// probing (ProbeInterval or Monitor). Changeable with SetAdaptiveRace.
 	AdaptiveRace bool
+	// Passive streams zero-cost telemetry from live traffic into the
+	// attached monitor: every pooled squic connection's ack RTTs (via the
+	// dialer) plus each proxied request's time-to-first-byte. First-byte
+	// time — not the full-body RequestRecord.Duration, which conflates
+	// transfer size with path RTT — approximates one request/response round
+	// trip. Busy origins then keep fresh telemetry with their scheduled
+	// active probes suppressed, and the probe budget concentrates on idle
+	// ones. Requires probing (ProbeInterval or Monitor); changeable with
+	// SetPassive.
+	Passive bool
 }
 
 // Proxy is the SKIP HTTP proxy.
@@ -100,11 +111,16 @@ type Proxy struct {
 	mu         sync.Mutex
 	monitor    *pan.Monitor
 	ownMonitor bool
+	passive    bool
+	// origins remembers each SCION-served host's endpoint so the stats
+	// snapshot can ask the monitor for that destination's passive/probe
+	// sample split.
+	origins map[string]addr.UDPAddr
 }
 
 // New builds the proxy.
 func New(cfg Config) *Proxy {
-	p := &Proxy{cfg: cfg, stats: NewStats()}
+	p := &Proxy{cfg: cfg, stats: NewStats(), passive: cfg.Passive, origins: make(map[string]addr.UDPAddr)}
 	p.dialer = cfg.Host.NewDialer(pan.DialOptions{
 		Selector:     cfg.Selector,
 		Mode:         pan.Opportunistic,
@@ -112,6 +128,7 @@ func New(cfg Config) *Proxy {
 		RaceStagger:  cfg.RaceStagger,
 		Monitor:      cfg.Monitor,
 		AdaptiveRace: cfg.AdaptiveRace,
+		Passive:      cfg.Passive,
 	})
 	p.monitor = cfg.Monitor
 	p.scion = shttp.NewTransport(p.dialSCION)
@@ -121,6 +138,7 @@ func New(cfg Config) *Proxy {
 	}
 	p.stats.SetHealthSource(p.PathHealth)
 	p.stats.SetLinkSource(p.LinkStats)
+	p.stats.SetSampleSource(p.SampleSplits)
 	if cfg.Monitor == nil && cfg.ProbeInterval > 0 {
 		p.SetProbing(cfg.ProbeInterval, cfg.ProbeBudget)
 	}
@@ -182,11 +200,139 @@ func (p *Proxy) SetAdaptiveRace(on bool) {
 	p.dialer.SetAdaptiveRace(on)
 }
 
+// SetPassive toggles passive telemetry at runtime: pooled connections' ack
+// RTT streams (per connection as it is re-pooled; disabling stops live
+// streams immediately) and the proxy's per-request first-byte feed.
+// Effective only while a monitor is attached.
+func (p *Proxy) SetPassive(on bool) {
+	p.mu.Lock()
+	p.passive = on
+	p.mu.Unlock()
+	p.dialer.SetPassive(on)
+}
+
 // Monitor returns the attached telemetry plane, owned or shared, if any.
 func (p *Proxy) Monitor() *pan.Monitor {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.monitor
+}
+
+// passiveSampleCount reads the destination's current passive sample count
+// from the monitor (0 when untracked or no monitor) — the before/after
+// bracket that tells whether the ack stream delivered during a request.
+func (p *Proxy) passiveSampleCount(remote addr.UDPAddr, host string) int {
+	p.mu.Lock()
+	m := p.monitor
+	p.mu.Unlock()
+	if m == nil {
+		return 0
+	}
+	split, _ := m.TargetSamples(remote, host)
+	return split.Passive
+}
+
+// observeFirstByte feeds one SCION request's time-to-first-byte into the
+// monitor as a passive sample for the path that served it, and remembers
+// the origin for the stats sample split. Cold requests (no pooled
+// connection when the round trip started, warm == false) are recorded for
+// the split but not fed: their TTFB includes dial and failover time, not
+// path latency. The TTFB is also a COARSER measurand than the pooled
+// connection's own ack RTTs — it adds server think-time — so when the ack
+// stream already delivered during this request (the passive count moved
+// past passiveBefore), the TTFB is dropped rather than letting the spread
+// between the two measurands inflate the path's deviation estimate; it
+// feeds only where the finer stream is absent (e.g. a connection pooled
+// before passive telemetry was enabled).
+func (p *Proxy) observeFirstByte(host string, remote addr.UDPAddr, path *segment.Path, ttfb time.Duration, warm bool, passiveBefore int) {
+	p.mu.Lock()
+	p.origins[host] = remote
+	// Amortized bound: sweep only once the map has outgrown the cap by a
+	// slack margin (so the O(n) prune runs at most once per cap/4 inserts,
+	// not per request), and if pruning untracked hosts frees nothing —
+	// every origin still pooled — evict arbitrarily down to the cap; a
+	// dropped-but-hot origin re-registers on its next request.
+	if len(p.origins) > maxTrackedOrigins+maxTrackedOrigins/4 {
+		p.pruneOriginsLocked()
+		for h := range p.origins {
+			if len(p.origins) <= maxTrackedOrigins {
+				break
+			}
+			delete(p.origins, h)
+		}
+	}
+	m, on := p.monitor, p.passive
+	p.mu.Unlock()
+	if m == nil || !on || !warm || path == nil || ttfb <= 0 {
+		return
+	}
+	if split, ok := m.TargetSamples(remote, host); ok && split.Passive > passiveBefore {
+		return // the ack stream covered this request with purer samples
+	}
+	m.Observe(path, ttfb)
+}
+
+// maxTrackedOrigins caps the host→endpoint memory behind SampleSplits: a
+// long-lived proxy serving an unbounded stream of distinct origins sweeps
+// out the ones the monitor has stopped tracking once the map outgrows this.
+const maxTrackedOrigins = 1024
+
+// pruneOriginsLocked drops origins the monitor no longer tracks (their
+// pooled connections were evicted, so their sample split is gone anyway).
+// Lock order p.mu → monitor.mu, the same direction every proxy call takes.
+func (p *Proxy) pruneOriginsLocked() {
+	m := p.monitor
+	if m == nil {
+		p.origins = make(map[string]addr.UDPAddr)
+		return
+	}
+	for host, remote := range p.origins {
+		if _, ok := m.TargetSamples(remote, host); !ok {
+			delete(p.origins, host)
+		}
+	}
+}
+
+// SampleSplits reports, per SCION-served host, how many passive samples
+// versus active probes have fed that destination's telemetry — the
+// observability surface behind the "N passive / M probe samples" liveness
+// printouts. Hosts the monitor no longer tracks are omitted (and pruned).
+func (p *Proxy) SampleSplits() map[string]pan.SampleSplit {
+	p.mu.Lock()
+	m := p.monitor
+	origins := make(map[string]addr.UDPAddr, len(p.origins))
+	for h, r := range p.origins {
+		origins[h] = r
+	}
+	p.mu.Unlock()
+	if m == nil || len(origins) == 0 {
+		return nil
+	}
+	out := make(map[string]pan.SampleSplit)
+	stale := make([]string, 0)
+	for host, remote := range origins {
+		if split, ok := m.TargetSamples(remote, host); ok {
+			out[host] = split
+		} else {
+			stale = append(stale, host)
+		}
+	}
+	if len(stale) > 0 {
+		p.mu.Lock()
+		// Only prune against the same monitor the splits were read from: a
+		// concurrent SetProbing swap means the snapshot (and its staleness
+		// verdicts) no longer describes the attached plane.
+		if p.monitor == m {
+			for _, host := range stale {
+				delete(p.origins, host)
+			}
+		}
+		p.mu.Unlock()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // PathHealth exports the active selector's per-path telemetry (down-state
@@ -296,9 +442,33 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			p.stats.Record(RequestRecord{Host: host, Via: ViaError, Status: http.StatusBadRequest})
 			return
 		}
+		// The first-byte time is a path-latency signal only when (a) the
+		// round trip was served entirely from the pooled connection — a
+		// dialing round trip folds dial time, including multi-candidate
+		// failover burning whole handshake timeouts, into TTFB — and (b)
+		// the request carries no body: net/http writes the full request
+		// before headers return, so an upload's TTFB measures transfer
+		// size, the very conflation this feed exists to avoid. A live pool
+		// entry before plus the SAME entry generation after closes the
+		// window in which a dying pooled connection gets silently
+		// re-dialed mid round trip, without a concurrent dial to some
+		// OTHER origin invalidating this one's sample.
+		genBefore, liveBefore := p.dialer.PoolState(remote, hostOnly(host))
+		warmBefore := liveBefore &&
+			outReq.ContentLength == 0 && len(outReq.TransferEncoding) == 0
+		passiveBefore := p.passiveSampleCount(remote, hostOnly(host))
+		rtStart := clock.Now()
 		resp, err := p.scion.RoundTrip(outReq)
 		if err == nil {
+			// Headers are in but the body is still unread: this is the
+			// request's time-to-first-byte, the per-request passive RTT
+			// sample (full-body Duration would conflate transfer size with
+			// path latency).
+			ttfb := clock.Since(rtStart)
+			genAfter, liveAfter := p.dialer.PoolState(remote, hostOnly(host))
+			warm := warmBefore && liveAfter && genAfter == genBefore
 			sel, _ := p.dialer.Cached(remote, hostOnly(host))
+			p.observeFirstByte(hostOnly(host), remote, sel.Path, ttfb, warm, passiveBefore)
 			w.Header().Set(HeaderVia, string(ViaSCION))
 			if sel.Path != nil {
 				w.Header().Set(HeaderPath, sel.Path.Fingerprint())
@@ -308,7 +478,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			p.stats.Record(RequestRecord{
 				Host: host, Via: ViaSCION, Compliant: sel.Compliant,
 				Path:     fingerprintOf(sel),
-				Duration: clock.Since(start), Bytes: n, Status: resp.StatusCode,
+				Duration: clock.Since(start), TTFB: ttfb, Bytes: n, Status: resp.StatusCode,
 			})
 			return
 		}

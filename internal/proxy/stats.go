@@ -32,8 +32,12 @@ type RequestRecord struct {
 	Path      string // path fingerprint for SCION requests
 	Compliant bool
 	Duration  time.Duration
-	Bytes     int64
-	Status    int
+	// TTFB is the time to first response byte for SCION requests (0
+	// otherwise): the transfer-size-independent latency signal the proxy
+	// also feeds into the telemetry plane as a passive sample.
+	TTFB   time.Duration
+	Bytes  int64
+	Status int
 }
 
 // PathHealth is one path's live telemetry as exported through the stats
@@ -48,6 +52,11 @@ type PathHealth = pan.PathHealth
 // shared-link hotspots HotspotSelector routes around.
 type LinkStat = pan.LinkStat
 
+// SampleSplit is one destination's telemetry sample count split into
+// zero-cost passive observations versus active probes, as exported through
+// the stats API.
+type SampleSplit = pan.SampleSplit
+
 // Stats aggregates proxied-request outcomes. It is safe for concurrent use.
 type Stats struct {
 	mu      sync.Mutex
@@ -57,6 +66,7 @@ type Stats struct {
 	records []RequestRecord
 	health  func() []PathHealth
 	links   func() []LinkStat
+	samples func() map[string]SampleSplit
 }
 
 // PathUsage aggregates per-path feedback.
@@ -119,6 +129,15 @@ func (s *Stats) SetLinkSource(f func() []LinkStat) {
 	s.links = f
 }
 
+// SetSampleSource installs the per-destination passive/probe sample-split
+// provider consulted by Snapshot — the proxy wires it to the monitor's
+// per-target counters. Called outside the stats lock.
+func (s *Stats) SetSampleSource(f func() map[string]SampleSplit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = f
+}
+
 // Snapshot is an immutable copy of the aggregates.
 type Snapshot struct {
 	ByVia  map[Via]int            `json:"by_via"`
@@ -130,13 +149,17 @@ type Snapshot struct {
 	// Links is the monitor's per-link congestion view (empty without
 	// probing): where in the network the variance lives.
 	Links []LinkStat `json:"links,omitempty"`
-	Total int        `json:"total"`
+	// Samples is the per-destination passive-vs-probe sample split (empty
+	// without probing): how much of each origin's telemetry came for free
+	// from its own traffic versus from the active probe budget.
+	Samples map[string]SampleSplit `json:"samples,omitempty"`
+	Total   int                    `json:"total"`
 }
 
 // Snapshot copies the current aggregates.
 func (s *Stats) Snapshot() Snapshot {
 	s.mu.Lock()
-	health, links := s.health, s.links
+	health, links, samples := s.health, s.links, s.samples
 	s.mu.Unlock()
 	var liveness []PathHealth
 	if health != nil {
@@ -146,14 +169,19 @@ func (s *Stats) Snapshot() Snapshot {
 	if links != nil {
 		linkStats = links()
 	}
+	var sampleSplit map[string]SampleSplit
+	if samples != nil {
+		sampleSplit = samples()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Snapshot{
-		ByVia:  make(map[Via]int, len(s.byVia)),
-		ByHost: make(map[string]map[Via]int, len(s.byHost)),
-		Health: liveness,
-		Links:  linkStats,
-		Total:  len(s.records),
+		ByVia:   make(map[Via]int, len(s.byVia)),
+		ByHost:  make(map[string]map[Via]int, len(s.byHost)),
+		Health:  liveness,
+		Links:   linkStats,
+		Samples: sampleSplit,
+		Total:   len(s.records),
 	}
 	for v, n := range s.byVia {
 		out.ByVia[v] = n

@@ -112,3 +112,35 @@ func TestSnapshotIncludesPathHealth(t *testing.T) {
 		t.Fatalf("health[1] = %+v", snap.Health[1])
 	}
 }
+
+func TestSnapshotIncludesSampleSplit(t *testing.T) {
+	s := NewStats()
+	if got := s.Snapshot().Samples; got != nil {
+		t.Fatalf("samples without a source = %+v", got)
+	}
+	s.SetSampleSource(func() map[string]SampleSplit {
+		return map[string]SampleSplit{
+			"busy.example": {Passive: 120, Probes: 2},
+			"idle.example": {Passive: 0, Probes: 17},
+		}
+	})
+	snap := s.Snapshot()
+	if len(snap.Samples) != 2 {
+		t.Fatalf("samples = %+v", snap.Samples)
+	}
+	if got := snap.Samples["busy.example"]; got.Passive != 120 || got.Probes != 2 {
+		t.Fatalf("busy split = %+v", got)
+	}
+	if got := snap.Samples["idle.example"]; got.Passive != 0 || got.Probes != 17 {
+		t.Fatalf("idle split = %+v", got)
+	}
+}
+
+func TestStatsRecordsTTFB(t *testing.T) {
+	s := NewStats()
+	s.Record(RequestRecord{Host: "a", Via: ViaSCION, Path: "fp", TTFB: 30 * time.Millisecond, Duration: 90 * time.Millisecond})
+	recs := s.Records()
+	if len(recs) != 1 || recs[0].TTFB != 30*time.Millisecond {
+		t.Fatalf("records = %+v, want one with 30ms TTFB", recs)
+	}
+}

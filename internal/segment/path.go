@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tango/internal/addr"
@@ -78,11 +79,21 @@ type Path struct {
 	Src, Dst addr.IA
 	Hops     []Hop
 	Meta     Metadata
+
+	// fp memoizes Fingerprint (paths are immutable once built): passive
+	// telemetry looks paths up by fingerprint on the per-ack hot path,
+	// where re-hashing every call would dominate the ingest cost. Literal
+	// construction leaves it empty; the first call fills it. A concurrent
+	// first call may compute twice — both arrive at the same value.
+	fp atomic.Pointer[string]
 }
 
 // Fingerprint returns a short stable identifier of the AS/interface
 // sequence, used for dedup and for pinning paths in statistics.
 func (p *Path) Fingerprint() string {
+	if s := p.fp.Load(); s != nil {
+		return *s
+	}
 	h := sha256.New()
 	var buf [2]byte
 	for _, hop := range p.Hops {
@@ -92,7 +103,9 @@ func (p *Path) Fingerprint() string {
 		binary.BigEndian.PutUint16(buf[:], uint16(hop.Egress))
 		h.Write(buf[:])
 	}
-	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+	s := fmt.Sprintf("%x", h.Sum(nil)[:8])
+	p.fp.Store(&s)
+	return s
 }
 
 // Reversed returns the reply path: hops in reverse travel order with

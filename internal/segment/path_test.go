@@ -71,8 +71,11 @@ func TestPathFingerprint(t *testing.T) {
 	if p.Fingerprint() != q.Fingerprint() {
 		t.Fatal("same path, different fingerprints")
 	}
-	q.Hops[1].Egress = 9
-	if p.Fingerprint() == q.Fingerprint() {
+	// Paths are immutable once built (Fingerprint memoizes on first use),
+	// so the divergent path is modified BEFORE its first fingerprint.
+	r := samplePath()
+	r.Hops[1].Egress = 9
+	if p.Fingerprint() == r.Fingerprint() {
 		t.Fatal("different paths share a fingerprint")
 	}
 	if p.Fingerprint() == p.Reversed().Fingerprint() {

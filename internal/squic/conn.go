@@ -144,8 +144,16 @@ type Conn struct {
 	largestAcked int64
 	recoveryEnd  uint64 // loss events before this pn don't re-halve cwnd
 	srtt, rttvar time.Duration
-	ptoCancel    func() bool
-	ptoBackoff   uint
+	rttSamples   int
+	// rttObs observes every accepted RTT sample — the passive-telemetry tap.
+	// Samples are buffered in pendingRTT under mu and flushed to the observer
+	// strictly outside it: observers reach into monitor/selector/dialer locks,
+	// and those components take c.mu (Err, Path) under their own locks — an
+	// in-lock callback would invert the order and deadlock.
+	rttObs     func(time.Duration)
+	pendingRTT []time.Duration
+	ptoCancel  func() bool
+	ptoBackoff uint
 
 	// Receive state.
 	recvd      rangeSet
@@ -548,8 +556,14 @@ func (c *Conn) armConfirmTimeout() {
 
 // --- packet receive path ---
 
-// handleOneRTT decrypts and processes an application packet.
+// handleOneRTT decrypts and processes an application packet, then flushes
+// any RTT samples the embedded acks produced to the observer.
 func (c *Conn) handleOneRTT(hdr header, body []byte, dg *snet.Datagram) {
+	c.processOneRTT(hdr, body, dg)
+	c.flushRTTSamples()
+}
+
+func (c *Conn) processOneRTT(hdr header, body []byte, dg *snet.Datagram) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.keys == nil || c.closed {
@@ -711,29 +725,95 @@ func (c *Conn) handleAckLocked(f *ackFrame) {
 	c.packetizeLocked()
 }
 
+// MinRTTSample floors every ingested RTT sample. A LAN-fast (or
+// zero-latency virtual) path can deliver acks within the clock's
+// granularity; without the floor the integer EWMA divisions truncate srtt
+// toward 0 and RTTStats/OnRTTSample report a trafficked connection with "no"
+// round-trip estimate.
+const MinRTTSample = time.Microsecond
+
 func (c *Conn) sampleRTTLocked(rtt time.Duration) {
-	if rtt <= 0 {
-		return
+	if rtt < MinRTTSample {
+		rtt = MinRTTSample
 	}
-	if c.srtt == 0 {
+	if c.rttSamples == 0 {
 		c.srtt = rtt
 		c.rttvar = rtt / 2
+	} else {
+		d := c.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.rttSamples++
+	if c.rttObs != nil {
+		c.pendingRTT = append(c.pendingRTT, rtt)
+	}
+}
+
+// RTTStats exports the connection's live round-trip estimator: the smoothed
+// RTT, its mean deviation, and how many ack samples produced them. Zero
+// samples means no estimate yet. Telemetry planes read this from pooled
+// connections as a zero-cost alternative to active probing.
+func (c *Conn) RTTStats() (srtt, rttvar time.Duration, samples int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srtt, c.rttvar, c.rttSamples
+}
+
+// OnRTTSample installs obs as the connection's RTT observer: it is invoked
+// once per accepted ack RTT sample (floored at MinRTTSample), outside the
+// connection lock, in packet-processing order. One observer at a time; nil
+// uninstalls. The observer must not block — it runs on the packet delivery
+// path.
+func (c *Conn) OnRTTSample(obs func(rtt time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rttObs = obs
+}
+
+// flushRTTSamples delivers buffered RTT samples to the observer outside the
+// connection lock (see rttObs).
+func (c *Conn) flushRTTSamples() {
+	c.mu.Lock()
+	obs := c.rttObs
+	samples := c.pendingRTT
+	c.pendingRTT = nil
+	c.mu.Unlock()
+	if obs == nil {
 		return
 	}
-	d := c.srtt - rtt
-	if d < 0 {
-		d = -d
+	for _, rtt := range samples {
+		obs(rtt)
 	}
-	c.rttvar = (3*c.rttvar + d) / 4
-	c.srtt = (7*c.srtt + rtt) / 8
 }
+
+// PTO backoff bounds: the exponential doubles at most maxPTOBackoff times
+// and the resulting timeout is clamped at maxPTO. ptoBackoff increments on
+// every PTO fire; uncapped, ~60 consecutive fires on a dead connection shift
+// the base past the int64 range of time.Duration, and the negative/zero
+// timeout re-arms immediately — a hot retransmit spin.
+const (
+	maxPTOBackoff = 10
+	maxPTO        = time.Minute
+)
 
 func (c *Conn) ptoLocked() time.Duration {
 	base := 500 * time.Millisecond
 	if c.srtt > 0 {
 		base = c.srtt + 4*c.rttvar + time.Millisecond
 	}
-	return base << c.ptoBackoff
+	shift := c.ptoBackoff
+	if shift > maxPTOBackoff {
+		shift = maxPTOBackoff
+	}
+	pto := base << shift
+	if pto <= 0 || pto > maxPTO {
+		pto = maxPTO
+	}
+	return pto
 }
 
 func (c *Conn) armPTOLocked() {
@@ -755,7 +835,9 @@ func (c *Conn) onPTO() {
 	if c.closed || len(c.sent) == 0 {
 		return
 	}
-	c.ptoBackoff++
+	if c.ptoBackoff < maxPTOBackoff {
+		c.ptoBackoff++
+	}
 	var pns []uint64
 	for pn := range c.sent {
 		pns = append(pns, pn)

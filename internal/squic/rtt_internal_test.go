@@ -1,0 +1,142 @@
+package squic
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/segment"
+	"tango/internal/snet"
+)
+
+// discardPconn swallows writes, recording their virtual timestamps — the
+// substrate for driving a connection's retransmit machinery against a dead
+// peer.
+type discardPconn struct {
+	clock netsim.Clock
+	sends []time.Time
+}
+
+func (d *discardPconn) WriteTo(payload []byte, dst addr.UDPAddr, path *segment.Path) error {
+	d.sends = append(d.sends, d.clock.Now())
+	return nil
+}
+func (d *discardPconn) ReadFrom() (*snet.Datagram, error) { select {} }
+func (d *discardPconn) LocalAddr() addr.UDPAddr           { return addr.UDPAddr{} }
+func (d *discardPconn) SetReadDeadline(time.Time) error   { return nil }
+func (d *discardPconn) Close() error                      { return nil }
+
+// deadConn builds an established client connection over a dead transport:
+// everything sent vanishes, so every ack-eliciting packet rides the PTO
+// exponential forever.
+func deadConn(t *testing.T, clock netsim.Clock) (*Conn, *discardPconn) {
+	t.Helper()
+	pconn := &discardPconn{clock: clock}
+	cfg := (&Config{Clock: clock}).withDefaults()
+	c := newConn(pconn, cfg, true)
+	keys, err := deriveKeys([]byte("shared-secret-for-pto-test....."), []byte("transcript"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.keys = keys
+	c.established = true
+	return c, pconn
+}
+
+// TestPTOBackoffCappedNoOverflow is the regression test for the PTO
+// overflow: ptoBackoff used to grow unboundedly and `base << backoff`
+// overflowed time.Duration after ~60 consecutive PTO fires on a dead
+// connection, re-arming a negative/zero timer and spinning hot. The backoff
+// shift is now capped and the timeout clamped at maxPTO: every retransmit
+// gap stays positive, the gaps grow monotonically to the clamp, and they
+// never exceed it.
+func TestPTOBackoffCappedNoOverflow(t *testing.T) {
+	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
+	c, pconn := deadConn(t, clock)
+
+	c.mu.Lock()
+	c.srtt, c.rttvar = 100*time.Millisecond, 10*time.Millisecond
+	c.rttSamples = 1
+	c.queueFrameLocked(pingFrame{})
+	c.packetizeLocked() // sends, arms the first PTO
+	c.mu.Unlock()
+	if len(pconn.sends) != 1 {
+		t.Fatalf("initial send count = %d, want 1", len(pconn.sends))
+	}
+
+	// Fire well past the old 63-shift overflow horizon.
+	const fires = 80
+	for i := 0; i < fires; i++ {
+		if !clock.AdvanceToNext() {
+			t.Fatalf("PTO schedule went dead after %d fires", i)
+		}
+	}
+	c.mu.Lock()
+	backoff, pto := c.ptoBackoff, c.ptoLocked()
+	c.mu.Unlock()
+	if backoff > maxPTOBackoff {
+		t.Fatalf("ptoBackoff = %d, want capped at %d", backoff, maxPTOBackoff)
+	}
+	if pto <= 0 || pto > maxPTO {
+		t.Fatalf("PTO = %v after %d fires, want within (0, %v]", pto, fires, maxPTO)
+	}
+	// Each fire retransmits exactly once: no hot spin, no silent stall.
+	if got := len(pconn.sends); got != 1+fires {
+		t.Fatalf("sends = %d after %d PTO fires, want %d", got, fires, 1+fires)
+	}
+	var prev time.Duration
+	for i := 1; i < len(pconn.sends); i++ {
+		gap := pconn.sends[i].Sub(pconn.sends[i-1])
+		if gap <= 0 {
+			t.Fatalf("retransmit gap %d collapsed to %v — PTO overflow spin", i, gap)
+		}
+		if gap > maxPTO {
+			t.Fatalf("retransmit gap %d = %v exceeds the %v clamp", i, gap, maxPTO)
+		}
+		if gap < prev {
+			t.Fatalf("retransmit gap %d = %v shrank below %v — backoff wrapped", i, gap, prev)
+		}
+		prev = gap
+	}
+	if prev != maxPTO {
+		t.Fatalf("terminal retransmit gap = %v, want clamped at %v", prev, maxPTO)
+	}
+}
+
+// TestRTTSampleFloorAndObserver: sub-microsecond (and zero) ack RTTs are
+// floored at MinRTTSample before entering the EWMA and before reaching the
+// observer — a LAN-fast path must never report a 0 round-trip estimate.
+func TestRTTSampleFloorAndObserver(t *testing.T) {
+	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
+	c, _ := deadConn(t, clock)
+	var seen []time.Duration
+	c.OnRTTSample(func(rtt time.Duration) { seen = append(seen, rtt) })
+
+	c.mu.Lock()
+	for i := 0; i < 64; i++ {
+		c.sampleRTTLocked(0) // same-instant ack on the virtual clock
+	}
+	c.sampleRTTLocked(200 * time.Nanosecond)
+	c.mu.Unlock()
+	c.flushRTTSamples()
+
+	srtt, rttvar, samples := c.RTTStats()
+	if samples != 65 {
+		t.Fatalf("samples = %d, want 65", samples)
+	}
+	if srtt < MinRTTSample {
+		t.Fatalf("srtt = %v truncated below the %v floor", srtt, MinRTTSample)
+	}
+	if rttvar < 0 {
+		t.Fatalf("rttvar = %v negative", rttvar)
+	}
+	if len(seen) != 65 {
+		t.Fatalf("observer saw %d samples, want 65", len(seen))
+	}
+	for i, rtt := range seen {
+		if rtt < MinRTTSample {
+			t.Fatalf("observer sample %d = %v below the floor", i, rtt)
+		}
+	}
+}
