@@ -721,6 +721,64 @@ func BenchmarkDialWarmPassive(b *testing.B) {
 	b.ReportMetric(float64(probes)/float64(b.N), "probes/dial")
 }
 
+// BenchmarkServerObserve measures the server half of the symmetric
+// telemetry plane: one passive ack-RTT ingest attributed to the reverse path
+// plus one steering evaluation (PickReverse over every known reverse path) —
+// the work a serving host pays to build path health from its own traffic and
+// keep replies on the monitor-ranked reverse path. The remote is a tracked
+// client endpoint, exactly as ServerTelemetry tracks accepted connections.
+func BenchmarkServerObserve(b *testing.B) {
+	w := newBenchWorld(b)
+	server := w.host(topology.AS211, "10.0.0.9")
+	st := server.NewServerTelemetry(nil)
+	m := st.Monitor()
+	client := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS111, Host: netip.MustParseAddr("10.0.0.8")}, Port: 40000}
+	m.Track(client, "")
+	rev := server.Paths(topology.AS111)
+	if len(rev) == 0 {
+		b.Fatal("no reverse paths")
+	}
+	base := 2 * rev[0].Meta.Latency
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary the sample so the EWMA/deviation arithmetic does real work.
+		m.Observe(rev[0], base+time.Duration(i%8)*time.Millisecond)
+		if _, ok := st.PickReverse(topology.AS111); !ok {
+			b.Fatal("no steering pick despite fresh telemetry")
+		}
+	}
+	b.StopTimer()
+	if tel, ok := m.Telemetry(rev[0].Fingerprint()); !ok || tel.PassiveSamples != b.N {
+		b.Fatalf("server ingested %d of %d samples", tel.PassiveSamples, b.N)
+	}
+}
+
+// BenchmarkSnapshotMerge measures one gossip exchange: exporting a warm
+// monitor's LinkSnapshot (cache-served between ingests) and merging it into
+// a cold peer — the recurring cost of link-state sharing per peer per round.
+func BenchmarkSnapshotMerge(b *testing.B) {
+	w := newBenchWorld(b)
+	remote1 := w.listen(b, topology.AS211, "10.0.0.9", 7500, "bench.snap")
+	remote2 := w.listen(b, topology.AS221, "10.0.0.10", 7501, "bench.snap")
+	warmHost := w.host(topology.AS111, "10.0.0.8")
+	warm := warmHost.NewMonitor(pan.MonitorOptions{BaseInterval: time.Second})
+	warm.Track(remote1, "bench.snap")
+	warm.Track(remote2, "bench.snap")
+	warm.RunRound()
+	cold := pan.NewMonitor(w.clock, warmHost.Paths, pan.MonitorOptions{BaseInterval: time.Second})
+	applied := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := warm.ExportLinks()
+		n, err := cold.ImportLinks(snap, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applied += n
+	}
+	b.ReportMetric(float64(applied)/float64(b.N), "estimates/merge")
+}
+
 // BenchmarkDataplaneForwarding measures router validation+forwarding of one
 // packet across the full inter-ISD path (virtual network, real CPU cost).
 func BenchmarkDataplaneForwarding(b *testing.B) {

@@ -19,12 +19,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"tango/internal/experiments"
 	"tango/internal/pan"
 	"tango/internal/topology"
+	"tango/internal/webserver"
 )
 
 func main() {
@@ -34,6 +37,8 @@ func main() {
 	probeBudget := flag.Float64("probe-budget", 0, "global probes/sec cap across all tracked paths (0 = pan default)")
 	adaptiveRace := flag.Bool("adaptive-race", false, "auto-tune each client's race width from the shared telemetry")
 	passive := flag.Bool("passive", true, "stream the fleet's live-traffic RTTs into the shared monitor as zero-cost samples, suppressing active probes for origins with traffic")
+	peers := flag.Bool("peers", false, "give each client its OWN monitor and gossip LinkStats snapshots between them over HTTP, instead of sharing one monitor in-process")
+	gossipInterval := flag.Duration("gossip-interval", 5*time.Second, "snapshot exchange interval between peer monitors (with -peers)")
 	flag.Parse()
 
 	w, client, err := experiments.Demo(4)
@@ -68,26 +73,53 @@ func main() {
 		fmt.Printf("\nlegacy IP wins by %v on this route.\n", pl.PLT-pl2.PLT)
 	}
 
-	// Part 2: many clients, one telemetry plane, rotation over live paths.
-	fmt.Printf("\n== spreading %d clients across the peering links ==\n", *clients)
-	vantage := w.PANHost(topology.AS111, "10.0.9.250")
-	monitor := vantage.NewMonitor(pan.MonitorOptions{
-		BaseInterval: *probeInterval,
-		ProbeBudget:  *probeBudget,
-	})
-	monitor.Start()
+	// Part 2: many clients, one telemetry plane — shared in-process by
+	// default, or (with -peers) one monitor per client kept warm by
+	// LinkStats snapshot gossip over the legacy network: the deployment
+	// shape where skip proxies are separate processes on separate machines
+	// that still pool what their vantage points see.
+	if *peers {
+		fmt.Printf("\n== spreading %d clients, one monitor EACH, gossiping snapshots every %v ==\n", *clients, *gossipInterval)
+	} else {
+		fmt.Printf("\n== spreading %d clients across the peering links ==\n", *clients)
+	}
+	var shared *pan.Monitor
+	if !*peers {
+		vantage := w.PANHost(topology.AS111, "10.0.9.250")
+		shared = vantage.NewMonitor(pan.MonitorOptions{
+			BaseInterval: *probeInterval,
+			ProbeBudget:  *probeBudget,
+		})
+		shared.Start()
+	}
 
 	type bundle struct {
-		c  *experiments.Client
-		rr *pan.RoundRobinSelector
+		c   *experiments.Client
+		rr  *pan.RoundRobinSelector
+		mon *pan.Monitor
+		g   *webserver.Gossiper
 	}
+	peerURL := func(i int) string { return fmt.Sprintf("rp-peer-%d:8600", i+1) }
 	fleet := make([]bundle, 0, *clients)
 	for i := 0; i < *clients; i++ {
+		monitor := shared
+		if *peers {
+			host := w.PANHost(topology.AS111, fmt.Sprintf("10.0.9.%d", 230+i))
+			monitor = host.NewMonitor(pan.MonitorOptions{
+				BaseInterval: *probeInterval,
+				ProbeBudget:  *probeBudget,
+			})
+			monitor.Start()
+			if _, err := webserver.ServeIP(w.Legacy, peerURL(i), webserver.SnapshotHandler(monitor)); err != nil {
+				fmt.Fprintf(os.Stderr, "peer %d snapshot server: %v\n", i+1, err)
+				os.Exit(1)
+			}
+		}
 		c, err := w.NewClient(experiments.ClientConfig{
 			IA:           topology.AS111,
 			IP:           fmt.Sprintf("10.0.7.%d", i+1),
 			LegacyName:   fmt.Sprintf("rp-client-%d", i+1),
-			Monitor:      monitor, // ONE monitor, many dialers
+			Monitor:      monitor, // shared, or this client's own gossiped one
 			RaceWidth:    3,
 			AdaptiveRace: *adaptiveRace,
 			Passive:      *passive,
@@ -102,7 +134,27 @@ func main() {
 		// feed health and latency; served requests advance the rotation.
 		rr := pan.NewRoundRobinSelector(pan.NewHotspotSelector(monitor))
 		c.Extension.SetSelector(rr)
-		fleet = append(fleet, bundle{c: c, rr: rr})
+		fleet = append(fleet, bundle{c: c, rr: rr, mon: monitor})
+	}
+	if *peers {
+		// Full-mesh gossip: every client pulls every other peer's snapshot.
+		for i := range fleet {
+			var others []string
+			for j := range fleet {
+				if j != i {
+					others = append(others, peerURL(j))
+				}
+			}
+			httpClient := &http.Client{Transport: &http.Transport{
+				DialContext: func(ctx context.Context, network, hostport string) (net.Conn, error) {
+					return w.Legacy.Dial(ctx, fmt.Sprintf("rp-client-%d", i+1), hostport)
+				},
+				DisableCompression: true,
+			}}
+			g := webserver.NewGossiper(w.Clock, fleet[i].mon, httpClient, others, *gossipInterval, 1)
+			g.Start()
+			fleet[i].g = g
+		}
 	}
 
 	for r := 0; r < *requests; r++ {
@@ -118,11 +170,18 @@ func main() {
 			}
 		}
 	}
-	// Give the shared schedule a couple of jittered probe rounds.
-	w.Clock.Sleep(2 * *probeInterval)
+	// Give the schedules a couple of jittered probe rounds (and, with
+	// -peers, at least one gossip exchange).
+	settle := 2 * *probeInterval
+	if *peers && settle < 2**gossipInterval {
+		settle = 2 * *gossipInterval
+	}
+	w.Clock.Sleep(settle)
 
-	fmt.Printf("telemetry plane: %d destinations, %d paths tracked for %d dialers\n",
-		monitor.TargetCount(), monitor.TrackedPaths(), len(fleet))
+	if shared != nil {
+		fmt.Printf("telemetry plane: %d destinations, %d paths tracked for %d dialers\n",
+			shared.TargetCount(), shared.TrackedPaths(), len(fleet))
+	}
 	fmt.Println("per-client path usage (RoundRobinSelector statistics, the feedback signal):")
 	for i, b := range fleet {
 		snap := b.c.Proxy.Stats().Snapshot()
@@ -137,13 +196,35 @@ func main() {
 		for host, split := range snap.Samples {
 			fmt.Printf("    %s: %d passive / %d probe samples\n", host, split.Passive, split.Probes)
 		}
+		if b.g != nil {
+			rounds, applied, lastErr := b.g.Stats()
+			fmt.Printf("    gossip: %d rounds, %d estimates imported (last error: %v)\n", rounds, applied, lastErr)
+			fmt.Printf("    own monitor: %d destinations, %d link estimates\n",
+				b.mon.TargetCount(), len(b.mon.LinkStats()))
+		}
 	}
-	if links := monitor.LinkStats(); len(links) > 0 {
+	var links []pan.LinkStat
+	if shared != nil {
+		links = shared.LinkStats()
+	} else if len(fleet) > 0 {
+		links = fleet[0].mon.LinkStats()
+	}
+	if len(links) > 0 {
 		fmt.Println("link congestion estimates (shared telemetry, min-across-paths attribution):")
 		for _, l := range links {
 			fmt.Printf("  %s <-> %s  excess=%-6s dev=%-6s sharers=%d\n",
 				l.A, l.B, l.Congestion.Round(time.Millisecond), l.Dev.Round(time.Millisecond), l.Sharers)
 		}
 	}
-	monitor.Stop()
+	for _, b := range fleet {
+		if b.g != nil {
+			b.g.Stop()
+		}
+		if b.mon != nil && b.mon != shared {
+			b.mon.Stop()
+		}
+	}
+	if shared != nil {
+		shared.Stop()
+	}
 }

@@ -15,12 +15,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
 	"os"
 	"time"
 
+	"tango/internal/addr"
 	"tango/internal/experiments"
 	"tango/internal/pan"
 	"tango/internal/ppl"
+	"tango/internal/segment"
+	"tango/internal/topology"
+	"tango/internal/webserver"
 )
 
 func main() {
@@ -32,10 +39,16 @@ func main() {
 	probeBudget := flag.Float64("probe-budget", 0, "global probes/sec cap across all tracked paths (0 = pan default)")
 	adaptiveRace := flag.Bool("adaptive-race", false, "auto-tune the race width from telemetry freshness and RTT spread (needs -probe-interval)")
 	passive := flag.Bool("passive", true, "feed live-traffic RTTs (connection acks, request first-byte times) into the telemetry monitor as zero-cost samples, suppressing active probes for busy origins (needs -probe-interval)")
+	peers := flag.Int("peers", 0, "after the run, boot this many COLD peer proxies that import the warm proxy's LinkStats snapshot over HTTP gossip and dial adaptively from it (needs -probe-interval)")
+	gossipInterval := flag.Duration("gossip-interval", 5*time.Second, "gossip exchange interval for -peers")
 	flag.Parse()
 
 	if *policyFile != "" && *selector != "" {
 		fmt.Fprintln(os.Stderr, "-policy and -selector are mutually exclusive (a selector replaces the policy composition)")
+		os.Exit(1)
+	}
+	if *peers > 0 && *probeInterval <= 0 {
+		fmt.Fprintln(os.Stderr, "-peers needs -probe-interval (a warm monitor to gossip from)")
 		os.Exit(1)
 	}
 
@@ -176,5 +189,65 @@ func main() {
 	if *adaptiveRace {
 		dec := client.Proxy.Dialer().LastRace()
 		fmt.Printf("last race decision: width=%d (%s)\n", dec.Width, dec.Reason)
+	}
+
+	if *peers > 0 {
+		gossipColdPeers(w, client.Proxy.Monitor(), *peers, *probeInterval, *gossipInterval)
+	}
+}
+
+// gossipColdPeers demonstrates LinkStats snapshot gossip: the warm proxy's
+// monitor serves its snapshot over the legacy network, and freshly booted
+// peer proxies import it — warm hotspot estimates before their first dial,
+// so the first adaptive dial goes out narrow with zero probes spent.
+func gossipColdPeers(w *experiments.World, warm *pan.Monitor, peers int, probeInterval, gossipInterval time.Duration) {
+	fmt.Printf("\n== link-state gossip: %d cold peers warm-starting from this proxy ==\n", peers)
+	if _, err := webserver.ServeIP(w.Legacy, "telemetry.skip:8600", webserver.SnapshotHandler(warm)); err != nil {
+		fmt.Fprintf(os.Stderr, "serving snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	snap := warm.ExportLinks()
+	fmt.Printf("snapshot on telemetry.skip:8600: %d path + %d link estimates\n", len(snap.Paths), len(snap.Links))
+	// The SCION-native demo origin the warm proxy has been measuring.
+	scionRemote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 80}
+	for i := 0; i < peers; i++ {
+		host := w.PANHost(topology.AS111, fmt.Sprintf("10.0.9.%d", 10+i))
+		probes := 0
+		real := host.HandshakeProbe()
+		mon := pan.NewMonitor(w.Clock, host.Paths, pan.MonitorOptions{
+			BaseInterval: probeInterval,
+			Probe: func(remote addr.UDPAddr, serverName string, path *segment.Path, timeout time.Duration) (time.Duration, error) {
+				probes++
+				return real(remote, serverName, path, timeout)
+			},
+		})
+		httpClient := &http.Client{Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, hostport string) (net.Conn, error) {
+				return w.Legacy.Dial(ctx, fmt.Sprintf("skip-peer-%d", i+1), hostport)
+			},
+			DisableCompression: true,
+		}}
+		g := webserver.NewGossiper(w.Clock, mon, httpClient, []string{"telemetry.skip:8600"}, gossipInterval, 1)
+		applied, err := g.RunOnce(context.Background())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peer %d gossip: %v\n", i+1, err)
+			continue
+		}
+		d := host.NewDialer(pan.DialOptions{
+			Selector:     pan.NewLatencySelector(),
+			ServerName:   "www.scion.example",
+			Timeout:      2 * time.Second,
+			RaceWidth:    3,
+			AdaptiveRace: true,
+			Monitor:      mon,
+		})
+		if _, sel, err := d.Dial(context.Background(), scionRemote, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "peer %d dial: %v\n", i+1, err)
+		} else {
+			dec := d.LastRace()
+			fmt.Printf("  peer %d: imported %d estimates, first dial width=%d (%s) over %s, %d local probes spent\n",
+				i+1, applied, dec.Width, dec.Reason, sel.Path.Fingerprint(), probes)
+		}
+		d.Close()
 	}
 }

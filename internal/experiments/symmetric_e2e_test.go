@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/pan"
+	"tango/internal/segment"
+	"tango/internal/shttp"
+	"tango/internal/squic"
+	"tango/internal/topology"
+	"tango/internal/webserver"
+)
+
+// TestSnapshotWarmStartE2E is the deterministic netsim scenario of LinkStats
+// snapshot gossip: a warm vantage point exports its telemetry, a cold host
+// in the same AS imports it, and the cold host's FIRST adaptive dial goes
+// out at width 1 — a clear, fresh leader known entirely from the peer's
+// observations — with zero local probes issued. A control host without the
+// import must race the full width, and its racer set must be the
+// hotspot-aware disjoint pick rather than plain top-k.
+func TestSnapshotWarmStartE2E(t *testing.T) {
+	w, err := NewWorld(13, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	server := w.PANHost(topology.AS211, "10.0.0.95")
+	lis := echoListener(t, server, 7450, "warm.e2e", w.Pool)
+	t.Cleanup(func() { lis.Close() })
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.95")}, Port: 7450}
+
+	// The warm vantage point probes the destination for a few rounds.
+	warmHost := w.PANHost(topology.AS111, "10.0.8.60")
+	warmMon := warmHost.NewMonitor(pan.MonitorOptions{BaseInterval: 2 * time.Second, Timeout: time.Second})
+	warmMon.Track(remote, "warm.e2e")
+	for i := 0; i < 3; i++ {
+		warmMon.RunRound()
+	}
+	snap := warmMon.ExportLinks()
+	if len(snap.Paths) < 3 {
+		t.Fatalf("warm export carries %d paths, want all 3", len(snap.Paths))
+	}
+
+	// The cold host has never probed (its probe function proves it) and
+	// boots from the peer's snapshot alone.
+	coldHost := w.PANHost(topology.AS111, "10.0.8.61")
+	coldProbes := 0
+	coldMon := pan.NewMonitor(w.Clock, coldHost.Paths, pan.MonitorOptions{
+		BaseInterval: 2 * time.Second,
+		Timeout:      time.Second,
+		Probe: func(addr.UDPAddr, string, *segment.Path, time.Duration) (time.Duration, error) {
+			coldProbes++
+			return 0, context.DeadlineExceeded
+		},
+	})
+	if applied, err := coldMon.ImportLinks(snap, 1); err != nil || applied == 0 {
+		t.Fatalf("import: applied=%d err=%v", applied, err)
+	}
+
+	dCold := coldHost.NewDialer(pan.DialOptions{
+		Selector:     pan.NewLatencySelector(),
+		ServerName:   "warm.e2e",
+		Timeout:      2 * time.Second,
+		RaceWidth:    3,
+		AdaptiveRace: true,
+		Monitor:      coldMon,
+	})
+	t.Cleanup(dCold.Close)
+	conn, sel, err := dCold.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatalf("cold first dial: %v", err)
+	}
+	echoRoundTrip(t, conn)
+	if dec := dCold.LastRace(); !dec.Adaptive || dec.Width != 1 || dec.Reason != "clear-leader" {
+		t.Fatalf("cold first dial raced width %d (%s), want width 1 clear-leader from the imported snapshot", dec.Width, dec.Reason)
+	}
+	if coldProbes != 0 {
+		t.Fatalf("cold host issued %d local probes, want 0 — the snapshot should carry the warm start", coldProbes)
+	}
+	// The width-1 dial lands on the peer's measured leader.
+	if best := fastestPath(coldHost.Paths(topology.AS211), nil); sel.Path.Fingerprint() != best.Fingerprint() {
+		t.Fatalf("cold dial won on %s, want the telemetry leader %s", sel.Path, best)
+	}
+
+	// Control: an equally cold host WITHOUT the import cannot justify a
+	// narrow race — and when it races wide, its racer set is the greedy
+	// max-disjoint pick: the link-disjoint geodesic leapfrogs the
+	// second-fastest path that shares the leader's core link.
+	ctrlHost := w.PANHost(topology.AS111, "10.0.8.62")
+	ctrlMon := pan.NewMonitor(w.Clock, ctrlHost.Paths, pan.MonitorOptions{
+		BaseInterval: 2 * time.Second,
+		Timeout:      time.Second,
+		Probe:        ctrlHost.HandshakeProbe(),
+	})
+	dCtrl := ctrlHost.NewDialer(pan.DialOptions{
+		Selector:     pan.NewLatencySelector(),
+		ServerName:   "warm.e2e",
+		Timeout:      2 * time.Second,
+		RaceWidth:    3,
+		AdaptiveRace: true,
+		Monitor:      ctrlMon,
+	})
+	t.Cleanup(dCtrl.Close)
+	conn2, _, err := dCtrl.Dial(context.Background(), remote, "")
+	if err != nil {
+		t.Fatalf("control dial: %v", err)
+	}
+	echoRoundTrip(t, conn2)
+	dec := dCtrl.LastRace()
+	if !dec.Adaptive || dec.Width != 3 || dec.Reason != "no-leader-telemetry" {
+		t.Fatalf("control dial = %+v, want full width 3 without telemetry", dec)
+	}
+	var clean *segment.Path
+	for _, p := range ctrlHost.Paths(topology.AS211) {
+		if !pathUsesLink(p, topology.Core110, topology.Core120) {
+			clean = p
+		}
+	}
+	if clean == nil {
+		t.Fatal("scenario needs a path avoiding 110-120")
+	}
+	if len(dec.Racers) != 3 || dec.Racers[1] != clean.Fingerprint() {
+		t.Fatalf("racer order %v — want the link-disjoint path %s raced second, not the rank-2 path sharing the leader's links", dec.Racers, clean.Fingerprint())
+	}
+}
+
+// TestReverseSteeringE2E is the deterministic netsim scenario of server-side
+// reverse-path steering: a client pinned to a path whose reverse crosses a
+// congested link talks to two otherwise identical ServeSCION servers. The
+// monitor-steered server learns the congestion from its own serving
+// traffic's ack RTTs and moves its replies onto the clean reverse path; the
+// mirror-mode server keeps reflecting the client's choice and stays slow —
+// the measurable difference is the congested link's reverse-leg cost.
+func TestReverseSteeringE2E(t *testing.T) {
+	w, err := NewWorld(17, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	site := webserver.NewSite()
+	site.Add("/r", "text/plain", []byte("steered-reply-payload-0123456789"))
+
+	steerHost := w.PANHost(topology.AS211, "10.0.0.31")
+	mirrorHost := w.PANHost(topology.AS211, "10.0.0.32")
+	idSteer, err := squic.NewIdentity("steer.e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idMirror, err := squic.NewIdentity("mirror.e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Pool.AddIdentity(idSteer)
+	w.Pool.AddIdentity(idMirror)
+	srvSteer, err := webserver.ServeSCION(steerHost, 80, idSteer, site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvSteer.Close() })
+	srvMirror, err := webserver.ServeSCIONOptions(mirrorHost, 80, idMirror, site, webserver.SCIONOptions{Mirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvMirror.Close() })
+	if srvMirror.Telemetry() != nil {
+		t.Fatal("mirror-mode server must not build a telemetry plane")
+	}
+	if srvSteer.Telemetry() == nil {
+		t.Fatal("steered server must expose its telemetry plane")
+	}
+
+	// The client pins the fastest path over the 110-120 core link — the
+	// link about to congest — and never re-selects (a pinned or
+	// mirror-happy client is exactly who server steering rescues).
+	clientHost := w.PANHost(topology.AS111, "10.0.8.70")
+	paths := clientHost.Paths(topology.AS211)
+	hot := fastestPath(paths, func(p *segment.Path) bool {
+		return pathUsesLink(p, topology.Core110, topology.Core120)
+	})
+	if hot == nil {
+		t.Fatal("no path over 110-120")
+	}
+	mkClient := func(hostIP string, name string) *http.Client {
+		remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr(hostIP)}, Port: 80}
+		sel := pan.NewPinnedSelector(nil)
+		sel.Pin(topology.AS211, hot.Fingerprint())
+		d := clientHost.NewDialer(pan.DialOptions{Selector: sel, ServerName: name, Timeout: 2 * time.Second})
+		t.Cleanup(d.Close)
+		tr := shttp.NewTransport(func(ctx context.Context, authority string) (*squic.Conn, error) {
+			conn, _, err := d.Dial(ctx, remote, name)
+			return conn, err
+		})
+		t.Cleanup(tr.CloseIdleConnections)
+		return &http.Client{Transport: tr}
+	}
+	steerClient := mkClient("10.0.0.31", "steer.e2e")
+	mirrorClient := mkClient("10.0.0.32", "mirror.e2e")
+
+	// Congest the shared core link for the whole run.
+	link := w.DW.Link(topology.Core110, topology.Core120)
+	if link == nil {
+		t.Fatal("default topology must have the 110-120 core link")
+	}
+	base := link.Props()
+	congested := base
+	congested.Latency = base.Latency + 150*time.Millisecond
+	link.SetProps(congested)
+	t.Cleanup(func() { link.SetProps(base) })
+
+	get := func(c *http.Client, url string) time.Duration {
+		t.Helper()
+		start := w.Clock.Now()
+		resp, err := c.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			t.Fatalf("reading %s: %v", url, err)
+		}
+		resp.Body.Close()
+		return w.Clock.Since(start)
+	}
+
+	const rounds = 10
+	var steered, mirrored []time.Duration
+	for i := 0; i < rounds; i++ {
+		steered = append(steered, get(steerClient, "http://steer.e2e/r"))
+		mirrored = append(mirrored, get(mirrorClient, "http://mirror.e2e/r"))
+		w.Clock.Sleep(time.Second)
+	}
+
+	// The steered server's decision surface: replies for AS111 are steered
+	// onto a reverse path avoiding the congested link.
+	dec, ok := srvSteer.Telemetry().LastDecision(topology.AS111)
+	if !ok || dec.Mirrored {
+		t.Fatalf("steered server's last decision = %+v (ok=%v), want a steered reverse path", dec, ok)
+	}
+	reverse := make(map[string]*segment.Path)
+	for _, p := range steerHost.Paths(topology.AS111) {
+		reverse[p.Fingerprint()] = p
+	}
+	picked := reverse[dec.Fingerprint]
+	if picked == nil {
+		t.Fatalf("steered fingerprint %s is not a known reverse path", dec.Fingerprint)
+	}
+	if pathUsesLink(picked, topology.Core110, topology.Core120) {
+		t.Fatalf("steered reply path %s still crosses the congested link", picked)
+	}
+	if steers, _ := srvSteer.Telemetry().Counts(); steers == 0 {
+		t.Fatal("steering never engaged")
+	}
+
+	// The measurable proof: once steering engages, requests to the steered
+	// server dodge the congested reverse leg; mirror mode provably keeps
+	// paying it. (First requests are comparable — both mirror until
+	// telemetry exists.)
+	lateSteered, lateMirrored := steered[rounds-1], mirrored[rounds-1]
+	for i := rounds - 3; i < rounds; i++ {
+		if steered[i] < lateSteered {
+			lateSteered = steered[i]
+		}
+		if mirrored[i] < lateMirrored {
+			lateMirrored = mirrored[i]
+		}
+	}
+	if lateSteered+60*time.Millisecond > lateMirrored {
+		t.Fatalf("steered %v vs mirrored %v — steering bought < 60ms (series: %v vs %v)",
+			lateSteered, lateMirrored, steered, mirrored)
+	}
+}
+
+// TestSteerStaleRevertsToMirrorE2E: steering must never wedge a connection.
+// The server's telemetry is pre-warmed (as gossip or earlier traffic would)
+// to prefer a reverse path that is in fact black-holed; its replies vanish,
+// so no ack sample ever arrives to trigger a re-evaluation — only the
+// steering watchdog can save the connection, by reverting to mirroring and
+// banning the dead pick. The request must still complete, and follow-ups
+// must run at mirror speed.
+func TestSteerStaleRevertsToMirrorE2E(t *testing.T) {
+	w, err := NewWorld(19, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	site := webserver.NewSite()
+	site.Add("/r", "text/plain", []byte("watchdog-payload"))
+	serverHost := w.PANHost(topology.AS211, "10.0.0.33")
+	id, err := squic.NewIdentity("stale.e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Pool.AddIdentity(id)
+	srv, err := webserver.ServeSCION(serverHost, 80, id, site, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// Reverse paths from the server's vantage: the doomed pick crosses
+	// 110-120; the client will pin the geodesic that avoids it.
+	var doomed, geodesic *segment.Path
+	for _, p := range serverHost.Paths(topology.AS111) {
+		if pathUsesLink(p, topology.Core110, topology.Core120) {
+			if doomed == nil || p.Meta.Latency < doomed.Meta.Latency {
+				doomed = p
+			}
+		} else {
+			geodesic = p
+		}
+	}
+	if doomed == nil || geodesic == nil {
+		t.Fatal("scenario needs a 110-120 reverse path and a geodesic avoiding it")
+	}
+
+	// Pre-warm the server monitor so the doomed path looks clearly best and
+	// every other 110-120 path looks bad — the accept-time steer will pick
+	// the doomed one. (TrackPassive: exactly how the plane itself tracks.)
+	mon := srv.Telemetry().Monitor()
+	warmTarget := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS111, Host: netip.MustParseAddr("10.0.8.99")}, Port: 9}
+	mon.TrackPassive(warmTarget, "")
+	for i := 0; i < 3; i++ {
+		for _, p := range serverHost.Paths(topology.AS111) {
+			switch {
+			case p.Fingerprint() == doomed.Fingerprint():
+				mon.Observe(p, 100*time.Millisecond)
+			case p.Fingerprint() == geodesic.Fingerprint():
+				// No samples: the geodesic stays metadata-ranked.
+			default:
+				mon.Observe(p, 400*time.Millisecond)
+			}
+		}
+	}
+
+	// Black-hole the doomed path's exclusive link BEFORE the client
+	// connects. The client's pinned geodesic never crosses it.
+	link := w.DW.Link(topology.Core110, topology.Core120)
+	base := link.Props()
+	dead := base
+	dead.LossRate = 1
+	link.SetProps(dead)
+	t.Cleanup(func() { link.SetProps(base) })
+
+	clientHost := w.PANHost(topology.AS111, "10.0.8.71")
+	remote := addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.33")}, Port: 80}
+	pin := pan.NewPinnedSelector(nil)
+	// The client's forward geodesic reverses to the server's geodesic; pin
+	// by structure rather than assuming fingerprint symmetry here.
+	var clientGeo *segment.Path
+	for _, p := range clientHost.Paths(topology.AS211) {
+		if !pathUsesLink(p, topology.Core110, topology.Core120) {
+			clientGeo = p
+		}
+	}
+	if clientGeo == nil {
+		t.Fatal("client has no geodesic")
+	}
+	pin.Pin(topology.AS211, clientGeo.Fingerprint())
+	d := clientHost.NewDialer(pan.DialOptions{Selector: pin, ServerName: "stale.e2e", Timeout: 5 * time.Second})
+	t.Cleanup(d.Close)
+	tr := shttp.NewTransport(func(ctx context.Context, authority string) (*squic.Conn, error) {
+		conn, _, err := d.Dial(ctx, remote, "stale.e2e")
+		return conn, err
+	})
+	t.Cleanup(tr.CloseIdleConnections)
+	client := &http.Client{Transport: tr}
+
+	get := func() time.Duration {
+		t.Helper()
+		start := w.Clock.Now()
+		resp, err := client.Get("http://stale.e2e/r")
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		resp.Body.Close()
+		return w.Clock.Since(start)
+	}
+
+	// First request survives the black-holed steer: the watchdog reverts to
+	// mirroring and retransmission delivers the reply.
+	first := get()
+	if first > 20*time.Second {
+		t.Fatalf("first request took %v — watchdog did not rescue the connection", first)
+	}
+	steers, mirrors := srv.Telemetry().Counts()
+	if steers == 0 || mirrors == 0 {
+		t.Fatalf("expected a steer then a mirror revert, got %d steers / %d mirrors", steers, mirrors)
+	}
+
+	// Follow-ups run at mirror speed, and the dead pick stays banned: the
+	// decision surface reports mirroring (steer-stale, or mirror-best once
+	// the mirrored path's own samples rank it first).
+	w.Clock.Sleep(time.Second)
+	second := get()
+	if second > 2*time.Second {
+		t.Fatalf("post-revert request took %v — connection still degraded", second)
+	}
+	dec, ok := srv.Telemetry().LastDecision(topology.AS111)
+	if !ok || !dec.Mirrored {
+		t.Fatalf("post-revert decision = %+v (ok=%v), want mirrored", dec, ok)
+	}
+	if dec.Reason != "steer-stale" && dec.Reason != "mirror-best" && dec.Reason != "no-fresh-telemetry" {
+		t.Fatalf("unexpected revert reason %q", dec.Reason)
+	}
+}

@@ -70,6 +70,11 @@ type RaceDecision struct {
 	// Reason is the adviser's one-word rationale ("clear-leader",
 	// "stale-leader", "close-contenders", ...); "configured" when static.
 	Reason string
+	// Racers lists the raced candidates' fingerprints in start order when
+	// Width > 1 — after the hotspot-aware disjoint pick, so tests and
+	// operators can see that one congested shared link cannot sink every
+	// racer. Empty for sequential dials.
+	Racers []string
 }
 
 // DefaultRaceStagger is the inter-racer start offset applied when racing
@@ -482,15 +487,26 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 			stagger = DefaultRaceStagger
 		}
 	}
-	d.mu.Lock()
-	d.lastRace = decision
-	d.mu.Unlock()
 	var conn *squic.Conn
 	var won Candidate
 	var hsLatency time.Duration
 	if width > 1 && len(cands) > 1 {
-		conn, won, hsLatency, err = d.dialRaced(ctx, remote, cands, serverName, timeout, width, stagger, sel)
+		// Hotspot-aware racing: racers are picked greedily for disjoint
+		// link sets (leader first), not as plain top-k, so one congested
+		// shared link can't sink the whole race.
+		racers := DisjointRace(cands, width)
+		decision.Racers = make([]string, len(racers))
+		for i, c := range racers {
+			decision.Racers[i] = c.Path.Fingerprint()
+		}
+		d.mu.Lock()
+		d.lastRace = decision
+		d.mu.Unlock()
+		conn, won, hsLatency, err = d.dialRaced(ctx, remote, racers, serverName, timeout, len(racers), stagger, sel)
 	} else {
+		d.mu.Lock()
+		d.lastRace = decision
+		d.mu.Unlock()
 		conn, won, hsLatency, err = d.dialSequential(ctx, remote, cands, serverName, timeout, attempts, sel)
 	}
 	if err != nil {

@@ -81,6 +81,10 @@ type PathTelemetry struct {
 	// own schedule (Age within two intervals): stale estimates must not
 	// justify narrow racing.
 	Fresh bool
+	// Imported marks telemetry that came from a peer's snapshot
+	// (ImportLinks) and has not yet been confirmed by a local sample: a
+	// prior, which the first live measurement replaces outright.
+	Imported bool
 }
 
 // LinkStat is the congestion estimate of one inter-AS link, derived by
@@ -94,6 +98,7 @@ type LinkStat struct {
 	Congestion time.Duration // min EWMA excess RTT across crossing paths
 	Dev        time.Duration // EWMA absolute deviation of the minimal series
 	Sharers    int           // tracked paths currently crossing the link
+	Age        time.Duration // time since the freshest underlying sample
 }
 
 // linkKey identifies an inter-AS link independent of direction.
@@ -145,6 +150,12 @@ type monTarget struct {
 	remote     addr.UDPAddr
 	serverName string
 	refs       int
+	// activeRefs counts the trackers that want ACTIVE probing. A target
+	// whose refs are all passive (TrackPassive — e.g. a server tracking the
+	// clients it serves) accepts passive samples and retains telemetry but
+	// never puts its paths on the probe schedule: clients are not servers,
+	// and a handshake probe at one could only burn budget on timeouts.
+	activeRefs int
 	// passive/probes split the destination's ingested samples by origin —
 	// the "N passive / M probe samples" observability feed. A sample on a
 	// path serving several destinations credits each of them: they all
@@ -177,6 +188,10 @@ type monEntry struct {
 	lastPassive time.Time
 	down        bool
 	failures    int
+	// prior marks telemetry imported from a peer's snapshot with no local
+	// confirmation yet: the first live sample REPLACES it (reset to a first
+	// sample) instead of blending — live samples override imports.
+	prior bool
 
 	interval time.Duration
 	seq      uint64 // reschedule counter, varies the jitter
@@ -233,7 +248,20 @@ type Monitor struct {
 	// entry latched out of the schedule.
 	inflight map[string]bool
 	links    map[linkKey]map[string]*excessSeries
-	sinks    map[int]func(*segment.Path, Outcome)
+	// priors are link congestion estimates imported from peers' snapshots
+	// (ImportLinks). They decay with age and only ever fill gaps: a link
+	// with live local series ignores its prior entirely.
+	priors map[linkKey]*linkPrior
+	// linkCache memoizes the sorted LinkStats snapshot and its by-key view
+	// (PathPenalty's lookup table). nil = dirty; invalidated on sample
+	// ingest and pruning, and expired after MaxInterval so age-based series
+	// expiry still lands without an ingest. LinkStats is called per gossip
+	// round and per stats scrape — recomputing and re-sorting the full link
+	// set on each call was measurable waste.
+	linkCache    []LinkStat
+	linkCacheMap map[linkKey]LinkStat
+	linkCacheAt  time.Time
+	sinks        map[int]func(*segment.Path, Outcome)
 	// sinkList caches the id-ordered fan-out slice (nil = rebuild on next
 	// use). Passive ingest fans out per ack sample, and rebuilding+sorting
 	// the list for every one of them would be avoidable hot-path garbage;
@@ -278,6 +306,7 @@ func NewMonitor(clock netsim.Clock, paths func(addr.IA) []*segment.Path, opts Mo
 		byTarget: make(map[string]map[string]*monEntry),
 		inflight: make(map[string]bool),
 		links:    make(map[linkKey]map[string]*excessSeries),
+		priors:   make(map[linkKey]*linkPrior),
 		sinks:    make(map[int]func(*segment.Path, Outcome)),
 	}
 }
@@ -329,6 +358,20 @@ func targetKey(remote addr.UDPAddr, serverName string) string {
 // destination tracked by several dialers is probed once, and keeps being
 // probed until every tracker has untracked it.
 func (m *Monitor) Track(remote addr.UDPAddr, serverName string) {
+	m.track(remote, serverName, true)
+}
+
+// TrackPassive adds a destination for PASSIVE telemetry only: its paths get
+// entries (so Observe accepts samples for them) but never join the probe
+// schedule, no matter whether the monitor is started. This is how a
+// server-side plane tracks the clients it serves — safe to share a started
+// dialer-side monitor with. A destination tracked both ways is probed as
+// long as at least one active tracker remains.
+func (m *Monitor) TrackPassive(remote addr.UDPAddr, serverName string) {
+	m.track(remote, serverName, false)
+}
+
+func (m *Monitor) track(remote addr.UDPAddr, serverName string, active bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	key := targetKey(remote, serverName)
@@ -337,17 +380,45 @@ func (m *Monitor) Track(remote addr.UDPAddr, serverName string) {
 		tgt = &monTarget{remote: remote, serverName: serverName}
 		m.targets[key] = tgt
 	}
+	// Per-entry schedulability BEFORE the ref change, so a passive→active
+	// upgrade can see which entries just became schedulable.
+	wasSched := make(map[string]bool, len(m.byTarget[key]))
+	for fp, e := range m.byTarget[key] {
+		wasSched[fp] = entrySchedulable(e)
+	}
 	tgt.refs++
+	if active {
+		tgt.activeRefs++
+	}
 	if tgt.refs == 1 {
 		m.pruneLocked()
 		m.syncTargetLocked(key, tgt)
+		return
+	}
+	if active && tgt.activeRefs == 1 {
+		// Upgraded from passive-only: existing entries join the schedule.
+		for fp, e := range m.byTarget[key] {
+			if !wasSched[fp] && entrySchedulable(e) {
+				m.active++
+				m.scheduleLocked(fp, e, true)
+			}
+		}
 	}
 }
 
-// Untrack drops one reference to a destination; at zero references its
-// paths leave the probe schedule (paths still serving another tracked
-// destination stay).
+// Untrack drops one active-tracking reference to a destination; at zero
+// references its paths leave the probe schedule (paths still serving
+// another tracked destination stay).
 func (m *Monitor) Untrack(remote addr.UDPAddr, serverName string) {
+	m.untrack(remote, serverName, true)
+}
+
+// UntrackPassive drops one TrackPassive reference.
+func (m *Monitor) UntrackPassive(remote addr.UDPAddr, serverName string) {
+	m.untrack(remote, serverName, false)
+}
+
+func (m *Monitor) untrack(remote addr.UDPAddr, serverName string, active bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	key := targetKey(remote, serverName)
@@ -355,19 +426,47 @@ func (m *Monitor) Untrack(remote addr.UDPAddr, serverName string) {
 	if tgt == nil {
 		return
 	}
+	// Per-entry schedulability BEFORE the ref change: m.active was counted
+	// under the old refs, so transitions must be judged against them.
+	wasSched := make(map[string]bool, len(m.byTarget[key]))
+	for fp, e := range m.byTarget[key] {
+		wasSched[fp] = entrySchedulable(e)
+	}
 	tgt.refs--
-	if tgt.refs > 0 {
+	if active && tgt.activeRefs > 0 {
+		tgt.activeRefs--
+	}
+	if tgt.refs <= 0 {
+		delete(m.targets, key)
+		for fp, e := range m.byTarget[key] {
+			delete(e.targets, key)
+			if wasSched[fp] && !entrySchedulable(e) {
+				m.active--
+				m.retireEntryLocked(e)
+			}
+		}
+		delete(m.byTarget, key)
 		return
 	}
-	delete(m.targets, key)
-	for _, e := range m.byTarget[key] {
-		delete(e.targets, key)
-		if len(e.targets) == 0 {
+	// Refs remain; an active→passive-only downgrade still takes entries
+	// with no other active target off the schedule (telemetry kept).
+	for fp, e := range m.byTarget[key] {
+		if wasSched[fp] && !entrySchedulable(e) {
 			m.active--
 			m.retireEntryLocked(e)
 		}
 	}
-	delete(m.byTarget, key)
+}
+
+// entrySchedulable reports whether any of the entry's targets wants active
+// probing — the condition for carrying a probe deadline.
+func entrySchedulable(e *monEntry) bool {
+	for _, t := range e.targets {
+		if t.activeRefs > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // retireEntryLocked takes a path off the probe schedule while KEEPING its
@@ -403,6 +502,12 @@ func (m *Monitor) pruneLocked() {
 			delete(m.links, lk)
 		}
 	}
+	for lk, pr := range m.priors {
+		if pr.age(now) > horizon {
+			delete(m.priors, lk)
+		}
+	}
+	m.linkCache, m.linkCacheMap = nil, nil
 }
 
 // syncTargetLocked reconciles the entry set with the target's current
@@ -429,11 +534,11 @@ func (m *Monitor) syncTargetLocked(key string, tgt *monTarget) {
 			}
 			m.entries[fp] = e
 		}
-		wasInactive := len(e.targets) == 0
+		wasSched := entrySchedulable(e)
 		e.path = p
 		e.targets[key] = tgt
 		idx[fp] = e
-		if wasInactive {
+		if !wasSched && entrySchedulable(e) {
 			m.active++
 			m.scheduleLocked(fp, e, true)
 		}
@@ -441,8 +546,9 @@ func (m *Monitor) syncTargetLocked(key string, tgt *monTarget) {
 	for fp, e := range idx {
 		if !current[fp] {
 			delete(idx, fp)
+			wasSched := entrySchedulable(e)
 			delete(e.targets, key)
-			if len(e.targets) == 0 {
+			if wasSched && !entrySchedulable(e) {
 				m.active--
 				m.retireEntryLocked(e)
 			}
@@ -550,7 +656,7 @@ func (m *Monitor) effectiveIntervalLocked(e *monEntry) time.Duration {
 // deadlines are the churn-adapted interval ±15% deterministic jitter, so
 // phases never re-synchronize into bursts.
 func (m *Monitor) scheduleLocked(fp string, e *monEntry, first bool) {
-	if !m.started || e.cancel != nil || len(e.targets) == 0 {
+	if !m.started || e.cancel != nil || !entrySchedulable(e) {
 		return
 	}
 	iv := m.effectiveIntervalLocked(e)
@@ -614,6 +720,11 @@ func (m *Monitor) probeEntry(fp string, scheduled bool) {
 	}
 	var tgt *monTarget
 	for _, t := range e.targets {
+		// Only actively-tracked targets can answer a probe: passive-only
+		// targets (a server's clients) have no server to handshake with.
+		if t.activeRefs == 0 {
+			continue
+		}
 		if tgt == nil || targetKey(t.remote, t.serverName) < targetKey(tgt.remote, tgt.serverName) {
 			tgt = t
 		}
@@ -643,7 +754,7 @@ func (m *Monitor) probeEntry(fp string, scheduled bool) {
 	// no-ops here; one that drained after the restart consumed its deadline
 	// re-arms itself, so the path can never fall silently out of the
 	// schedule.
-	if m.started && len(e.targets) > 0 {
+	if m.started && entrySchedulable(e) {
 		m.scheduleLocked(fp, e, false)
 	}
 	sinks := m.sinksLocked()
@@ -739,6 +850,13 @@ func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error, passiv
 	}
 	e.failures = 0
 	e.down = false
+	if e.prior {
+		// The entry held only an imported prior; the first live measurement
+		// replaces it outright rather than blending into a peer's estimate.
+		e.prior = false
+		e.samples, e.passive = 0, 0
+		e.rtt, e.dev = 0, 0
+	}
 	if passive {
 		e.passive++
 		e.lastPassive = now
@@ -799,6 +917,7 @@ func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error, passiv
 		}
 		s.ingest(excess, now)
 	}
+	m.linkCache, m.linkCacheMap = nil, nil
 	if passive {
 		return Outcome{Latency: rtt, Passive: true}
 	}
@@ -865,8 +984,8 @@ func (m *Monitor) RunRound() {
 	}
 	fps := make([]string, 0, len(m.entries))
 	for fp, e := range m.entries {
-		if m.inflight[fp] || len(e.targets) == 0 {
-			continue // mid-flight or retired; skip, don't double-probe
+		if m.inflight[fp] || !entrySchedulable(e) {
+			continue // mid-flight, retired, or passive-only; don't probe
 		}
 		m.inflight[fp] = true
 		fps = append(fps, fp)
@@ -903,6 +1022,7 @@ func (m *Monitor) telemetryLocked(fp string, e *monEntry) PathTelemetry {
 		PassiveSamples: e.passive,
 		Down:           e.down,
 		Interval:       iv,
+		Imported:       e.prior,
 	}
 	if !e.lastSample.IsZero() {
 		t.Age = m.clock.Since(e.lastSample)
@@ -923,30 +1043,43 @@ func (m *Monitor) linkStatLocked(lk linkKey, series map[string]*excessSeries, no
 	st := LinkStat{A: lk.a, B: lk.b}
 	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
 	found := false
+	var newest time.Time
 	for fp, s := range series {
 		if s.samples == 0 || now.Sub(s.last) > horizon {
 			delete(series, fp)
 			continue
 		}
 		st.Sharers++
+		if s.last.After(newest) {
+			newest = s.last
+		}
 		if !found || s.mean < st.Congestion || (s.mean == st.Congestion && s.dev < st.Dev) {
 			st.Congestion, st.Dev = s.mean, s.dev
 			found = true
 		}
 	}
+	if found {
+		st.Age = now.Sub(newest)
+	}
 	return st, found
 }
 
-// LinkStats exports the per-link congestion estimates, sorted by endpoints
-// for deterministic output.
-func (m *Monitor) LinkStats() []LinkStat {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// linkCacheLocked returns the memoized link snapshot (sorted slice + by-key
+// map), rebuilding it only when dirty (a sample was ingested or pruning ran
+// since) or older than MaxInterval (so series expiring purely by age still
+// drop out). The returned slice is the cache itself: callers must copy
+// before handing it out.
+func (m *Monitor) linkCacheLocked() ([]LinkStat, map[linkKey]LinkStat) {
 	now := m.clock.Now()
+	if m.linkCache != nil && now.Sub(m.linkCacheAt) <= m.opts.MaxInterval {
+		return m.linkCache, m.linkCacheMap
+	}
 	out := make([]LinkStat, 0, len(m.links))
+	byKey := make(map[linkKey]LinkStat, len(m.links))
 	for lk, series := range m.links {
 		if st, ok := m.linkStatLocked(lk, series, now); ok {
 			out = append(out, st)
+			byKey[lk] = st
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -955,7 +1088,21 @@ func (m *Monitor) LinkStats() []LinkStat {
 		}
 		return out[i].B.ISD < out[j].B.ISD || (out[i].B.ISD == out[j].B.ISD && out[i].B.AS < out[j].B.AS)
 	})
-	return out
+	m.linkCache, m.linkCacheMap, m.linkCacheAt = out, byKey, now
+	return out, byKey
+}
+
+// LinkStats exports the per-link congestion estimates measured LOCALLY,
+// sorted by endpoints for deterministic output. Imported priors are not
+// included: they feed PathPenalty (and hence ranking) but never re-export,
+// so gossip cannot echo a stale estimate between hosts forever. The snapshot
+// is cached between sample ingests — this is called per gossip round and per
+// stats scrape.
+func (m *Monitor) LinkStats() []LinkStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	stats, _ := m.linkCacheLocked()
+	return append([]LinkStat(nil), stats...)
 }
 
 // PathPenalty is the hotspot cost of routing over p: the sum over its links
@@ -963,21 +1110,73 @@ func (m *Monitor) LinkStats() []LinkStat {
 // ~zero; a path crossing a high-variance shared link pays the instability
 // that end-to-end EWMA averaging hides. This is what HotspotSelector adds
 // to its latency ranking key.
+//
+// Links with no live local series fall back to an imported prior when one is
+// present (age-decayed, so a peer's warm estimate fades as it goes stale):
+// the warm-start half of link-state sharing. A link with ANY live series
+// ignores its prior — local measurement always overrides imports.
 func (m *Monitor) PathPenalty(p *segment.Path) time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	_, byKey := m.linkCacheLocked()
 	now := m.clock.Now()
+	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
 	var sum time.Duration
 	for _, lk := range pathLinks(p) {
-		series := m.links[lk]
-		if series == nil {
+		if st, ok := byKey[lk]; ok {
+			sum += st.Congestion + 2*st.Dev
 			continue
 		}
-		if st, ok := m.linkStatLocked(lk, series, now); ok {
-			sum += st.Congestion + 2*st.Dev
+		if pr := m.priors[lk]; pr != nil {
+			sum += pr.penalty(now, horizon)
 		}
 	}
 	return sum
+}
+
+// PathStat bundles one path's telemetry with its hotspot penalty — what a
+// ranking pass needs per candidate.
+type PathStat struct {
+	Telemetry PathTelemetry
+	// Known reports whether the monitor holds an entry for the path at all
+	// (Telemetry is zero-valued otherwise, except for the fingerprint).
+	Known bool
+	// Penalty is PathPenalty for the path: live link stats, or age-decayed
+	// imported priors on links never measured locally.
+	Penalty time.Duration
+}
+
+// PathStats evaluates every path's telemetry and hotspot penalty under ONE
+// lock acquisition — the batched form of Telemetry+PathPenalty for ranking
+// passes that run on hot paths (reverse-path steering evaluates per sample
+// batch on the packet delivery path; 2·N lock round-trips per evaluation
+// would contend with probe ingest across every served connection).
+func (m *Monitor) PathStats(paths []*segment.Path) []PathStat {
+	out := make([]PathStat, len(paths))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, byKey := m.linkCacheLocked()
+	now := m.clock.Now()
+	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
+	for i, p := range paths {
+		fp := p.Fingerprint()
+		st := PathStat{Telemetry: PathTelemetry{Fingerprint: fp}}
+		if e := m.entries[fp]; e != nil {
+			st.Telemetry = m.telemetryLocked(fp, e)
+			st.Known = true
+		}
+		for _, lk := range pathLinks(p) {
+			if ls, ok := byKey[lk]; ok {
+				st.Penalty += ls.Congestion + 2*ls.Dev
+				continue
+			}
+			if pr := m.priors[lk]; pr != nil {
+				st.Penalty += pr.penalty(now, horizon)
+			}
+		}
+		out[i] = st
+	}
+	return out
 }
 
 // DefaultAdaptiveRaceWidth caps adaptive racing when the Dialer's RaceWidth

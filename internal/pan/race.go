@@ -1,0 +1,56 @@
+package pan
+
+// Hotspot-aware racing: when a dial races wide, the racer set should not
+// stack every handshake onto the same shared links — one congested link
+// would then sink all racers at once, which defeats racing's entire point.
+
+// DisjointRace picks the racer set for a width-w race from a ranked
+// candidate list. The leader (cands[0]) always races; each further slot goes
+// to the highest-ranked remaining candidate whose inter-AS link set overlaps
+// the already-picked racers' links the LEAST (fully disjoint when possible)
+// — greedy max-disjoint over the paths' link sets. Ties break by rank, so
+// with no link diversity available the pick degrades to plain top-k.
+//
+// The returned slice is ordered by pick (leader first), which is also the
+// stagger order: the most-preferred racer keeps its head start.
+func DisjointRace(cands []Candidate, width int) []Candidate {
+	if width > len(cands) {
+		width = len(cands)
+	}
+	if width <= 0 {
+		return nil
+	}
+	picked := make([]Candidate, 0, width)
+	taken := make([]bool, len(cands))
+	used := make(map[linkKey]bool)
+	take := func(i int) {
+		taken[i] = true
+		picked = append(picked, cands[i])
+		for _, lk := range pathLinks(cands[i].Path) {
+			used[lk] = true
+		}
+	}
+	take(0)
+	for len(picked) < width {
+		bestIdx, bestOverlap := -1, 0
+		for i, c := range cands {
+			if taken[i] {
+				continue
+			}
+			overlap := 0
+			for _, lk := range pathLinks(c.Path) {
+				if used[lk] {
+					overlap++
+				}
+			}
+			if bestIdx == -1 || overlap < bestOverlap {
+				bestIdx, bestOverlap = i, overlap
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		take(bestIdx)
+	}
+	return picked
+}

@@ -1,0 +1,101 @@
+package pan_test
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/pan"
+	"tango/internal/segment"
+	"tango/internal/topology"
+)
+
+// TestDisjointRace: the racer pick prefers link-disjoint candidates so one
+// congested shared link cannot sink every racer, degrades to top-k when no
+// diversity exists, and always leads with the ranking's first choice.
+func TestDisjointRace(t *testing.T) {
+	lat := 10 * time.Millisecond
+	// Candidate paths AS111 → AS211 with controlled link sets:
+	//   hotA, hotB   both cross 110 and 120 (3 shared links incl. endpoints)
+	//   viaCore      crosses 110 only (shares 111-110 with the hot pair)
+	//   via221       crosses 221 only (shares nothing but the endpoints' own
+	//                first/last links, which differ: 111-221 and 221-211)
+	hotA := fakePathVia(topology.AS211, 0, lat, topology.Core110, topology.Core120)
+	hotB := fakePathVia(topology.AS211, 1, lat, topology.Core110, topology.Core120)
+	viaCore := fakePathVia(topology.AS211, 2, lat, topology.Core110)
+	via221 := fakePathVia(topology.AS211, 3, lat, topology.AS221)
+
+	cand := func(paths ...*segment.Path) []pan.Candidate {
+		out := make([]pan.Candidate, len(paths))
+		for i, p := range paths {
+			out[i] = pan.Candidate{Path: p, Compliant: true}
+		}
+		return out
+	}
+	fps := func(cands []pan.Candidate) []string {
+		out := make([]string, len(cands))
+		for i, c := range cands {
+			out[i] = c.Path.Fingerprint()
+		}
+		return out
+	}
+
+	cases := []struct {
+		name  string
+		cands []pan.Candidate
+		width int
+		want  []*segment.Path
+	}{
+		{
+			name:  "disjoint alternative leapfrogs a same-links follower",
+			cands: cand(hotA, hotB, via221),
+			width: 2,
+			want:  []*segment.Path{hotA, via221},
+		},
+		{
+			name:  "no diversity degrades to top-k",
+			cands: cand(hotA, hotB),
+			width: 2,
+			want:  []*segment.Path{hotA, hotB},
+		},
+		{
+			name:  "least overlap breaks the tie, then rank",
+			cands: cand(hotA, viaCore, hotB),
+			width: 3,
+			// viaCore overlaps hotA on 1 link, hotB on 3 → viaCore second.
+			want: []*segment.Path{hotA, viaCore, hotB},
+		},
+		{
+			name:  "leader races even when it overlaps everything",
+			cands: cand(hotA, via221, viaCore),
+			width: 3,
+			want:  []*segment.Path{hotA, via221, viaCore},
+		},
+		{
+			name:  "width capped at candidate count",
+			cands: cand(hotA, via221),
+			width: 5,
+			want:  []*segment.Path{hotA, via221},
+		},
+		{
+			name:  "width one is just the leader",
+			cands: cand(hotB, hotA),
+			width: 1,
+			want:  []*segment.Path{hotB},
+		},
+	}
+	for _, tc := range cases {
+		got := pan.DisjointRace(tc.cands, tc.width)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: got %d racers %v, want %d", tc.name, len(got), fps(got), len(tc.want))
+		}
+		for i, w := range tc.want {
+			if got[i].Path.Fingerprint() != w.Fingerprint() {
+				t.Fatalf("%s: racer %d = %s, want %s (full pick %v)", tc.name, i, got[i].Path, w, fps(got))
+			}
+		}
+	}
+
+	if got := pan.DisjointRace(nil, 3); got != nil {
+		t.Fatalf("empty candidates raced %v", got)
+	}
+}

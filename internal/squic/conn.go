@@ -100,6 +100,10 @@ type Conn struct {
 	serverName string
 	// onClose detaches server conns from their listener.
 	onClose func()
+	// closeHooks are subscriber close notifications (OnClose), run after
+	// teardown outside the connection lock. Telemetry planes use them to
+	// untrack a remote when its serving connection dies.
+	closeHooks []func()
 
 	mu       sync.Mutex
 	readable *sync.Cond // stream readers
@@ -107,8 +111,15 @@ type Conn struct {
 	hsCond   *sync.Cond // Dial waiting for handshake
 	acCond   *sync.Cond // AcceptStream
 
-	remote      addr.UDPAddr
-	path        *segment.Path
+	remote addr.UDPAddr
+	path   *segment.Path
+	// mirrorPath is the freshest reverse path observed from the peer's own
+	// traffic (server side): the reversed path of the last packet received.
+	// c.path follows it packet by packet — the seed's mirroring behavior —
+	// unless a steered reply path has been installed (SetReplyPath), in
+	// which case mirroring keeps updating mirrorPath only.
+	mirrorPath  *segment.Path
+	steered     bool
 	keys        *sessionKeys
 	established bool
 	confirmed   bool // server: saw a valid 1-RTT from the client
@@ -198,6 +209,56 @@ func (c *Conn) Path() *segment.Path {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.path
+}
+
+// MirrorPath returns the freshest reverse path observed from the peer's own
+// traffic — on a server connection, the reversed path of the last packet the
+// client sent. It keeps tracking the client even while a steered reply path
+// is installed; for client connections it equals Path.
+func (c *Conn) MirrorPath() *segment.Path {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mirrorPath != nil {
+		return c.mirrorPath
+	}
+	return c.path
+}
+
+// SetReplyPath steers the connection's outgoing packets over path instead of
+// mirroring the peer's last-used path — the server half of reverse-path
+// steering. A nil path reverts to mirroring (the safety valve): the send
+// path snaps back to the freshest mirrored reply path and follows the client
+// again. The path must lead to the connection's remote; the caller (the
+// telemetry plane) owns that invariant.
+func (c *Conn) SetReplyPath(path *segment.Path) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if path == nil {
+		c.steered = false
+		if c.mirrorPath != nil {
+			c.path = c.mirrorPath
+		}
+		return
+	}
+	c.steered = true
+	c.path = path
+}
+
+// OnClose registers f to run once the connection has torn down, after the
+// terminal error is set, outside the connection lock. Hooks run in
+// registration order; on an already-closed connection f runs immediately.
+func (c *Conn) OnClose(f func()) {
+	c.mu.Lock()
+	if !c.closed {
+		c.closeHooks = append(c.closeHooks, f)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	f()
 }
 
 // Err returns the connection's terminal error: nil while the connection is
@@ -294,12 +355,17 @@ func (c *Conn) teardownIf(guard func() bool, code uint64, reason string, cause e
 	c.hsCond.Broadcast()
 	c.acCond.Broadcast()
 	onClose := c.onClose
+	hooks := c.closeHooks
+	c.closeHooks = nil
 	c.mu.Unlock()
 	if c.ownsPconn {
 		c.pconn.Close()
 	}
 	if onClose != nil {
 		onClose()
+	}
+	for _, f := range hooks {
+		f()
 	}
 }
 
@@ -590,9 +656,15 @@ func (c *Conn) processOneRTT(hdr header, body []byte, dg *snet.Datagram) {
 	}
 	c.recvd.add(hdr.pktNum)
 	if !c.isClient {
-		// Track the freshest return path and confirm the handshake.
+		// Track the freshest return path and confirm the handshake. With a
+		// steered reply path installed, the mirror keeps following the
+		// client (so reverting to mirroring is always possible) but no
+		// longer drives the send path.
 		if dg.ReplyPath != nil {
-			c.path = dg.ReplyPath
+			c.mirrorPath = dg.ReplyPath
+			if !c.steered {
+				c.path = dg.ReplyPath
+			}
 		}
 		c.remote = dg.Src
 		if !c.confirmed {

@@ -45,6 +45,7 @@ type Listener struct {
 
 	mu     sync.Mutex
 	conns  map[uint64]*Conn
+	onConn func(*Conn)
 	closed bool
 }
 
@@ -79,6 +80,16 @@ func (l *Listener) ConnCount() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.conns)
+}
+
+// OnConn installs hook, invoked once for every connection accepted from now
+// on, right after it is queued for Accept. The hook runs on the packet
+// delivery path and must not block; telemetry planes use it to attach RTT
+// observers and reply-path steering to serving connections.
+func (l *Listener) OnConn(hook func(*Conn)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onConn = hook
 }
 
 // Accept blocks for the next handshaken connection.
@@ -149,6 +160,12 @@ func (l *Listener) handleDatagram(dg *snet.Datagram) {
 		conn.armConfirmTimeout()
 		select {
 		case l.acceptCh <- conn:
+			l.mu.Lock()
+			hook := l.onConn
+			l.mu.Unlock()
+			if hook != nil {
+				hook(conn)
+			}
 		default:
 			conn.teardown(6, "accept queue full", ErrConnClosed, true)
 		}

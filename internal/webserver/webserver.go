@@ -156,21 +156,57 @@ func (s *IPServer) Close() error { return s.lis.Close() }
 // SCIONServer is a static site served over SCION via squic.
 type SCIONServer struct {
 	lis *squic.Listener
+	tel *pan.ServerTelemetry
+}
+
+// SCIONOptions tunes ServeSCIONOptions beyond the common-case defaults.
+type SCIONOptions struct {
+	// StrictMaxAge, when positive, advertises Strict-SCION on responses.
+	StrictMaxAge time.Duration
+	// Mirror disables reverse-path steering (the seed behavior): replies
+	// ride the reverse of whatever path each client last used, and no
+	// server-side telemetry is collected.
+	Mirror bool
+	// Telemetry attaches an existing server telemetry plane — share one
+	// across listeners, or pool it with the host's dialer-side monitor. Nil
+	// (with Mirror unset) creates a plane with its own passive monitor.
+	Telemetry *pan.ServerTelemetry
 }
 
 // ServeSCION starts an HTTP-over-squic server on a PAN host, optionally
-// advertising Strict-SCION.
+// advertising Strict-SCION. Replies are steered: the server's own telemetry
+// plane observes every connection's ack RTTs (free path health from serving
+// traffic) and picks the monitor-ranked reverse path, mirroring the client's
+// choice only while telemetry is stale or empty. Use ServeSCIONOptions for
+// mirror-only mode or a shared telemetry plane.
 func ServeSCION(h *pan.Host, port uint16, identity *squic.Identity, handler http.Handler, strictMaxAge time.Duration) (*SCIONServer, error) {
-	if strictMaxAge > 0 {
-		handler = shttp.StrictSCION(handler, strictMaxAge)
+	return ServeSCIONOptions(h, port, identity, handler, SCIONOptions{StrictMaxAge: strictMaxAge})
+}
+
+// ServeSCIONOptions is ServeSCION with explicit options.
+func ServeSCIONOptions(h *pan.Host, port uint16, identity *squic.Identity, handler http.Handler, opts SCIONOptions) (*SCIONServer, error) {
+	if opts.StrictMaxAge > 0 {
+		handler = shttp.StrictSCION(handler, opts.StrictMaxAge)
 	}
 	lis, err := h.Listen(port, identity)
 	if err != nil {
 		return nil, err
 	}
+	var tel *pan.ServerTelemetry
+	if !opts.Mirror {
+		tel = opts.Telemetry
+		if tel == nil {
+			tel = h.NewServerTelemetry(nil)
+		}
+		tel.Attach(lis)
+	}
 	go shttp.Serve(lis, handler)
-	return &SCIONServer{lis: lis}, nil
+	return &SCIONServer{lis: lis, tel: tel}, nil
 }
+
+// Telemetry returns the server's telemetry plane (nil in mirror mode) — the
+// reverse-path steering decisions and the passive monitor behind them.
+func (s *SCIONServer) Telemetry() *pan.ServerTelemetry { return s.tel }
 
 // Close stops the server.
 func (s *SCIONServer) Close() error { return s.lis.Close() }
