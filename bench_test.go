@@ -12,6 +12,8 @@ package tango_test
 import (
 	"context"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"testing"
 	"time"
@@ -114,6 +116,41 @@ func controlPlane(b *testing.B) (*topology.Topology, *beacon.Infra, *pathdb.Regi
 	return topo, infra, reg
 }
 
+// BenchmarkStripedTransfer measures one striped fetch of the demo world's
+// large resource through the full SKIP proxy stack: DisjointRace path pick,
+// per-pipeline congestion control, segment scheduling, reassembly, and the
+// per-path byte accounting in Stats. The first iteration pays the striped
+// dial; later ones reuse the pooled pipelines (warm congestion state), which
+// is the steady state a browser session sees. Virtual transfer time is
+// reported alongside real CPU cost.
+func BenchmarkStripedTransfer(b *testing.B) {
+	w, c, err := experiments.Demo(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	c.Proxy.SetStripe(&pan.StripeOptions{Width: 2, SegmentSize: 128 << 10, MinStripeBytes: 128 << 10})
+	url := "http://www.scion.example" + experiments.BigResourcePath
+
+	var virtual time.Duration
+	b.SetBytes(experiments.BigResourceSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := w.Clock.Now()
+		rec := httptest.NewRecorder()
+		c.Proxy.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK || rec.Body.Len() != experiments.BigResourceSize {
+			b.Fatalf("fetch %d: status=%d len=%d", i, rec.Code, rec.Body.Len())
+		}
+		virtual += w.Clock.Now().Sub(start)
+	}
+	b.StopTimer()
+	if snap := c.Proxy.Stats().Snapshot(); snap.Striped != b.N {
+		b.Fatalf("striped %d of %d fetches", snap.Striped, b.N)
+	}
+	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtms/fetch")
+}
+
 // BenchmarkBeaconRound measures one full beaconing round over the default
 // topology (origination, propagation, signing, registration).
 func BenchmarkBeaconRound(b *testing.B) {
@@ -184,6 +221,7 @@ func BenchmarkPacketCodec(b *testing.B) {
 		Hops:    paths[0].Hops,
 		Payload: make([]byte, 1000),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.SetBytes(1000)
 	for i := 0; i < b.N; i++ {
@@ -648,6 +686,7 @@ func BenchmarkMonitorPassive(b *testing.B) {
 	monitor.Subscribe(ls.Report)
 	monitor.Track(remote, "bench.race")
 	base := 2 * paths[0].Meta.Latency
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Vary the sample so the EWMA/deviation arithmetic does real work.
@@ -797,6 +836,18 @@ func BenchmarkDataplaneForwarding(b *testing.B) {
 		Hops:    paths[0].Hops,
 		Payload: make([]byte, 900), // header + payload must fit the 1400 B MTU
 	}
+	// One warmup packet outside the measured region: the first forwarding
+	// pass pays one-time MAC/key cache construction, which at CI's
+	// -benchtime=1x would otherwise drown the steady-state cost the
+	// trajectory tracks.
+	warm := *pkt
+	if err := dw.Router(topology.AS111).InjectLocal(&warm); err != nil {
+		b.Fatal(err)
+	}
+	for clock.AdvanceToNext() {
+	}
+	delivered = 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fresh := *pkt

@@ -4,6 +4,11 @@
 // trackable across PRs by diffing small committed files.
 //
 //	go test -bench=. -benchtime=1x -run NONE . | go run ./cmd/benchjson -pr 3 > BENCH_3.json
+//
+// Repeatable -gate Name=N flags turn the converter into an allocation
+// budget check: each named benchmark must report allocs/op (b.ReportAllocs)
+// at or under N, or the exit status is nonzero — wired into CI's
+// bench-smoke step so alloc regressions on gated hot paths fail the build.
 package main
 
 import (
@@ -30,8 +35,65 @@ type Trajectory struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
+// allocGate is one -gate entry: the benchmark's allocs/op budget.
+type allocGate struct {
+	name string
+	max  float64
+}
+
+// allocGates implements flag.Value for repeatable -gate Name=N flags.
+type allocGates []allocGate
+
+func (g *allocGates) String() string {
+	parts := make([]string, len(*g))
+	for i, e := range *g {
+		parts[i] = fmt.Sprintf("%s=%g", e.name, e.max)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *allocGates) Set(v string) error {
+	name, lim, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want Name=N, got %q", v)
+	}
+	max, err := strconv.ParseFloat(lim, 64)
+	if err != nil {
+		return fmt.Errorf("bad limit in %q: %v", v, err)
+	}
+	*g = append(*g, allocGate{name: name, max: max})
+	return nil
+}
+
+// check enforces every gate against the parsed results, reporting each
+// violation; a missing benchmark or one not reporting allocs/op fails too —
+// a silently vanished gate is itself a regression.
+func (g allocGates) check(benchmarks map[string]Result) (failed bool) {
+	for _, e := range g {
+		r, ok := benchmarks[e.name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s: benchmark missing from input\n", e.name)
+			failed = true
+			continue
+		}
+		allocs, ok := r.Metrics["allocs/op"]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s: no allocs/op metric (missing b.ReportAllocs?)\n", e.name)
+			failed = true
+			continue
+		}
+		if allocs > e.max {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s: %g allocs/op exceeds budget %g\n", e.name, allocs, e.max)
+			failed = true
+		}
+	}
+	return failed
+}
+
 func main() {
 	pr := flag.Int("pr", 0, "PR number stamped into the document")
+	var gates allocGates
+	flag.Var(&gates, "gate", "allocation budget Name=N (repeatable): fail unless the named benchmark reports allocs/op <= N")
 	flag.Parse()
 
 	out := Trajectory{PR: *pr, Benchmarks: map[string]Result{}}
@@ -85,6 +147,9 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if gates.check(out.Benchmarks) {
 		os.Exit(1)
 	}
 }

@@ -19,13 +19,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"time"
 
 	"tango/internal/experiments"
 	"tango/internal/pan"
+	"tango/internal/proxy"
 	"tango/internal/topology"
 	"tango/internal/webserver"
 )
@@ -39,6 +42,7 @@ func main() {
 	passive := flag.Bool("passive", true, "stream the fleet's live-traffic RTTs into the shared monitor as zero-cost samples, suppressing active probes for origins with traffic")
 	peers := flag.Bool("peers", false, "give each client its OWN monitor and gossip LinkStats snapshots between them over HTTP, instead of sharing one monitor in-process")
 	gossipInterval := flag.Duration("gossip-interval", 5*time.Second, "snapshot exchange interval between peer monitors (with -peers)")
+	stripeWidth := flag.Int("stripe-width", 0, "after the PLT comparison, fetch the demo's large download striped over this many link-disjoint paths through the reverse proxy (0 = skip)")
 	flag.Parse()
 
 	w, client, err := experiments.Demo(4)
@@ -71,6 +75,36 @@ func main() {
 		fmt.Println("even though the origin itself never deployed SCION (the reverse proxy did).")
 	} else {
 		fmt.Printf("\nlegacy IP wins by %v on this route.\n", pl.PLT-pl2.PLT)
+	}
+
+	// Optional: striped large download through the reverse proxy. Range
+	// requests flow through the reverse proxy to the origin, so the striped
+	// client can pull one resource as concurrent segments over disjoint paths
+	// even though the origin itself never deployed SCION.
+	if *stripeWidth > 0 {
+		client.Proxy.SetStripe(&pan.StripeOptions{Width: *stripeWidth})
+		url := fmt.Sprintf("http://www.proxied.example%s", experiments.BigResourcePath)
+		fmt.Printf("\nfetching %s striped over %d paths...\n", url, *stripeWidth)
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		rec := httptest.NewRecorder()
+		client.Proxy.ServeHTTP(rec, req)
+		res := rec.Result()
+		n, _ := io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		fmt.Printf("  status=%d via=%s bytes=%d striped=%d\n",
+			res.StatusCode, res.Header.Get(proxy.HeaderVia), n,
+			client.Proxy.Stats().Snapshot().Striped)
+		for dst, pipes := range client.Proxy.StripeStatus() {
+			fmt.Printf("  stripe set %s:\n", dst)
+			for _, ps := range pipes {
+				state := "live"
+				if ps.Dead {
+					state = "DEAD"
+				}
+				fmt.Printf("    %s  %-4s bytes=%-8d segments=%-4d cwnd=%-3d srtt=%dms\n",
+					ps.Fingerprint, state, ps.Bytes, ps.Segments, ps.Cwnd, ps.SRTT.Milliseconds())
+			}
+		}
 	}
 
 	// Part 2: many clients, one telemetry plane — shared in-process by

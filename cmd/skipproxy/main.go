@@ -15,8 +15,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"os"
 	"time"
@@ -25,6 +27,7 @@ import (
 	"tango/internal/experiments"
 	"tango/internal/pan"
 	"tango/internal/ppl"
+	"tango/internal/proxy"
 	"tango/internal/segment"
 	"tango/internal/topology"
 	"tango/internal/webserver"
@@ -41,6 +44,9 @@ func main() {
 	passive := flag.Bool("passive", true, "feed live-traffic RTTs (connection acks, request first-byte times) into the telemetry monitor as zero-cost samples, suppressing active probes for busy origins (needs -probe-interval)")
 	peers := flag.Int("peers", 0, "after the run, boot this many COLD peer proxies that import the warm proxy's LinkStats snapshot over HTTP gossip and dial adaptively from it (needs -probe-interval)")
 	gossipInterval := flag.Duration("gossip-interval", 5*time.Second, "gossip exchange interval for -peers")
+	stripeWidth := flag.Int("stripe-width", 0, "fetch large responses as concurrent byte-range segments over this many link-disjoint paths (0 = striping off)")
+	stripeSegment := flag.Int("stripe-segment", 0, "stripe segment size in bytes (0 = pan default)")
+	stripeMin := flag.Int64("stripe-min", 0, "minimum response size in bytes before striping kicks in (0 = pan default)")
 	flag.Parse()
 
 	if *policyFile != "" && *selector != "" {
@@ -118,6 +124,15 @@ func main() {
 		fmt.Println("adaptive racing: width tuned per dial from telemetry freshness and RTT spread")
 	}
 
+	if *stripeWidth > 0 {
+		client.Proxy.SetStripe(&pan.StripeOptions{
+			Width:          *stripeWidth,
+			SegmentSize:    *stripeSegment,
+			MinStripeBytes: *stripeMin,
+		})
+		fmt.Printf("striping large responses over up to %d link-disjoint paths\n", *stripeWidth)
+	}
+
 	origins := []string{"www.scion.example", "www.legacy.example", "www.proxied.example"}
 	for _, origin := range origins {
 		avail, compliant := client.Proxy.CheckSCION(context.Background(), origin)
@@ -144,9 +159,37 @@ func main() {
 		}
 	}
 
+	if *stripeWidth > 0 {
+		url := fmt.Sprintf("http://www.scion.example%s", experiments.BigResourcePath)
+		fmt.Printf("\nfetching %s striped through the proxy...\n", url)
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		client.Proxy.ServeHTTP(rec, req)
+		res := rec.Result()
+		n, _ := io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		fmt.Printf("  status=%d via=%s bytes=%d wall=%v\n",
+			res.StatusCode, res.Header.Get(proxy.HeaderVia), n, time.Since(start).Round(time.Millisecond))
+		for dst, pipes := range client.Proxy.StripeStatus() {
+			fmt.Printf("  stripe set %s:\n", dst)
+			for _, ps := range pipes {
+				state := "live"
+				if ps.Dead {
+					state = "DEAD"
+				}
+				fmt.Printf("    %s  %-4s bytes=%-8d segments=%-4d losses=%-3d cwnd=%-3d srtt=%dms\n",
+					ps.Fingerprint, state, ps.Bytes, ps.Segments, ps.Losses, ps.Cwnd, ps.SRTT.Milliseconds())
+			}
+		}
+	}
+
 	snap := client.Proxy.Stats().Snapshot()
 	fmt.Printf("\n== proxy statistics (feedback to the user, paper §4) ==\n")
 	fmt.Printf("requests by transport: %v\n", snap.ByVia)
+	if snap.Striped > 0 {
+		fmt.Printf("striped responses: %d\n", snap.Striped)
+	}
 	for host, m := range snap.ByHost {
 		fmt.Printf("  %-22s %v\n", host, m)
 	}

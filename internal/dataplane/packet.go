@@ -163,6 +163,63 @@ func Unmarshal(buf []byte) (*Packet, error) {
 	return p, nil
 }
 
+// transitHop decodes ONLY the current hop of an encoded packet — the border
+// router's forwarding fast path. For a well-formed non-final transit hop it
+// avoids materializing the addresses, the other hops, and the payload; the
+// caller validates the hop and forwards the original buffer with CurrHop
+// patched in place. ok=false (truncation, bad version, final hop, AS-local
+// path) sends the caller to the full Unmarshal slow path, which keeps the
+// error accounting and delivery semantics.
+func transitHop(buf []byte) (hop segment.Hop, ok bool) {
+	if len(buf) < fixedHeaderLen || buf[0] != version {
+		return hop, false
+	}
+	curr, numHops := int(buf[1]), int(buf[2])
+	if numHops == 0 || curr >= numHops-1 {
+		return hop, false // final hop or malformed: needs the full packet
+	}
+	// Walk over the preceding hops: each contributes its fixed part plus
+	// NumAuth auth fields. A bogus intermediate NumAuth overshoots the buffer
+	// and fails the bounds check below, falling back to Unmarshal.
+	off := fixedHeaderLen + 2*udpAddrLen
+	for i := 0; i < curr; i++ {
+		if off+hopFixedLen > len(buf) {
+			return hop, false
+		}
+		off += hopFixedLen + int(buf[off+hopFixedLen-1])*authFieldLen
+	}
+	if off+hopFixedLen > len(buf) {
+		return hop, false
+	}
+	b := buf[off:]
+	hop.IA = addr.IA{ISD: addr.ISD(binary.BigEndian.Uint16(b[0:2])), AS: addr.AS(binary.BigEndian.Uint64(b[2:10]))}
+	hop.Ingress = addr.IfID(binary.BigEndian.Uint16(b[10:12]))
+	hop.Egress = addr.IfID(binary.BigEndian.Uint16(b[12:14]))
+	hop.NumAuth = int(b[14])
+	if hop.NumAuth > 2 {
+		return segment.Hop{}, false
+	}
+	b = b[hopFixedLen:]
+	for j := 0; j < hop.NumAuth; j++ {
+		if len(b) < authFieldLen {
+			return segment.Hop{}, false
+		}
+		a := &hop.Auth[j]
+		a.SegInfo.Timestamp = time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC()
+		a.SegInfo.SegID = binary.BigEndian.Uint16(b[8:10])
+		a.HopField.ConsIngress = addr.IfID(binary.BigEndian.Uint16(b[10:12]))
+		a.HopField.ExpTime = time.Unix(0, int64(binary.BigEndian.Uint64(b[12:20]))).UTC()
+		a.SegInfo.Origin = addr.IA{
+			AS:  addr.AS(binary.BigEndian.Uint64(b[20:28])),
+			ISD: addr.ISD(binary.BigEndian.Uint16(b[28:30])),
+		}
+		a.HopField.ConsEgress = addr.IfID(binary.BigEndian.Uint16(b[30:32]))
+		copy(a.HopField.MAC[:], b[32:32+segment.MACLen])
+		b = b[authFieldLen:]
+	}
+	return hop, true
+}
+
 func readUDPAddr(buf []byte) (addr.UDPAddr, []byte, error) {
 	if len(buf) < udpAddrLen {
 		return addr.UDPAddr{}, nil, ErrTruncated

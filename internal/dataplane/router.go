@@ -35,6 +35,9 @@ type Router struct {
 	ia    addr.IA
 	key   []byte
 	clock netsim.Clock
+	// verifiers pools keyed HMAC states so per-packet MAC checks neither
+	// rebuild the SHA-256 key schedule nor allocate digests.
+	verifiers sync.Pool
 
 	mu      sync.RWMutex
 	ifaces  map[addr.IfID]linkEnd
@@ -49,7 +52,9 @@ type linkEnd struct {
 
 // NewRouter creates the router for ia using the AS forwarding key.
 func NewRouter(ia addr.IA, key []byte, clock netsim.Clock) *Router {
-	return &Router{ia: ia, key: key, clock: clock, ifaces: make(map[addr.IfID]linkEnd)}
+	r := &Router{ia: ia, key: key, clock: clock, ifaces: make(map[addr.IfID]linkEnd)}
+	r.verifiers.New = func() any { return segment.NewMACVerifier(key) }
+	return r
 }
 
 // IA returns the router's AS.
@@ -85,7 +90,34 @@ func (r *Router) count(f func(*RouterStats)) {
 }
 
 // handleFromWire processes a packet arriving on interface in.
+//
+// Transit packets (current hop not the last) take a fast path: only the
+// current hop is decoded and validated, CurrHop is patched in the received
+// buffer, and the buffer is sent on as-is — no Packet, hop slice, or payload
+// allocation and no re-Marshal per forwarded packet. The buffer is
+// exclusively ours (netsim.Link.Send copies), so the in-place patch is safe.
+// Final-hop delivery and anything transitHop cannot cheaply decode fall back
+// to the full Unmarshal path.
 func (r *Router) handleFromWire(in addr.IfID, buf []byte) {
+	if hop, ok := transitHop(buf); ok {
+		if !r.validateHop(&hop, in) {
+			return
+		}
+		r.mu.RLock()
+		le, ok := r.ifaces[hop.Egress]
+		r.mu.RUnlock()
+		if !ok {
+			r.count(func(s *RouterStats) { s.NoInterface++ })
+			return
+		}
+		buf[1]++ // CurrHop
+		if !le.link.Send(le.end, buf) {
+			r.count(func(s *RouterStats) { s.SendRejected++ })
+			return
+		}
+		r.count(func(s *RouterStats) { s.Forwarded++ })
+		return
+	}
 	pkt, err := Unmarshal(buf)
 	if err != nil {
 		r.count(func(s *RouterStats) { s.ParseError++ })
@@ -122,35 +154,33 @@ func (r *Router) InjectLocal(pkt *Packet) error {
 	return nil
 }
 
-// process validates and forwards/delivers one packet that entered via
-// interface in (0 = local origin).
-func (r *Router) process(pkt *Packet, in addr.IfID) {
-	if int(pkt.CurrHop) >= len(pkt.Hops) {
-		r.count(func(s *RouterStats) { s.ParseError++ })
-		return
-	}
-	hop := &pkt.Hops[pkt.CurrHop]
+// validateHop applies the per-hop checks for a packet that entered via
+// interface in (0 = local origin): hop identity, ingress match, MAC and
+// expiry on every carried authorization, and interface authorization. End
+// hosts cannot forge or extend hop fields. Failures are counted; true means
+// the packet may proceed.
+func (r *Router) validateHop(hop *segment.Hop, in addr.IfID) bool {
 	if hop.IA != r.ia {
 		r.count(func(s *RouterStats) { s.WrongIA++ })
-		return
+		return false
 	}
 	if hop.Ingress != in {
 		r.count(func(s *RouterStats) { s.WrongIngress++ })
-		return
+		return false
 	}
 	now := r.clock.Now()
-	// Validate every carried authorization: MAC under our forwarding key
-	// and hop expiry. End hosts cannot forge or extend hop fields.
 	inOK := in == 0
 	outOK := hop.Egress == 0
+	v := r.verifiers.Get().(*segment.MACVerifier)
+	defer r.verifiers.Put(v)
 	for _, a := range hop.AuthFields() {
-		if !segment.VerifyMAC(r.key, a.SegInfo, a.HopField) {
+		if !v.Verify(a.SegInfo, a.HopField) {
 			r.count(func(s *RouterStats) { s.BadMAC++ })
-			return
+			return false
 		}
 		if !a.HopField.ExpTime.After(now) {
 			r.count(func(s *RouterStats) { s.Expired++ })
-			return
+			return false
 		}
 		if a.Authorizes(hop.Ingress) {
 			inOK = true
@@ -161,6 +191,20 @@ func (r *Router) process(pkt *Packet, in addr.IfID) {
 	}
 	if hop.NumAuth == 0 || !inOK || !outOK {
 		r.count(func(s *RouterStats) { s.Unauthorized++ })
+		return false
+	}
+	return true
+}
+
+// process validates and forwards/delivers one packet that entered via
+// interface in (0 = local origin).
+func (r *Router) process(pkt *Packet, in addr.IfID) {
+	if int(pkt.CurrHop) >= len(pkt.Hops) {
+		r.count(func(s *RouterStats) { s.ParseError++ })
+		return
+	}
+	hop := &pkt.Hops[pkt.CurrHop]
+	if !r.validateHop(hop, in) {
 		return
 	}
 

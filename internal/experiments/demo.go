@@ -33,6 +33,7 @@ func Demo(seed int64) (*World, *Client, error) {
 	// Strict-SCION pin.
 	scionSite := webserver.NewSite()
 	addResources(scionSite, pageResources)
+	addBigResource(scionSite)
 	scionSite.AddPage("/index.html", webserver.BuildPage("scion-native",
 		urlsFor(pageResources, "www.scion.example")))
 	if err := w.scionServer(topology.AS211, "10.0.0.2", scionSite, time.Hour, "www.scion.example"); err != nil {
@@ -58,6 +59,7 @@ func Demo(seed int64) (*World, *Client, error) {
 	// IP origin behind a SCION reverse proxy.
 	proxiedSite := webserver.NewSite()
 	addResources(proxiedSite, pageResources)
+	addBigResource(proxiedSite)
 	proxiedSite.AddPage("/index.html", webserver.BuildPage("proxied",
 		urlsFor(pageResources, "www.proxied.example")))
 	w.Legacy.SetRoute("client", "192.0.2.3", netsim.RouteProps{Latency: 80 * time.Millisecond})
@@ -75,6 +77,23 @@ func Demo(seed int64) (*World, *Client, error) {
 		return nil, nil, err
 	}
 	return w, c, nil
+}
+
+// BigResourcePath is the demo sites' large download, sized well above the
+// default stripe threshold so the CLI tools can demonstrate striped fetches.
+const BigResourcePath = "/static/big.bin"
+
+// BigResourceSize is the byte length of BigResourcePath's body.
+const BigResourceSize = 1 << 20
+
+// addBigResource registers the deterministic large download on a site. It is
+// not referenced from any index page, so page-load experiments are unaffected.
+func addBigResource(site *webserver.Site) {
+	body := make([]byte, BigResourceSize)
+	for i := range body {
+		body[i] = byte(i % 251)
+	}
+	site.Add(BigResourcePath, "application/octet-stream", body)
 }
 
 // reverseProxy stands up a SCION reverse proxy for an IP origin.

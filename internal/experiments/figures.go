@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/netip"
 	"strings"
 	"time"
@@ -70,7 +71,7 @@ const (
 
 // scionServer stands up an HTTP-over-SCION server for a set of hostnames,
 // registering identities and TXT records.
-func (w *World) scionServer(ia addr.IA, ip string, site *webserver.Site, strictMaxAge time.Duration, hostnames ...string) error {
+func (w *World) scionServer(ia addr.IA, ip string, site http.Handler, strictMaxAge time.Duration, hostnames ...string) error {
 	host := w.PANHost(ia, ip)
 	id, err := squic.NewIdentity(hostnames[0])
 	if err != nil {

@@ -181,6 +181,9 @@ type ClientConfig struct {
 	// first-byte times into the monitor as zero-cost telemetry samples,
 	// suppressing scheduled probes for origins with live traffic.
 	Passive bool
+	// Stripe, when non-nil, makes the client's proxy fetch large responses
+	// as concurrent byte-range segments over link-disjoint paths.
+	Stripe *pan.StripeOptions
 	// Seed drives the overhead jitter so repeated runs differ.
 	Seed int64
 }
@@ -223,6 +226,7 @@ func (w *World) NewClient(cfg ClientConfig) (*Client, error) {
 		Monitor:       cfg.Monitor,
 		AdaptiveRace:  cfg.AdaptiveRace,
 		Passive:       cfg.Passive,
+		Stripe:        cfg.Stripe,
 	})
 
 	// Loopback: zero-latency same-machine route, unique port per client.

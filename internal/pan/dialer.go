@@ -100,6 +100,9 @@ type Dialer struct {
 	epoch  uint64
 	closed bool
 	conns  map[string]*pooledConn
+	// stripes pools striped connection sets per destination (DialStriped),
+	// epoch-keyed and invalidated exactly like conns.
+	stripes map[string]*Striped
 	// last remembers the most recent successful selection per destination
 	// at the current epoch, surviving the pooled connection's death so a
 	// response served just before a failure still annotates correctly.
@@ -142,7 +145,7 @@ func (h *Host) NewDialer(opts DialOptions) *Dialer {
 		opts.MaxAttempts = 3
 	}
 	opts.RaceStagger = normalizeStagger(opts.RaceWidth, opts.RaceStagger)
-	d := &Dialer{host: h, opts: opts, conns: make(map[string]*pooledConn), last: make(map[string]Selection), tracked: make(map[string]trackRef)}
+	d := &Dialer{host: h, opts: opts, conns: make(map[string]*pooledConn), stripes: make(map[string]*Striped), last: make(map[string]Selection), tracked: make(map[string]trackRef)}
 	if opts.Monitor != nil {
 		d.subscribeLocked(opts.Monitor)
 	}
@@ -312,6 +315,8 @@ func (d *Dialer) Invalidate() {
 	d.epoch++
 	conns := d.conns
 	d.conns = make(map[string]*pooledConn)
+	stripes := d.stripes
+	d.stripes = make(map[string]*Striped)
 	d.last = make(map[string]Selection) // selected under a superseded policy
 	if m := d.opts.Monitor; m != nil {
 		// Under d.mu: a concurrent Dial cannot interleave its Track between
@@ -324,6 +329,9 @@ func (d *Dialer) Invalidate() {
 	d.mu.Unlock()
 	for _, pc := range conns {
 		pc.conn.Close()
+	}
+	for _, st := range stripes {
+		st.closeConns()
 	}
 }
 

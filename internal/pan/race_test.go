@@ -99,3 +99,94 @@ func TestDisjointRace(t *testing.T) {
 		t.Fatalf("empty candidates raced %v", got)
 	}
 }
+
+// TestDisjointRaceDegenerateWidths pins the pick's behavior when the width
+// outruns the topology's diversity: the set must not shrink below the
+// requested width while candidates remain, shared-fate candidate lists must
+// degrade to rank order, and the least-overlap fallback must be
+// deterministic (ties break by rank, never by map iteration).
+func TestDisjointRaceDegenerateWidths(t *testing.T) {
+	lat := 10 * time.Millisecond
+	// Link sets (inter-AS, endpoint-inclusive):
+	//   hotA, hotB  111-110, 110-120, 120-211
+	//   viaCore     111-110, 110-211
+	//   via120      111-120, 120-211
+	//   via221      111-221, 221-211
+	hotA := fakePathVia(topology.AS211, 0, lat, topology.Core110, topology.Core120)
+	hotB := fakePathVia(topology.AS211, 1, lat, topology.Core110, topology.Core120)
+	viaCore := fakePathVia(topology.AS211, 2, lat, topology.Core110)
+	via120 := fakePathVia(topology.AS211, 3, lat, topology.Core120)
+	via221 := fakePathVia(topology.AS211, 4, lat, topology.AS221)
+	// Shared-fate set: same IA-level links as hotA, distinct fingerprints.
+	cloneA := fakePathVia(topology.AS211, 5, lat, topology.Core110, topology.Core120)
+	cloneB := fakePathVia(topology.AS211, 6, lat, topology.Core110, topology.Core120)
+
+	cand := func(paths ...*segment.Path) []pan.Candidate {
+		out := make([]pan.Candidate, len(paths))
+		for i, p := range paths {
+			out[i] = pan.Candidate{Path: p, Compliant: true}
+		}
+		return out
+	}
+
+	cases := []struct {
+		name  string
+		cands []pan.Candidate
+		width int
+		want  []*segment.Path
+	}{
+		{
+			// Only two candidates are mutually disjoint (hotA, via221); a
+			// width-4 request must still fill all four slots, continuing
+			// with the least-overlapping leftovers (viaCore shares one link
+			// with the picked set, hotB shares three).
+			name:  "width exceeds the mutually disjoint count",
+			cands: cand(hotA, hotB, viaCore, via221),
+			width: 4,
+			want:  []*segment.Path{hotA, via221, viaCore, hotB},
+		},
+		{
+			// Every candidate rides the exact same links: no pick can buy
+			// diversity, so the set is plain rank order — shared fate is
+			// accepted, not an error.
+			name:  "all candidates share every link",
+			cands: cand(hotA, cloneA, cloneB),
+			width: 3,
+			want:  []*segment.Path{hotA, cloneA, cloneB},
+		},
+		{
+			// viaCore and via120 each overlap the leader on exactly one
+			// link (111-110 and 120-211 respectively): the tie must break
+			// by rank, deterministically, and hotB's triple overlap must
+			// sort it last.
+			name:  "equal-overlap fallback breaks ties by rank",
+			cands: cand(hotA, viaCore, via120, hotB),
+			width: 4,
+			want:  []*segment.Path{hotA, viaCore, via120, hotB},
+		},
+	}
+	for _, tc := range cases {
+		// The pick must also be stable call-over-call: it feeds the stagger
+		// order, and a flapping racer set would thrash warm connections.
+		var prev []pan.Candidate
+		for run := 0; run < 3; run++ {
+			got := pan.DisjointRace(tc.cands, tc.width)
+			if len(got) != len(tc.want) {
+				t.Fatalf("%s: got %d racers, want %d", tc.name, len(got), len(tc.want))
+			}
+			for i, w := range tc.want {
+				if got[i].Path.Fingerprint() != w.Fingerprint() {
+					t.Fatalf("%s: racer %d = %s, want %s", tc.name, i, got[i].Path, w)
+				}
+			}
+			if prev != nil {
+				for i := range got {
+					if got[i].Path.Fingerprint() != prev[i].Path.Fingerprint() {
+						t.Fatalf("%s: pick changed between identical calls at slot %d", tc.name, i)
+					}
+				}
+			}
+			prev = got
+		}
+	}
+}

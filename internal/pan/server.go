@@ -78,6 +78,7 @@ type ServerTelemetry struct {
 	steer         bool
 	steerInterval time.Duration
 	decisions     map[addr.IA]SteerDecision
+	conns         map[addr.IA]map[*connSteer]bool
 	steers        int
 	mirrors       int
 }
@@ -164,10 +165,12 @@ func (st *ServerTelemetry) handleConn(conn *squic.Conn) {
 	}
 	st.m.TrackPassive(remote, "")
 	cs := &connSteer{st: st, conn: conn, dst: remote.IA, lastEval: st.host.clock.Now()}
+	st.addConn(cs)
 	conn.OnClose(func() {
 		cs.mu.Lock()
 		cs.closed = true
 		cs.mu.Unlock()
+		st.removeConn(cs)
 		st.m.UntrackPassive(remote, "")
 	})
 	cs.evaluate()
@@ -187,6 +190,40 @@ type connSteer struct {
 	steeredFP  string // "" while mirroring
 	steeredAt  time.Time
 	banned     map[string]time.Time // fingerprint → ban expiry
+}
+
+// addConn registers a live served connection for the per-destination
+// reverse-path usage view.
+func (st *ServerTelemetry) addConn(cs *connSteer) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.conns == nil {
+		st.conns = make(map[addr.IA]map[*connSteer]bool)
+	}
+	m := st.conns[cs.dst]
+	if m == nil {
+		m = make(map[*connSteer]bool)
+		st.conns[cs.dst] = m
+	}
+	m[cs] = true
+}
+
+func (st *ServerTelemetry) removeConn(cs *connSteer) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if m := st.conns[cs.dst]; m != nil {
+		delete(m, cs)
+		if len(m) == 0 {
+			delete(st.conns, cs.dst)
+		}
+	}
+}
+
+// connCount returns the number of live served connections to dst.
+func (st *ServerTelemetry) connCount(dst addr.IA) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.conns[dst])
 }
 
 // onSample is the connection's RTT observer: feed the monitor (attributed
@@ -214,6 +251,16 @@ func (cs *connSteer) evaluate() {
 	on, interval := st.steering()
 	if !on {
 		cs.setMirror(SteerDecision{Mirrored: true, Reason: "steering-off"})
+		return
+	}
+	// A client holding several live connections to one destination is
+	// spreading load on purpose — a striped download pins one link-disjoint
+	// path per connection — so steering ANY of them would collapse that
+	// spread onto the telemetry-ranked best reverse path (and fingerprint
+	// exclusion cannot protect a path whose owner was itself just steered
+	// away). Mirror them all; steering resumes when the set shrinks to one.
+	if st.connCount(cs.dst) > 1 {
+		cs.setMirror(SteerDecision{Mirrored: true, Reason: "multi-conn"})
 		return
 	}
 	mirror := cs.conn.MirrorPath()

@@ -87,6 +87,14 @@ type Config struct {
 	// freshness and RTT spread (RaceWidth then caps the width); requires
 	// probing (ProbeInterval or Monitor). Changeable with SetAdaptiveRace.
 	AdaptiveRace bool
+	// Stripe, when non-nil, enables striped downloads: a large GET response
+	// (at least Stripe.MinStripeBytes, learned from a Range probe's
+	// Content-Range) is fetched as concurrent byte-range segments over
+	// Stripe.Width link-disjoint paths, each with its own congestion window
+	// and retransmit timer, and reassembled for the client as one 200.
+	// Origins without Range support are relayed un-striped. Per-path byte
+	// splits surface in Stats; changeable at runtime with SetStripe.
+	Stripe *pan.StripeOptions
 	// Passive streams zero-cost telemetry from live traffic into the
 	// attached monitor: every pooled squic connection's ack RTTs (via the
 	// dialer) plus each proxied request's time-to-first-byte. First-byte
@@ -112,6 +120,7 @@ type Proxy struct {
 	monitor    *pan.Monitor
 	ownMonitor bool
 	passive    bool
+	stripe     *pan.StripeOptions
 	// origins remembers each SCION-served host's endpoint so the stats
 	// snapshot can ask the monitor for that destination's passive/probe
 	// sample split.
@@ -131,6 +140,10 @@ func New(cfg Config) *Proxy {
 		Passive:      cfg.Passive,
 	})
 	p.monitor = cfg.Monitor
+	if cfg.Stripe != nil {
+		o := cfg.Stripe.WithDefaults()
+		p.stripe = &o
+	}
 	p.scion = shttp.NewTransport(p.dialSCION)
 	p.legacy = &http.Transport{
 		DialContext:        p.dialLegacy,
@@ -441,6 +454,15 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("proxy: reading request body: %v", err), http.StatusBadRequest)
 			p.stats.Record(RequestRecord{Host: host, Via: ViaError, Status: http.StatusBadRequest})
 			return
+		}
+		// Striped downloads: a Range probe sizes the response; large bodies
+		// are pulled as concurrent segments over link-disjoint paths. An
+		// unhandled attempt (probe failure, unusable 206) falls through to
+		// the normal round trip below, which owns retry and fallback.
+		if stripeOpts, on := p.stripeOpts(); on && stripeEligible(outReq) {
+			if p.serveStriped(w, outReq, remote, host, start, stripeOpts) {
+				return
+			}
 		}
 		// The first-byte time is a path-latency signal only when (a) the
 		// round trip was served entirely from the pooled connection — a

@@ -38,6 +38,17 @@ type RequestRecord struct {
 	TTFB   time.Duration
 	Bytes  int64
 	Status int
+	// Striped marks a response body fetched as concurrent byte ranges over
+	// link-disjoint paths.
+	Striped bool
+	// PathBytes, for striped requests, splits Bytes across the path
+	// fingerprints that carried them (the probe's path included). When set,
+	// per-path byte accounting uses this split instead of crediting Bytes to
+	// Path alone.
+	PathBytes map[string]int64
+	// Reassigned counts stripe segments moved off a collapsed or dead
+	// pipeline mid-transfer (0 for clean transfers).
+	Reassigned int
 }
 
 // PathHealth is one path's live telemetry as exported through the stats
@@ -63,6 +74,7 @@ type Stats struct {
 	byVia   map[Via]int
 	byHost  map[string]map[Via]int
 	byPath  map[string]*PathUsage
+	striped int
 	records []RequestRecord
 	health  func() []PathHealth
 	links   func() []LinkStat
@@ -92,6 +104,9 @@ func (s *Stats) Record(r RequestRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.byVia[r.Via]++
+	if r.Striped {
+		s.striped++
+	}
 	if s.byHost[r.Host] == nil {
 		s.byHost[r.Host] = make(map[Via]int)
 	}
@@ -103,9 +118,21 @@ func (s *Stats) Record(r RequestRecord) {
 			s.byPath[r.Path] = u
 		}
 		u.Requests++
-		u.Bytes += r.Bytes
+		if r.PathBytes == nil {
+			u.Bytes += r.Bytes
+		}
 		u.TotalTime += r.Duration
 		u.Compliant = u.Compliant && r.Compliant
+	}
+	// A striped request's bytes are credited per carrying path, so the
+	// per-path usage feedback reflects where the data actually travelled.
+	for fp, b := range r.PathBytes {
+		u := s.byPath[fp]
+		if u == nil {
+			u = &PathUsage{Fingerprint: fp, Compliant: r.Compliant}
+			s.byPath[fp] = u
+		}
+		u.Bytes += b
 	}
 	s.records = append(s.records, r)
 }
@@ -153,7 +180,10 @@ type Snapshot struct {
 	// without probing): how much of each origin's telemetry came for free
 	// from its own traffic versus from the active probe budget.
 	Samples map[string]SampleSplit `json:"samples,omitempty"`
-	Total   int                    `json:"total"`
+	// Striped counts requests whose bodies were fetched as concurrent byte
+	// ranges over link-disjoint paths.
+	Striped int `json:"striped,omitempty"`
+	Total   int `json:"total"`
 }
 
 // Snapshot copies the current aggregates.
@@ -181,6 +211,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Health:  liveness,
 		Links:   linkStats,
 		Samples: sampleSplit,
+		Striped: s.striped,
 		Total:   len(s.records),
 	}
 	for v, n := range s.byVia {

@@ -1,0 +1,243 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/pan"
+	"tango/internal/pan/stripe"
+	"tango/internal/shttp"
+)
+
+// SetStripe enables (non-nil) or disables (nil) striped downloads at
+// runtime. A change applies to subsequent requests; pooled striped
+// connection sets survive until the dialer's next epoch bump.
+func (p *Proxy) SetStripe(opts *pan.StripeOptions) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if opts == nil {
+		p.stripe = nil
+		return
+	}
+	o := opts.WithDefaults()
+	p.stripe = &o
+}
+
+// stripeOpts returns the resolved stripe options, or ok=false when striping
+// is disabled.
+func (p *Proxy) stripeOpts() (pan.StripeOptions, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stripe == nil {
+		return pan.StripeOptions{}, false
+	}
+	return *p.stripe, true
+}
+
+// StripeStatus snapshots every pooled striped connection set's pipelines,
+// keyed by destination — the liveness feed behind the CLI's per-path stripe
+// printouts.
+func (p *Proxy) StripeStatus() map[string][]stripe.PipelineStatus {
+	return p.dialer.StripedStatus()
+}
+
+// stripeEligible reports whether a request may attempt a striped download:
+// a bodyless GET with no client-specified range (a client Range must be
+// honored verbatim, not re-segmented) while striping is enabled.
+func stripeEligible(r *http.Request) bool {
+	return r.Method == http.MethodGet &&
+		r.Header.Get("Range") == "" &&
+		r.ContentLength == 0 && len(r.TransferEncoding) == 0
+}
+
+// parseContentRange parses a "bytes first-last/total" Content-Range value.
+func parseContentRange(v string) (first, last, total int64, err error) {
+	if _, err = fmt.Sscanf(v, "bytes %d-%d/%d", &first, &last, &total); err != nil {
+		return 0, 0, 0, fmt.Errorf("proxy: malformed Content-Range %q: %w", v, err)
+	}
+	if first < 0 || last < first || total <= last {
+		return 0, 0, 0, fmt.Errorf("proxy: inconsistent Content-Range %q", v)
+	}
+	return first, last, total, nil
+}
+
+// stripeFetch builds the stripe.FetchFunc for one striped response: each
+// segment becomes a Range GET issued over the assigned pipeline's OWN
+// connection (shttp.RoundTripConn bypasses the per-authority pool — the
+// stripe scheduler, not the pool, picks the connection).
+func stripeFetch(tmpl *http.Request) stripe.FetchFunc {
+	return func(ctx context.Context, pl *stripe.Pipeline, seg stripe.Segment) ([]byte, error) {
+		req := tmpl.Clone(ctx)
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", seg.Offset, seg.Offset+int64(seg.Length)-1))
+		resp, err := shttp.RoundTripConn(ctx, pl.Conn(), req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusPartialContent {
+			return nil, fmt.Errorf("proxy: stripe segment got status %d", resp.StatusCode)
+		}
+		// Read at most one extra byte: an overlong body is a protocol error
+		// the scheduler detects via the length mismatch.
+		return io.ReadAll(io.LimitReader(resp.Body, int64(seg.Length)+1))
+	}
+}
+
+// annotate writes the SCION annotation headers for a selection.
+func (p *Proxy) annotate(w http.ResponseWriter, sel pan.Selection) {
+	w.Header().Set(HeaderVia, string(ViaSCION))
+	if sel.Path != nil {
+		w.Header().Set(HeaderPath, sel.Path.Fingerprint())
+	}
+	w.Header().Set(HeaderCompliant, fmt.Sprintf("%t", sel.Compliant))
+}
+
+// serveStriped attempts a striped download: a Range probe for the first
+// MinStripeBytes reveals (via the 206's Content-Range) the total response
+// size without an extra round trip — the probe's bytes are the body prefix
+// either way. Large remainders are striped over a DialStriped connection
+// set; an origin that answers 200 (no range support) or a resource smaller
+// than the threshold is relayed directly. handled=false means the caller
+// should run the normal (un-striped) round trip — nothing has been written
+// to the client, and the probe was a GET, so re-sending is safe.
+func (p *Proxy) serveStriped(w http.ResponseWriter, outReq *http.Request, remote addr.UDPAddr, host string, start time.Time, opts pan.StripeOptions) (handled bool) {
+	clock := p.cfg.Host.Clock()
+	ctx := outReq.Context()
+
+	// Pre-dial the striped connection set concurrently with the probe: the
+	// disjoint-race handshakes overlap the probe's round trip instead of
+	// serializing after it. The set is pooled either way, so a probe that
+	// disqualifies striping (small resource, no range support) just leaves a
+	// warm set behind for the next request.
+	type dialReply struct {
+		striped *pan.Striped
+		err     error
+	}
+	dialCh := make(chan dialReply, 1)
+	go func() {
+		s, err := p.dialer.DialStriped(ctx, remote, hostOnly(host), opts)
+		dialCh <- dialReply{s, err}
+	}()
+
+	probeReq := outReq.Clone(ctx)
+	probeReq.Header.Set("Range", fmt.Sprintf("bytes=0-%d", opts.MinStripeBytes-1))
+	resp, err := p.scion.RoundTrip(probeReq)
+	if err != nil {
+		return false // the normal path owns retry and fallback semantics
+	}
+	sel, _ := p.dialer.Cached(remote, hostOnly(host))
+
+	if resp.StatusCode != http.StatusPartialContent {
+		// No range support (200: this IS the full response) or an error
+		// status: relay as-is — a complete answer either way.
+		p.annotate(w, sel)
+		n := copyResponse(w, resp)
+		p.stats.Record(RequestRecord{
+			Host: host, Via: ViaSCION, Compliant: sel.Compliant, Path: fingerprintOf(sel),
+			Duration: clock.Since(start), Bytes: n, Status: resp.StatusCode,
+		})
+		return true
+	}
+
+	first, last, total, crErr := parseContentRange(resp.Header.Get("Content-Range"))
+	if crErr != nil || first != 0 {
+		resp.Body.Close()
+		return false // unusable 206; re-request un-striped
+	}
+	prefix, err := io.ReadAll(io.LimitReader(resp.Body, last-first+2))
+	resp.Body.Close()
+	if err != nil || int64(len(prefix)) != last-first+1 {
+		return false
+	}
+
+	rest := total - int64(len(prefix))
+	var res *stripe.Result
+	usedStripe := false
+	if rest > 0 {
+		dial := <-dialCh
+		err = dial.err
+		if err == nil {
+			res, err = dial.striped.Fetch(ctx, int64(len(prefix)), rest, stripeFetch(outReq))
+		}
+		usedStripe = err == nil
+		if err != nil {
+			// Striping failed (no disjoint set, mid-transfer collapse of every
+			// pipeline, ...): recover with ONE range request for the remainder
+			// over the ordinary pooled transport before giving up.
+			res = nil
+			tail, terr := p.fetchRangeTail(outReq, int64(len(prefix)), total)
+			if terr != nil {
+				http.Error(w, fmt.Sprintf("proxy: striped fetch: %v", err), http.StatusBadGateway)
+				p.stats.Record(RequestRecord{Host: host, Via: ViaError, Status: http.StatusBadGateway})
+				return true
+			}
+			res = &stripe.Result{Data: tail}
+			if sel.Path != nil {
+				res.PerPath = map[string]int64{sel.Path.Fingerprint(): int64(len(tail))}
+			}
+		}
+	}
+
+	// Reassemble as one 200: the client asked for the whole resource and
+	// must not see the proxy's internal segmentation.
+	for k, vv := range resp.Header {
+		if k == "Content-Range" || k == "Content-Length" {
+			continue
+		}
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	p.annotate(w, sel)
+	w.Header().Set("Content-Length", fmt.Sprintf("%d", total))
+	w.WriteHeader(http.StatusOK)
+	w.Write(prefix)
+	pathBytes := map[string]int64{}
+	if sel.Path != nil {
+		pathBytes[sel.Path.Fingerprint()] += int64(len(prefix))
+	}
+	reassigned := 0
+	if res != nil {
+		w.Write(res.Data)
+		for fp, n := range res.PerPath {
+			pathBytes[fp] += n
+		}
+		reassigned = res.Reassigned
+	}
+	p.stats.Record(RequestRecord{
+		Host: host, Via: ViaSCION, Compliant: sel.Compliant, Path: fingerprintOf(sel),
+		Duration: clock.Since(start), Bytes: total, Status: http.StatusOK,
+		// Only responses whose remainder actually travelled over the striped
+		// set count as striped — a probe 206 that covered the whole resource
+		// (or a single-range recovery) is an ordinary transfer.
+		Striped: usedStripe, PathBytes: pathBytes, Reassigned: reassigned,
+	})
+	return true
+}
+
+// fetchRangeTail retrieves [off, total) with a single Range GET over the
+// pooled transport — the striping failure path's last resort.
+func (p *Proxy) fetchRangeTail(outReq *http.Request, off, total int64) ([]byte, error) {
+	req := outReq.Clone(outReq.Context())
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, total-1))
+	resp, err := p.scion.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		return nil, fmt.Errorf("proxy: range tail got status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, total-off+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != total-off {
+		return nil, fmt.Errorf("proxy: range tail returned %d bytes, want %d", len(data), total-off)
+	}
+	return data, nil
+}

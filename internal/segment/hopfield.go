@@ -8,6 +8,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 	"time"
 
 	"tango/internal/addr"
@@ -56,4 +57,33 @@ func ComputeMAC(key []byte, info Info, hf HopField) MAC {
 func VerifyMAC(key []byte, info Info, hf HopField) bool {
 	want := ComputeMAC(key, info, hf)
 	return hmac.Equal(want[:], hf.MAC[:])
+}
+
+// MACVerifier is the allocation-free form of VerifyMAC for per-packet use:
+// it keeps one keyed HMAC state and a sum scratch buffer across calls, so a
+// border router verifying every forwarded packet does not rebuild the
+// SHA-256 schedule (or allocate the 32-byte digest) each time. Not safe for
+// concurrent use; pool instances per goroutine.
+type MACVerifier struct {
+	mac hash.Hash
+	sum []byte
+}
+
+// NewMACVerifier builds a verifier bound to one forwarding key.
+func NewMACVerifier(key []byte) *MACVerifier {
+	return &MACVerifier{mac: hmac.New(sha256.New, key), sum: make([]byte, 0, sha256.Size)}
+}
+
+// Verify recomputes the hop field's MAC and compares in constant time.
+func (v *MACVerifier) Verify(info Info, hf HopField) bool {
+	v.mac.Reset()
+	var buf [26]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(info.Timestamp.UnixNano()))
+	binary.BigEndian.PutUint16(buf[8:10], info.SegID)
+	binary.BigEndian.PutUint64(buf[10:18], uint64(hf.ExpTime.UnixNano()))
+	binary.BigEndian.PutUint16(buf[18:20], uint16(hf.ConsIngress))
+	binary.BigEndian.PutUint16(buf[20:22], uint16(hf.ConsEgress))
+	v.mac.Write(buf[:])
+	v.sum = v.mac.Sum(v.sum[:0])
+	return hmac.Equal(v.sum[:MACLen], hf.MAC[:])
 }

@@ -10,8 +10,10 @@
 package shttp
 
 import (
+	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -207,6 +209,52 @@ func (t *Transport) dropConn(authority string, conn *squic.Conn) {
 	}
 	t.mu.Unlock()
 	conn.Close()
+}
+
+// RoundTripConn issues one HTTP request over a dedicated stream on the GIVEN
+// connection, bypassing Transport's per-authority pooling. This is the
+// striped fetch primitive: the stripe scheduler picks the connection (one per
+// disjoint path) per segment, so the request must ride exactly that
+// connection. ctx cancellation aborts the exchange by closing the stream.
+// The caller must Close the response body, which also closes the stream.
+func RoundTripConn(ctx context.Context, conn *squic.Conn, req *http.Request) (*http.Response, error) {
+	s, err := conn.OpenStream()
+	if err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() { s.Close() })
+	if err := req.Write(s); err != nil {
+		stop()
+		s.Close()
+		return nil, err
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(s), req)
+	if err != nil {
+		stop()
+		s.Close()
+		return nil, err
+	}
+	resp.Body = &streamBody{body: resp.Body, stream: s, stop: stop}
+	return resp, nil
+}
+
+// streamBody ties a response body's lifetime to its dedicated stream and the
+// context watcher that would abort it.
+type streamBody struct {
+	body   io.ReadCloser
+	stream *squic.Stream
+	stop   func() bool
+}
+
+// Read implements io.Reader.
+func (b *streamBody) Read(p []byte) (int, error) { return b.body.Read(p) }
+
+// Close releases the context watcher, the body, and the stream.
+func (b *streamBody) Close() error {
+	b.stop()
+	err := b.body.Close()
+	b.stream.Close()
+	return err
 }
 
 // HeaderStrictSCION is the response header advertising that a site (and all

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -164,7 +165,17 @@ type Conn struct {
 	rttObs     func(time.Duration)
 	pendingRTT []time.Duration
 	ptoCancel  func() bool
-	ptoBackoff uint
+	// ptoDeadline is the logical PTO expiry. Acks push it forward WITHOUT
+	// re-creating the timer (per-ack timer churn dominated the pooled-conn
+	// hot path); a timer that fires before the deadline simply re-arms for
+	// the remainder.
+	ptoDeadline time.Time
+	ptoBackoff  uint
+	// pnScratch/streamScratch are lock-guarded scratch buffers reused across
+	// ack scans and packetization rounds, keeping the steady-state receive
+	// path allocation-free on long-lived pooled connections.
+	pnScratch     []uint64
+	streamScratch []*Stream
 
 	// Receive state.
 	recvd      rangeSet
@@ -246,6 +257,15 @@ func (c *Conn) SetReplyPath(path *segment.Path) {
 	c.steered = true
 	c.path = path
 }
+
+// PinPath fixes the connection's outgoing packets to path, disabling the
+// default mirror-following (a connection normally re-homes its sends onto
+// the reverse of whatever path the peer's packets last rode, so a steering
+// peer drags it along). A striped transfer pins each connection to its
+// link-disjoint path — the disjointness IS the point, so following the
+// server's reply-path choices would silently collapse the spread. Pinning
+// shares the steering mechanism: PinPath(nil) reverts to mirror-following.
+func (c *Conn) PinPath(path *segment.Path) { c.SetReplyPath(path) }
 
 // OnClose registers f to run once the connection has torn down, after the
 // terminal error is set, outside the connection lock. Hooks run in
@@ -750,13 +770,13 @@ func (c *Conn) handleAckLocked(f *ackFrame) {
 	// connection's lifetime; scan the in-flight set (small) against them
 	// instead of iterating every covered packet number (unbounded on a
 	// long-lived pooled connection).
-	var acked []uint64
+	acked := c.pnScratch[:0]
 	for pn := range c.sent {
 		if f.covers(pn) {
 			acked = append(acked, pn)
 		}
 	}
-	sort.Slice(acked, func(i, j int) bool { return acked[i] < acked[j] })
+	slices.Sort(acked)
 	newlyAcked := len(acked) > 0
 	for _, pn := range acked {
 		sp := c.sent[pn]
@@ -772,17 +792,19 @@ func (c *Conn) handleAckLocked(f *ackFrame) {
 		}
 	}
 	if !newlyAcked {
+		c.pnScratch = acked
 		return
 	}
 	c.ptoBackoff = 0
-	// Packet-threshold loss detection.
-	var lost []uint64
+	// Packet-threshold loss detection. The scratch is free again: the acked
+	// prefix has been fully consumed above.
+	lost := acked[:0]
 	for pn := range c.sent {
 		if c.largestAcked >= 0 && pn+3 <= uint64(c.largestAcked) {
 			lost = append(lost, pn)
 		}
 	}
-	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	slices.Sort(lost)
 	for _, pn := range lost {
 		sp := c.sent[pn]
 		delete(c.sent, pn)
@@ -793,6 +815,7 @@ func (c *Conn) handleAckLocked(f *ackFrame) {
 			c.recoveryEnd = c.nextPN
 		}
 	}
+	c.pnScratch = lost
 	c.armPTOLocked()
 	c.packetizeLocked()
 }
@@ -889,14 +912,22 @@ func (c *Conn) ptoLocked() time.Duration {
 }
 
 func (c *Conn) armPTOLocked() {
-	if c.ptoCancel != nil {
-		c.ptoCancel()
-		c.ptoCancel = nil
-	}
 	if len(c.sent) == 0 || c.closed {
+		if c.ptoCancel != nil {
+			c.ptoCancel()
+			c.ptoCancel = nil
+		}
+		c.ptoDeadline = time.Time{}
 		return
 	}
-	c.ptoCancel = c.clock.AfterFunc(c.ptoLocked(), c.onPTO)
+	// Push the logical deadline; create a timer only if none is pending. A
+	// timer that fires before the (acks-extended) deadline re-arms itself
+	// for the remainder in onPTO, so the common ack path never touches the
+	// clock's timer heap.
+	c.ptoDeadline = c.clock.Now().Add(c.ptoLocked())
+	if c.ptoCancel == nil {
+		c.ptoCancel = c.clock.AfterFunc(c.ptoLocked(), c.onPTO)
+	}
 }
 
 // onPTO retransmits everything unacked (probe + recovery in one step).
@@ -905,6 +936,12 @@ func (c *Conn) onPTO() {
 	defer c.mu.Unlock()
 	c.ptoCancel = nil // the timer that fired is spent
 	if c.closed || len(c.sent) == 0 {
+		return
+	}
+	if remaining := c.ptoDeadline.Sub(c.clock.Now()); remaining > 0 {
+		// Acks moved the deadline since this timer was created: not a
+		// timeout, just the lazy re-arm catching up.
+		c.ptoCancel = c.clock.AfterFunc(remaining, c.onPTO)
 		return
 	}
 	if c.ptoBackoff < maxPTOBackoff {
@@ -946,15 +983,12 @@ func (c *Conn) maxFramePayloadLocked() int {
 }
 
 func (c *Conn) sortedStreamsLocked() []*Stream {
-	ids := make([]uint64, 0, len(c.streams))
-	for id := range c.streams {
-		ids = append(ids, id)
+	out := c.streamScratch[:0]
+	for _, s := range c.streams {
+		out = append(out, s)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]*Stream, len(ids))
-	for i, id := range ids {
-		out[i] = c.streams[id]
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	c.streamScratch = out
 	return out
 }
 
@@ -978,8 +1012,24 @@ func (c *Conn) packetizeLocked() {
 		for len(c.queued) > 0 {
 			f := c.queued[0]
 			fs := frameSize(f)
-			if size+fs > maxPayload && len(frames) > 0 {
-				break
+			if size+fs > maxPayload {
+				if len(frames) > 0 {
+					break
+				}
+				// A lone over-budget frame is a requeued stream frame sized
+				// for a previous path with a bigger MTU budget: split it so
+				// the packet fits the path the connection rides NOW.
+				if sf, ok := f.(*streamFrame); ok {
+					if head, tail := splitStreamFrame(sf, maxPayload-size); head != nil {
+						c.queued[0] = tail
+						frames = append(frames, head)
+						size += frameSize(head)
+						ackEliciting = true
+						break // the packet is full by construction
+					}
+				}
+				// Non-stream frames are all small; fall through rather than
+				// wedge the queue.
 			}
 			c.queued = c.queued[1:]
 			frames = append(frames, f)
@@ -1030,10 +1080,19 @@ func (c *Conn) sendPacketLocked(frames []frame, ackEliciting bool) {
 	buf := append(aad, sealed...)
 	c.pconn.WriteTo(buf, c.remote, c.path)
 	if ackEliciting {
-		var kept []frame
+		// The frames slice is built fresh per packet, so when everything in
+		// it is retransmittable (the common data-packet case) it can be
+		// retained as-is instead of filtered into a new slice.
+		kept := frames
 		for _, f := range frames {
-			if f.retransmittable() {
-				kept = append(kept, f)
+			if !f.retransmittable() {
+				kept = make([]frame, 0, len(frames)-1)
+				for _, g := range frames {
+					if g.retransmittable() {
+						kept = append(kept, g)
+					}
+				}
+				break
 			}
 		}
 		c.sent[pn] = &sentPacket{frames: kept, size: len(buf), sentAt: c.clock.Now()}
@@ -1102,13 +1161,16 @@ func (r *rangeSet) coalesce() {
 	r.rs = out
 }
 
-// ranges returns a copy, capped to the most recent 32 ranges.
+// ranges returns the current ranges, capped to the most recent 32. The
+// returned slice aliases the set: it is only valid until the next add —
+// fine for ack frames, which are built and serialized under the same lock
+// hold and never queued or retransmitted.
 func (r *rangeSet) ranges() []ackRange {
 	rs := r.rs
 	if len(rs) > 32 {
 		rs = rs[len(rs)-32:]
 	}
-	return append([]ackRange(nil), rs...)
+	return rs
 }
 
 func maxInt(a, b int) int {

@@ -231,8 +231,17 @@ func (s *Stream) handleFrameLocked(f *streamFrame) error {
 		s.finalSize = fs
 	}
 	if len(f.data) > 0 && end > s.recvNext {
-		if _, dup := s.chunks[f.offset]; !dup && f.offset >= s.recvNext {
-			s.chunks[f.offset] = f.data
+		// Retransmits may be re-chunked at different boundaries (a path
+		// change mid-transfer re-splits frames to the new MTU budget), so
+		// trim any prefix already delivered and let a longer chunk replace
+		// a shorter one at the same offset.
+		off, data := f.offset, f.data
+		if off < s.recvNext {
+			data = data[s.recvNext-off:]
+			off = s.recvNext
+		}
+		if ex, dup := s.chunks[off]; !dup || len(data) > len(ex) {
+			s.chunks[off] = data
 		}
 	}
 	// Pull contiguous chunks into recvBuf.

@@ -130,6 +130,26 @@ func (f *streamFrame) append(buf []byte) []byte {
 	return buf
 }
 
+// splitStreamFrame cuts f into a head that encodes within budget bytes and
+// a tail carrying the remainder (and the FIN, if any). A requeued stream
+// frame can exceed the CURRENT path's per-packet budget when the connection
+// was re-pathed under it — sent whole, the datagram would exceed the new
+// path's MTU and be dropped by the first link, turning every retransmission
+// into the same black hole. nil,nil means no split is possible (budget too
+// small for even one data byte) or needed (f already fits).
+func splitStreamFrame(f *streamFrame, budget int) (head, tail *streamFrame) {
+	overhead := frameSize(f) - len(f.data)
+	// Leave headroom for the tail's offset varint growing and the head's
+	// length varint; the head is guaranteed to encode within budget.
+	n := budget - overhead - 4
+	if n <= 0 || n >= len(f.data) {
+		return nil, nil
+	}
+	head = &streamFrame{id: f.id, offset: f.offset, data: f.data[:n]}
+	tail = &streamFrame{id: f.id, offset: f.offset + uint64(n), fin: f.fin, data: f.data[n:]}
+	return head, tail
+}
+
 // maxStreamDataFrame raises the peer's send limit on one stream.
 type maxStreamDataFrame struct {
 	id  uint64

@@ -6,6 +6,7 @@
 package webserver
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
@@ -74,10 +75,11 @@ func (s *Site) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", res.ContentType)
-	w.WriteHeader(http.StatusOK)
-	if r.Method != http.MethodHead {
-		w.Write(res.Body)
-	}
+	// ServeContent adds byte-range support (Accept-Ranges / 206 Partial
+	// Content), which the striped client relies on to pull one resource as
+	// concurrent segments over disjoint paths. The zero modtime suppresses
+	// Last-Modified; the pre-set Content-Type skips sniffing.
+	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(res.Body))
 }
 
 // BuildPage produces an HTML document referencing the given subresource
