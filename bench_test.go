@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -699,6 +700,76 @@ func BenchmarkMonitorPassive(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorScale is the million-origin telemetry-plane benchmark:
+// ~100k tracked origins spread over 1024 destination ASes (3 paths each,
+// via 64 shared transit ASes), with passive samples ingested from parallel
+// goroutines on the real clock while the probe wheel runs — the proxy-scale
+// shape the sharded monitor exists for. ns/op is the per-sample cost on the
+// squic ack hot path (target ≤1µs); allocs/op is gated in CI (steady-state
+// ingest must not allocate). Setup (the 100k Tracks) happens off the timer.
+func BenchmarkMonitorScale(b *testing.B) {
+	const (
+		ases         = 1024
+		originsPerAS = 98 // ~100k origins total
+		pathsPerAS   = 3
+	)
+	byIA := make(map[addr.IA][]*segment.Path, ases)
+	all := make([]*segment.Path, 0, ases*pathsPerAS)
+	src := topology.AS111
+	dsts := make([]addr.IA, ases)
+	for a := 0; a < ases; a++ {
+		dst := addr.IA{ISD: addr.ISD(2 + a%14), AS: addr.AS(0x1_0000 + a)}
+		dsts[a] = dst
+		via := addr.IA{ISD: 1, AS: addr.AS(0x4000 + a%64)}
+		for i := 0; i < pathsPerAS; i++ {
+			p := &segment.Path{
+				Src: src, Dst: dst,
+				Hops: []segment.Hop{
+					{IA: src, Egress: addr.IfID(1 + i)},
+					{IA: via, Ingress: addr.IfID(100 + i), Egress: addr.IfID(200 + i)},
+					{IA: dst, Ingress: addr.IfID(10 + i)},
+				},
+				Meta: segment.Metadata{Latency: time.Duration(8+i) * time.Millisecond},
+			}
+			byIA[dst] = append(byIA[dst], p)
+			all = append(all, p)
+		}
+	}
+	m := pan.NewMonitor(netsim.RealClock{}, func(ia addr.IA) []*segment.Path { return byIA[ia] }, pan.MonitorOptions{
+		Probe: func(addr.UDPAddr, string, *segment.Path, time.Duration) (time.Duration, error) {
+			return time.Millisecond, nil
+		},
+	})
+	host := netip.MustParseAddr("10.3.0.1")
+	for a := 0; a < ases; a++ {
+		for o := 0; o < originsPerAS; o++ {
+			m.Track(addr.UDPAddr{Addr: addr.Addr{IA: dsts[a], Host: host}, Port: uint16(1024 + o)}, "scale.bench")
+		}
+	}
+	m.Start()
+	defer m.Stop()
+	// Warm every path's series so the timed region measures steady-state
+	// ingest, not first-sample map growth.
+	for i, p := range all {
+		m.Observe(p, time.Duration(16+i%8)*time.Millisecond)
+	}
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seed.Add(1)) * 7919
+		for pb.Next() {
+			// Vary path and sample so the EWMA/deviation and link
+			// attribution do real work across shards.
+			m.Observe(all[i%len(all)], time.Duration(16+i%8)*time.Millisecond)
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(ases*originsPerAS), "origins")
+	b.ReportMetric(float64(m.TrackedPaths()), "paths")
+}
+
 // BenchmarkDialWarmPassive is the passive counterpart of
 // BenchmarkDialAdaptive: the telemetry is warmed exclusively by passive
 // samples (as live traffic would), never by a single active probe, and the
@@ -778,6 +849,7 @@ func BenchmarkServerObserve(b *testing.B) {
 		b.Fatal("no reverse paths")
 	}
 	base := 2 * rev[0].Meta.Latency
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Vary the sample so the EWMA/deviation arithmetic does real work.

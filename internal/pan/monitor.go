@@ -2,8 +2,10 @@ package pan
 
 import (
 	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tango/internal/addr"
@@ -54,6 +56,12 @@ type MonitorOptions struct {
 	// minimal squic handshake against the tracked server (one round trip
 	// on the wire); tests inject deterministic fakes.
 	Probe ProbeFunc
+	// Shards overrides how many destination shards the monitor's state is
+	// split into (rounded up to a power of two; default: GOMAXPROCS rounded
+	// up, capped at 64). Shard choice never changes behavior — only lock
+	// contention — and exists as a knob so tests can pin the shard count on
+	// both sides of the hash (1 and many).
+	Shards int
 }
 
 // PathTelemetry is one tracked path's live probe-derived state, the raw
@@ -156,11 +164,6 @@ type monTarget struct {
 	// never puts its paths on the probe schedule: clients are not servers,
 	// and a handshake probe at one could only burn budget on timeouts.
 	activeRefs int
-	// passive/probes split the destination's ingested samples by origin —
-	// the "N passive / M probe samples" observability feed. A sample on a
-	// path serving several destinations credits each of them: they all
-	// consume its freshness.
-	passive, probes int
 }
 
 // SampleSplit is a destination's telemetry sample count split by origin:
@@ -172,19 +175,23 @@ type SampleSplit struct {
 }
 
 // monEntry is the per-path telemetry and schedule state. In-flight probe
-// tracking lives in Monitor.inflight, NOT here: entries can be pruned and
+// tracking lives in monShard.inflight, NOT here: entries can be pruned and
 // re-created (by fingerprint) while a probe is still in flight, and a flag
 // on the entry object would then latch or clear the wrong incarnation.
 type monEntry struct {
 	path    *segment.Path
 	targets map[string]*monTarget // target keys this path serves
+	// links memoizes pathLinks(path) — the hop sequence is fixed for a
+	// fingerprint, and rebuilding the slice was the one allocation left on
+	// the per-sample ingest path.
+	links []linkKey
 
 	rtt, dev   time.Duration
 	samples    int
 	passive    int // how many of samples came from Observe
 	lastSample time.Time
-	// lastPassive is when Observe last fed this path; fire() skips the
-	// active probe while it is younger than the effective interval.
+	// lastPassive is when Observe last fed this path; the wheel fire skips
+	// the active probe while it is younger than the effective interval.
 	lastPassive time.Time
 	down        bool
 	failures    int
@@ -192,10 +199,51 @@ type monEntry struct {
 	// confirmation yet: the first live sample REPLACES it (reset to a first
 	// sample) instead of blending — live samples override imports.
 	prior bool
+	// passiveTotal/probeTotal are CUMULATIVE sample counts (passive
+	// observations vs probe attempts, failures included) that survive the
+	// prior-replacement reset above. TargetSamples sums them over a
+	// destination's entries — per-entry accounting keeps passive ingest
+	// O(links), not O(destinations sharing the path), which is the
+	// difference at a million origins behind a handful of ASes.
+	passiveTotal int
+	probeTotal   int
 
 	interval time.Duration
 	seq      uint64 // reschedule counter, varies the jitter
-	cancel   func() bool
+	// sched is the entry's pending timing-wheel deadline (nil = none). Fire
+	// validates node identity against this field, so a stale node — from a
+	// pruned entry, a cancelled reschedule, or a Stop→Start cycle — can
+	// only ever no-op.
+	sched *wheelNode
+}
+
+// monShard is one destination shard: a slice of the monitor keyed by the
+// fnv hash of the destination IA. The IA — not the full target key — is the
+// shard hash because it is the one component every tracker of a path
+// shares: a path's entry and ALL targets it serves (they are, by
+// construction, destinations in the path's Dst AS) land in the same shard,
+// so every invariant the un-sharded monitor maintained under one lock still
+// holds under exactly one shard lock, and Observe on the squic ack hot path
+// touches a single shard.
+type monShard struct {
+	mu      sync.Mutex
+	targets map[string]*monTarget
+	entries map[string]*monEntry // path fingerprint → state
+	// byTarget indexes each target's entries so Track/Untrack and path-set
+	// reconciliation cost O(paths of that target), not O(all entries).
+	byTarget map[string]map[string]*monEntry
+	// inflight marks fingerprints with a probe currently on the wire, at
+	// most one per path. Shard-level (not per-entry) so a probe draining
+	// across entry pruning/re-creation — or across a Stop→Start cycle —
+	// always clears exactly its own mark and can never leave a re-created
+	// entry latched out of the schedule.
+	inflight map[string]bool
+	// links holds the shard's share of the link excess series: the series
+	// fed by THIS shard's entries. A link crossed by paths of several
+	// destination ASes has series in several shards; the cross-shard
+	// aggregation in linkCacheLocked merges them (min-of-mins is exact).
+	// Keeping the series with the shard keeps sample ingest single-lock.
+	links map[linkKey]map[string]*excessSeries
 }
 
 // Monitor is the shared telemetry plane below the selectors: ONE monitor per
@@ -209,6 +257,16 @@ type monEntry struct {
 // never emits synchronized probe bursts) and a churn-adaptive interval —
 // high EWMA RTT deviation shortens the interval toward MinInterval, a flat
 // series stretches it toward MaxInterval — under a global probes/sec budget.
+// Deadlines live on a shared timing wheel (ONE armed clock timer per
+// monitor), not on per-path timers, so scheduling stays O(1) per reschedule
+// at 100k+ tracked paths.
+//
+// State is sharded by destination AS: tracking, telemetry, in-flight marks,
+// and link-series ingest for a destination all live under its shard's lock,
+// so passive samples for different destinations ingest concurrently.
+// Cross-shard views (LinkStats, PathPenalty, the budget floor) aggregate —
+// the link snapshot under its own read-mostly lock with a dirty flag, the
+// schedulable-path count as an atomic counter.
 //
 // Destinations are tracked with reference counts: several Dialers share one
 // Monitor, and a destination stops being probed only when the LAST tracker
@@ -232,44 +290,61 @@ type Monitor struct {
 	paths func(addr.IA) []*segment.Path
 	opts  MonitorOptions
 
-	mu      sync.Mutex
-	targets map[string]*monTarget
-	entries map[string]*monEntry // path fingerprint → state
-	// byTarget indexes each target's entries so Track/Untrack and path-set
-	// reconciliation cost O(paths of that target), not O(all entries).
-	byTarget map[string]map[string]*monEntry
-	// active counts entries with at least one target (the schedulable set),
-	// kept incrementally so the budget floor is O(1) per query.
-	active int
-	// inflight marks fingerprints with a probe currently on the wire, at
-	// most one per path. Monitor-level (not per-entry) so a probe draining
-	// across entry pruning/re-creation — or across a Stop→Start cycle —
-	// always clears exactly its own mark and can never leave a re-created
-	// entry latched out of the schedule.
-	inflight map[string]bool
-	links    map[linkKey]map[string]*excessSeries
+	shards []*monShard // power-of-two length; indexed by fnv(dst IA)
+	wheel  *probeWheel
+
+	// active counts entries on the probe schedule across all shards, kept
+	// as an atomic so the budget floor costs one load — no lock — wherever
+	// an effective interval is computed.
+	active atomic.Int64
+	// started gates the schedule. Atomic (not under any one shard's lock)
+	// because fire, probe drain, and Start/Stop consult it from different
+	// shards.
+	started atomic.Bool
+
+	// linkMu guards the cross-shard AGGREGATED link view — the memoized
+	// LinkStats snapshot, its by-key map (PathPenalty's lookup table), and
+	// the imported priors. Lock order: linkMu → shard.mu (the aggregation
+	// rebuild walks the shards); shard code never takes linkMu — the hot
+	// ingest path invalidates the aggregate with the linkDirty atomic
+	// instead, so one link lock can never serialize per-sample ingest.
+	linkMu sync.Mutex
 	// priors are link congestion estimates imported from peers' snapshots
 	// (ImportLinks). They decay with age and only ever fill gaps: a link
 	// with live local series ignores its prior entirely.
 	priors map[linkKey]*linkPrior
-	// linkCache memoizes the sorted LinkStats snapshot and its by-key view
-	// (PathPenalty's lookup table). nil = dirty; invalidated on sample
-	// ingest and pruning, and expired after MaxInterval so age-based series
-	// expiry still lands without an ingest. LinkStats is called per gossip
-	// round and per stats scrape — recomputing and re-sorting the full link
+	// linkCache memoizes the sorted cross-shard LinkStats snapshot and its
+	// by-key view. Invalidated by the linkDirty flag (set on sample ingest
+	// and pruning) and expired after MaxInterval so age-based series expiry
+	// still lands without an ingest. LinkStats is called per gossip round
+	// and per stats scrape — re-aggregating and re-sorting the full link
 	// set on each call was measurable waste.
 	linkCache    []LinkStat
 	linkCacheMap map[linkKey]LinkStat
 	linkCacheAt  time.Time
-	sinks        map[int]func(*segment.Path, Outcome)
-	// sinkList caches the id-ordered fan-out slice (nil = rebuild on next
-	// use). Passive ingest fans out per ack sample, and rebuilding+sorting
-	// the list for every one of them would be avoidable hot-path garbage;
-	// Subscribe/unsubscribe (rare) invalidate it. Rebuilds always allocate
-	// a FRESH slice, so callers may iterate it outside the lock.
-	sinkList []func(*segment.Path, Outcome)
+	linkDirty    atomic.Bool
+
+	// sinkMu guards sink registration; the fan-out list itself is published
+	// as an atomic snapshot so per-sample fan-out is a single load.
+	// Rebuilds always allocate a FRESH slice, so callers may iterate a
+	// loaded snapshot outside every lock.
+	sinkMu   sync.Mutex
+	sinks    map[int]func(*segment.Path, Outcome)
 	nextSink int
-	started  bool
+	sinkList atomic.Pointer[[]func(*segment.Path, Outcome)]
+}
+
+// defaultShardCount is the GOMAXPROCS-derived power-of-two shard count.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 64 {
+		n = 64
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	return pow
 }
 
 // NewMonitor builds a monitor from its parts: a clock, a path source (what
@@ -297,18 +372,40 @@ func NewMonitor(clock netsim.Clock, paths func(addr.IA) []*segment.Path, opts Mo
 	if opts.ProbeBudget == 0 {
 		opts.ProbeBudget = DefaultProbeBudget
 	}
-	return &Monitor{
-		clock:    clock,
-		paths:    paths,
-		opts:     opts,
-		targets:  make(map[string]*monTarget),
-		entries:  make(map[string]*monEntry),
-		byTarget: make(map[string]map[string]*monEntry),
-		inflight: make(map[string]bool),
-		links:    make(map[linkKey]map[string]*excessSeries),
-		priors:   make(map[linkKey]*linkPrior),
-		sinks:    make(map[int]func(*segment.Path, Outcome)),
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShardCount()
 	}
+	shardCount := 1
+	for shardCount < opts.Shards {
+		shardCount <<= 1
+	}
+	opts.Shards = shardCount
+	m := &Monitor{
+		clock:  clock,
+		paths:  paths,
+		opts:   opts,
+		shards: make([]*monShard, shardCount),
+		priors: make(map[linkKey]*linkPrior),
+		sinks:  make(map[int]func(*segment.Path, Outcome)),
+	}
+	for i := range m.shards {
+		m.shards[i] = &monShard{
+			targets:  make(map[string]*monTarget),
+			entries:  make(map[string]*monEntry),
+			byTarget: make(map[string]map[string]*monEntry),
+			inflight: make(map[string]bool),
+			links:    make(map[linkKey]map[string]*excessSeries),
+		}
+	}
+	// Wheel granularity: fine enough relative to MinInterval (1/16th) that
+	// slot quantization never visibly coarsens the phase jitter, coarse
+	// enough that a tick amortizes many deadlines.
+	slotW := opts.MinInterval / 16
+	if slotW < time.Millisecond {
+		slotW = time.Millisecond
+	}
+	m.wheel = newProbeWheel(clock, slotW, m.wheelFire)
+	return m
 }
 
 // NewMonitor builds the host's telemetry plane whose default probe is a
@@ -354,6 +451,26 @@ func targetKey(remote addr.UDPAddr, serverName string) string {
 	return remote.String() + "|" + serverName
 }
 
+// shardFor maps a destination IA to its shard: inline FNV-1a over the
+// packed ISD-AS, masked to the power-of-two shard count.
+func (m *Monitor) shardFor(ia addr.IA) *monShard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	v := uint64(ia.ISD)<<48 | uint64(ia.AS)&0xFFFFFFFFFFFF
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return m.shards[h&uint64(len(m.shards)-1)]
+}
+
 // Track adds a destination to the probe set, reference-counted: a
 // destination tracked by several dialers is probed once, and keeps being
 // probed until every tracker has untracked it.
@@ -372,18 +489,19 @@ func (m *Monitor) TrackPassive(remote addr.UDPAddr, serverName string) {
 }
 
 func (m *Monitor) track(remote addr.UDPAddr, serverName string, active bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shardFor(remote.IA)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	key := targetKey(remote, serverName)
-	tgt := m.targets[key]
+	tgt := sh.targets[key]
 	if tgt == nil {
 		tgt = &monTarget{remote: remote, serverName: serverName}
-		m.targets[key] = tgt
+		sh.targets[key] = tgt
 	}
 	// Per-entry schedulability BEFORE the ref change, so a passive→active
 	// upgrade can see which entries just became schedulable.
-	wasSched := make(map[string]bool, len(m.byTarget[key]))
-	for fp, e := range m.byTarget[key] {
+	wasSched := make(map[string]bool, len(sh.byTarget[key]))
+	for fp, e := range sh.byTarget[key] {
 		wasSched[fp] = entrySchedulable(e)
 	}
 	tgt.refs++
@@ -391,16 +509,16 @@ func (m *Monitor) track(remote addr.UDPAddr, serverName string, active bool) {
 		tgt.activeRefs++
 	}
 	if tgt.refs == 1 {
-		m.pruneLocked()
-		m.syncTargetLocked(key, tgt)
+		m.pruneShardLocked(sh)
+		m.syncTargetLocked(sh, key, tgt)
 		return
 	}
 	if active && tgt.activeRefs == 1 {
 		// Upgraded from passive-only: existing entries join the schedule.
-		for fp, e := range m.byTarget[key] {
+		for fp, e := range sh.byTarget[key] {
 			if !wasSched[fp] && entrySchedulable(e) {
-				m.active++
-				m.scheduleLocked(fp, e, true)
+				m.active.Add(1)
+				m.scheduleLocked(sh, fp, e, true)
 			}
 		}
 	}
@@ -419,17 +537,19 @@ func (m *Monitor) UntrackPassive(remote addr.UDPAddr, serverName string) {
 }
 
 func (m *Monitor) untrack(remote addr.UDPAddr, serverName string, active bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shardFor(remote.IA)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	key := targetKey(remote, serverName)
-	tgt := m.targets[key]
+	tgt := sh.targets[key]
 	if tgt == nil {
 		return
 	}
-	// Per-entry schedulability BEFORE the ref change: m.active was counted
-	// under the old refs, so transitions must be judged against them.
-	wasSched := make(map[string]bool, len(m.byTarget[key]))
-	for fp, e := range m.byTarget[key] {
+	// Per-entry schedulability BEFORE the ref change: the active count was
+	// tallied under the old refs, so transitions must be judged against
+	// them.
+	wasSched := make(map[string]bool, len(sh.byTarget[key]))
+	for fp, e := range sh.byTarget[key] {
 		wasSched[fp] = entrySchedulable(e)
 	}
 	tgt.refs--
@@ -437,22 +557,22 @@ func (m *Monitor) untrack(remote addr.UDPAddr, serverName string, active bool) {
 		tgt.activeRefs--
 	}
 	if tgt.refs <= 0 {
-		delete(m.targets, key)
-		for fp, e := range m.byTarget[key] {
+		delete(sh.targets, key)
+		for fp, e := range sh.byTarget[key] {
 			delete(e.targets, key)
 			if wasSched[fp] && !entrySchedulable(e) {
-				m.active--
+				m.active.Add(-1)
 				m.retireEntryLocked(e)
 			}
 		}
-		delete(m.byTarget, key)
+		delete(sh.byTarget, key)
 		return
 	}
 	// Refs remain; an active→passive-only downgrade still takes entries
 	// with no other active target off the schedule (telemetry kept).
-	for fp, e := range m.byTarget[key] {
+	for fp, e := range sh.byTarget[key] {
 		if wasSched[fp] && !entrySchedulable(e) {
-			m.active--
+			m.active.Add(-1)
 			m.retireEntryLocked(e)
 		}
 	}
@@ -472,75 +592,82 @@ func entrySchedulable(e *monEntry) bool {
 // retireEntryLocked takes a path off the probe schedule while KEEPING its
 // telemetry: tracking is scheduling, telemetry is knowledge — a destination
 // evicted from a pool and re-dialed moments later must not restart from
-// zero. Long-stale retired entries are pruned by pruneLocked.
+// zero. Long-stale retired entries are pruned by pruneShardLocked.
 func (m *Monitor) retireEntryLocked(e *monEntry) {
-	if e.cancel != nil {
-		e.cancel()
-		e.cancel = nil
+	if e.sched != nil {
+		m.wheel.cancel(e.sched)
+		e.sched = nil
 	}
 }
 
-// pruneLocked drops retired entries — and link excess series — whose
-// telemetry has gone stale beyond recall, bounding memory on long-lived
-// monitors even when nothing ever queries LinkStats. Runs on each new
-// destination Track, so churn itself drives the cleanup.
-func (m *Monitor) pruneLocked() {
+// pruneShardLocked drops the shard's retired entries — and link excess
+// series — whose telemetry has gone stale beyond recall, bounding memory on
+// long-lived monitors even when nothing ever queries LinkStats. Runs on
+// each new destination Track in the shard, so churn itself drives the
+// cleanup. (Imported priors are pruned by the aggregation rebuild, which
+// owns them.)
+func (m *Monitor) pruneShardLocked(sh *monShard) {
 	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
 	now := m.clock.Now()
-	for fp, e := range m.entries {
+	for fp, e := range sh.entries {
 		if len(e.targets) == 0 && (e.lastSample.IsZero() || now.Sub(e.lastSample) > horizon) {
-			delete(m.entries, fp)
+			delete(sh.entries, fp)
 		}
 	}
-	for lk, series := range m.links {
+	for lk, series := range sh.links {
 		for fp, s := range series {
 			if now.Sub(s.last) > horizon {
 				delete(series, fp)
 			}
 		}
 		if len(series) == 0 {
-			delete(m.links, lk)
+			delete(sh.links, lk)
 		}
 	}
-	for lk, pr := range m.priors {
-		if pr.age(now) > horizon {
-			delete(m.priors, lk)
-		}
-	}
-	m.linkCache, m.linkCacheMap = nil, nil
+	m.markLinkDirty()
 }
 
-// syncTargetLocked reconciles the entry set with the target's current
-// paths: unseen paths get entries (and, when started, a phase-jittered
-// first deadline), and entries this target referenced whose path the
-// control plane no longer offers drop the reference — so path expiry and
-// turnover retire defunct schedules instead of probing ghosts forever.
-func (m *Monitor) syncTargetLocked(key string, tgt *monTarget) {
-	idx := m.byTarget[key]
+// markLinkDirty invalidates the aggregated link snapshot. Load-before-store
+// keeps the hot path from write-bouncing a cache line every sample: the
+// flag is usually already set.
+func (m *Monitor) markLinkDirty() {
+	if !m.linkDirty.Load() {
+		m.linkDirty.Store(true)
+	}
+}
+
+// syncTargetLocked reconciles the shard's entry set with the target's
+// current paths: unseen paths get entries (and, when started, a
+// phase-jittered first deadline), and entries this target referenced whose
+// path the control plane no longer offers drop the reference — so path
+// expiry and turnover retire defunct schedules instead of probing ghosts
+// forever.
+func (m *Monitor) syncTargetLocked(sh *monShard, key string, tgt *monTarget) {
+	idx := sh.byTarget[key]
 	if idx == nil {
 		idx = make(map[string]*monEntry)
-		m.byTarget[key] = idx
+		sh.byTarget[key] = idx
 	}
 	current := make(map[string]bool)
 	for _, p := range m.paths(tgt.remote.IA) {
 		fp := p.Fingerprint()
 		current[fp] = true
-		e := m.entries[fp]
+		e := sh.entries[fp]
 		if e == nil {
 			e = &monEntry{
 				path:     p,
 				targets:  make(map[string]*monTarget),
 				interval: m.opts.BaseInterval,
 			}
-			m.entries[fp] = e
+			sh.entries[fp] = e
 		}
 		wasSched := entrySchedulable(e)
 		e.path = p
 		e.targets[key] = tgt
 		idx[fp] = e
 		if !wasSched && entrySchedulable(e) {
-			m.active++
-			m.scheduleLocked(fp, e, true)
+			m.active.Add(1)
+			m.scheduleLocked(sh, fp, e, true)
 		}
 	}
 	for fp, e := range idx {
@@ -549,7 +676,7 @@ func (m *Monitor) syncTargetLocked(key string, tgt *monTarget) {
 			wasSched := entrySchedulable(e)
 			delete(e.targets, key)
 			if wasSched && !entrySchedulable(e) {
-				m.active--
+				m.active.Add(-1)
 				m.retireEntryLocked(e)
 			}
 		}
@@ -558,17 +685,19 @@ func (m *Monitor) syncTargetLocked(key string, tgt *monTarget) {
 
 // TargetCount returns the number of distinct tracked destinations.
 func (m *Monitor) TargetCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.targets)
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.targets)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // TrackedPaths returns the number of paths currently on the probe schedule
 // (retired entries kept only for their telemetry don't count).
 func (m *Monitor) TrackedPaths() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.active
+	return int(m.active.Load())
 }
 
 // Subscribe registers a probe-outcome sink — Outcome{Latency, Probe: true}
@@ -576,47 +705,79 @@ func (m *Monitor) TrackedPaths() int {
 // unsubscribe function. A Dialer subscribes its active selector, so one
 // monitor feeds every dialer sharing it.
 func (m *Monitor) Subscribe(sink func(*segment.Path, Outcome)) (unsubscribe func()) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.sinkMu.Lock()
+	defer m.sinkMu.Unlock()
 	id := m.nextSink
 	m.nextSink++
 	m.sinks[id] = sink
-	m.sinkList = nil
+	m.rebuildSinksLocked()
 	return func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
+		m.sinkMu.Lock()
+		defer m.sinkMu.Unlock()
 		delete(m.sinks, id)
-		m.sinkList = nil
+		m.rebuildSinksLocked()
 	}
+}
+
+// rebuildSinksLocked publishes a fresh id-ordered fan-out snapshot.
+// Subscribe/unsubscribe are rare; per-sample fan-out just loads the
+// pointer.
+func (m *Monitor) rebuildSinksLocked() {
+	ids := make([]int, 0, len(m.sinks))
+	for id := range m.sinks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	sinks := make([]func(*segment.Path, Outcome), 0, len(ids))
+	for _, id := range ids {
+		sinks = append(sinks, m.sinks[id])
+	}
+	m.sinkList.Store(&sinks)
+}
+
+// sinksSnapshot returns the current fan-out list; safe to iterate outside
+// any lock (snapshots are immutable once published).
+func (m *Monitor) sinksSnapshot() []func(*segment.Path, Outcome) {
+	if p := m.sinkList.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Start arms the probe schedule: every tracked path gets a phase-jittered
 // first deadline within one interval. Idempotent while running; callable
 // again after Stop.
 func (m *Monitor) Start() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.started {
+	if m.started.Swap(true) {
 		return
 	}
-	m.started = true
-	for fp, e := range m.entries {
-		m.scheduleLocked(fp, e, true)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for fp, e := range sh.entries {
+			m.scheduleLocked(sh, fp, e, true)
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Stop cancels the probe schedule. Probes already in flight drain without
-// reporting or rescheduling.
+// reporting or rescheduling. Wheel nodes already collected by a tick in
+// flight are fenced by the started flag and the per-entry node identity
+// check, so a deadline can neither fire after Stop nor strand its entry
+// out of a later Start's schedule.
 func (m *Monitor) Stop() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.started = false
-	for _, e := range m.entries {
-		if e.cancel != nil {
-			e.cancel()
-			e.cancel = nil
+	m.started.Store(false)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.sched != nil {
+				m.wheel.cancel(e.sched)
+				e.sched = nil
+			}
 		}
+		sh.mu.Unlock()
 	}
+	m.wheel.disarm()
 }
 
 // jitterHash folds a fingerprint and a sequence number into a uniform
@@ -632,34 +793,37 @@ func jitterHash(fp string, seq uint64) uint64 {
 	return h.Sum64() % 1000
 }
 
-// budgetFloorLocked is the minimum per-path interval that keeps the global
-// probe rate within ProbeBudget given the current tracked-path count.
-func (m *Monitor) budgetFloorLocked() time.Duration {
-	if m.opts.ProbeBudget <= 0 || m.active == 0 {
+// budgetFloor is the minimum per-path interval that keeps the global probe
+// rate within ProbeBudget given the current tracked-path count. One atomic
+// load — the sharded replacement for the old locked floor computation.
+func (m *Monitor) budgetFloor() time.Duration {
+	n := m.active.Load()
+	if m.opts.ProbeBudget <= 0 || n == 0 {
 		return 0
 	}
-	return time.Duration(float64(m.active) / m.opts.ProbeBudget * float64(time.Second))
+	return time.Duration(float64(n) / m.opts.ProbeBudget * float64(time.Second))
 }
 
-// effectiveIntervalLocked is the interval the schedule actually honors:
-// the churn-adapted interval, floored by the global probe budget.
-func (m *Monitor) effectiveIntervalLocked(e *monEntry) time.Duration {
+// effectiveInterval is the interval the schedule actually honors: the
+// churn-adapted interval, floored by the global probe budget.
+func (m *Monitor) effectiveInterval(e *monEntry) time.Duration {
 	iv := e.interval
-	if floor := m.budgetFloorLocked(); iv < floor {
+	if floor := m.budgetFloor(); iv < floor {
 		iv = floor
 	}
 	return iv
 }
 
-// scheduleLocked arms the entry's next probe. The first deadline spreads
-// paths uniformly across one interval (phase = hash(fingerprint)); later
-// deadlines are the churn-adapted interval ±15% deterministic jitter, so
-// phases never re-synchronize into bursts.
-func (m *Monitor) scheduleLocked(fp string, e *monEntry, first bool) {
-	if !m.started || e.cancel != nil || !entrySchedulable(e) {
+// scheduleLocked arms the entry's next probe on the timing wheel. The first
+// deadline spreads paths uniformly across one interval (phase =
+// hash(fingerprint)); later deadlines are the churn-adapted interval ±15%
+// deterministic jitter, so phases never re-synchronize into bursts. Caller
+// holds the entry's shard lock.
+func (m *Monitor) scheduleLocked(sh *monShard, fp string, e *monEntry, first bool) {
+	if !m.started.Load() || e.sched != nil || !entrySchedulable(e) {
 		return
 	}
-	iv := m.effectiveIntervalLocked(e)
+	iv := m.effectiveInterval(e)
 	var d time.Duration
 	if first {
 		// Phase offset in [iv/8, iv]: never immediate, never bursty.
@@ -669,53 +833,63 @@ func (m *Monitor) scheduleLocked(fp string, e *monEntry, first bool) {
 		d = iv*85/100 + time.Duration(jitterHash(fp, e.seq))*(iv*30/100)/1000
 	}
 	e.seq++
-	e.cancel = m.clock.AfterFunc(d, func() { m.fire(fp) })
+	n := &wheelNode{shard: sh, fp: fp}
+	e.sched = n
+	m.wheel.schedule(n, d)
 }
 
-// fire runs inside a clock timer callback and must not block: it hands the
-// probe to a goroutine.
-func (m *Monitor) fire(fp string) {
-	m.mu.Lock()
-	e := m.entries[fp]
-	if e == nil || !m.started {
-		m.mu.Unlock()
+// wheelFire runs inside the wheel tick (a clock timer callback) once per
+// due deadline and must not block: it hands the probe to a goroutine. The
+// node-identity check against e.sched drops stale deadlines — an entry
+// rescheduled, retired, pruned, or cycled through Stop→Start since this
+// node was armed.
+func (m *Monitor) wheelFire(n *wheelNode) {
+	sh := n.shard
+	sh.mu.Lock()
+	e := sh.entries[n.fp]
+	if e == nil || e.sched != n {
+		sh.mu.Unlock()
 		return
 	}
-	e.cancel = nil
-	if m.inflight[fp] {
+	e.sched = nil
+	if !m.started.Load() {
+		sh.mu.Unlock()
+		return
+	}
+	if sh.inflight[n.fp] {
 		// A manual round still has this path in flight; retry next interval.
-		m.scheduleLocked(fp, e, false)
-		m.mu.Unlock()
+		m.scheduleLocked(sh, n.fp, e, false)
+		sh.mu.Unlock()
 		return
 	}
-	if !e.lastPassive.IsZero() && m.clock.Since(e.lastPassive) < m.effectiveIntervalLocked(e) {
+	if !e.lastPassive.IsZero() && m.clock.Since(e.lastPassive) < m.effectiveInterval(e) {
 		// Probe suppression: live traffic measured this path within the
 		// current interval, so the active probe would spend budget on
 		// nothing — skip it and push the schedule. Deciding here (rather
-		// than re-arming the timer from Observe on every ack sample) keeps
-		// the passive hot path free of timer churn; once traffic stops,
-		// the very next deadline probes again.
-		m.scheduleLocked(fp, e, false)
-		m.mu.Unlock()
+		// than re-arming the deadline from Observe on every ack sample)
+		// keeps the passive hot path free of scheduler churn; once traffic
+		// stops, the very next deadline probes again.
+		m.scheduleLocked(sh, n.fp, e, false)
+		sh.mu.Unlock()
 		return
 	}
-	m.inflight[fp] = true
-	m.mu.Unlock()
-	go m.probeEntry(fp, true)
+	sh.inflight[n.fp] = true
+	sh.mu.Unlock()
+	go m.probeEntry(sh, n.fp, true)
 }
 
 // probeEntry measures one path, ingests the outcome, reschedules, and fans
 // the outcome out to the sinks. scheduled distinguishes background probes
 // (which respect Stop and re-arm) from manual RunRound probes.
-func (m *Monitor) probeEntry(fp string, scheduled bool) {
-	m.mu.Lock()
-	e := m.entries[fp]
+func (m *Monitor) probeEntry(sh *monShard, fp string, scheduled bool) {
+	sh.mu.Lock()
+	e := sh.entries[fp]
 	if e == nil {
-		// Pruned between fire() and here; the mark MUST clear anyway — an
+		// Pruned between fire and here; the mark MUST clear anyway — an
 		// fp can be re-created by a later Track, and a leaked mark would
 		// silence its schedule forever.
-		delete(m.inflight, fp)
-		m.mu.Unlock()
+		delete(sh.inflight, fp)
+		sh.mu.Unlock()
 		return
 	}
 	var tgt *monTarget
@@ -731,69 +905,45 @@ func (m *Monitor) probeEntry(fp string, scheduled bool) {
 	}
 	path := e.path
 	timeout := m.opts.Timeout
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if tgt == nil {
-		m.clearInflight(fp)
+		sh.mu.Lock()
+		delete(sh.inflight, fp)
+		sh.mu.Unlock()
 		return
 	}
 
 	rtt, err := m.opts.Probe(tgt.remote, tgt.serverName, path, timeout)
 
-	m.mu.Lock()
-	delete(m.inflight, fp)
-	e = m.entries[fp]
+	sh.mu.Lock()
+	delete(sh.inflight, fp)
+	e = sh.entries[fp]
 	if e == nil {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	outcome := m.ingestLocked(e, rtt, err, false)
-	alive := !scheduled || m.started
+	outcome := m.ingestLocked(sh, e, rtt, err, false)
+	alive := !scheduled || m.started.Load()
 	// Re-arm whenever the monitor is running and the entry has no pending
 	// deadline — regardless of who launched this probe. A probe that was in
-	// flight across a Stop→Start cycle (Start already armed a fresh timer)
-	// no-ops here; one that drained after the restart consumed its deadline
-	// re-arms itself, so the path can never fall silently out of the
-	// schedule.
-	if m.started && entrySchedulable(e) {
-		m.scheduleLocked(fp, e, false)
+	// flight across a Stop→Start cycle (Start already armed a fresh
+	// deadline) no-ops here; one that drained after the restart consumed
+	// its deadline re-arms itself, so the path can never fall silently out
+	// of the schedule.
+	if m.started.Load() && entrySchedulable(e) {
+		m.scheduleLocked(sh, fp, e, false)
 	}
-	sinks := m.sinksLocked()
-	m.mu.Unlock()
+	sh.mu.Unlock()
 
 	if !alive {
 		return
 	}
-	for _, sink := range sinks {
+	for _, sink := range m.sinksSnapshot() {
 		sink(path, outcome)
 	}
 	if scheduled {
-		m.resyncEntryTargets(fp)
+		m.resyncEntryTargets(sh, fp)
 	}
-}
-
-// sinksLocked returns the sink fan-out list in deterministic id order,
-// rebuilding the cache only after a Subscribe/unsubscribe change; the
-// caller invokes the sinks after releasing m.mu.
-func (m *Monitor) sinksLocked() []func(*segment.Path, Outcome) {
-	if m.sinkList == nil {
-		sinks := make([]func(*segment.Path, Outcome), 0, len(m.sinks))
-		ids := make([]int, 0, len(m.sinks))
-		for id := range m.sinks {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			sinks = append(sinks, m.sinks[id])
-		}
-		m.sinkList = sinks
-	}
-	return m.sinkList
-}
-
-func (m *Monitor) clearInflight(fp string) {
-	m.mu.Lock()
-	delete(m.inflight, fp)
-	m.mu.Unlock()
 }
 
 // resyncEntryTargets reconciles the path sets of the targets the probed
@@ -803,10 +953,10 @@ func (m *Monitor) clearInflight(fp string) {
 // Scoping the resync to the probed entry's own targets keeps the per-probe
 // cost proportional to that destination, not to every origin the host
 // serves.
-func (m *Monitor) resyncEntryTargets(fp string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.entries[fp]
+func (m *Monitor) resyncEntryTargets(sh *monShard, fp string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[fp]
 	if e == nil {
 		return
 	}
@@ -815,8 +965,8 @@ func (m *Monitor) resyncEntryTargets(fp string) {
 		keys = append(keys, key)
 	}
 	for _, key := range keys {
-		if tgt := m.targets[key]; tgt != nil {
-			m.syncTargetLocked(key, tgt)
+		if tgt := sh.targets[key]; tgt != nil {
+			m.syncTargetLocked(sh, key, tgt)
 		}
 	}
 }
@@ -825,17 +975,16 @@ func (m *Monitor) resyncEntryTargets(fp string) {
 // traffic sample — into the entry's telemetry, adapts its interval to the
 // observed churn, and attributes success excess to the traversed links.
 // Probes and passive samples share this pipeline end to end; only the
-// outcome marking (and the per-target sample split) records the origin.
-// Returns the outcome to fan out.
-func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error, passive bool) Outcome {
+// outcome marking (and the cumulative sample-origin counters) records the
+// origin. Caller holds the entry's shard lock. Returns the outcome to fan
+// out.
+func (m *Monitor) ingestLocked(sh *monShard, e *monEntry, rtt time.Duration, err error, passive bool) Outcome {
 	now := m.clock.Now()
 	e.lastSample = now
-	for _, tgt := range e.targets {
-		if passive {
-			tgt.passive++
-		} else {
-			tgt.probes++
-		}
+	if passive {
+		e.passiveTotal++
+	} else {
+		e.probeTotal++
 	}
 	if err != nil {
 		e.failures++
@@ -897,18 +1046,22 @@ func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error, passiv
 	}
 
 	// Link attribution: the path's excess RTT over its metadata baseline is
-	// recorded against every link it crosses; LinkStats' min-across-paths
-	// later exonerates links that any clean path also crosses.
+	// recorded against every link it crosses (in this shard's series
+	// store); LinkStats' min-across-paths later exonerates links that any
+	// clean path also crosses.
 	excess := rtt - 2*e.path.Meta.Latency
 	if excess < 0 {
 		excess = 0
 	}
 	fp := e.path.Fingerprint()
-	for _, lk := range pathLinks(e.path) {
-		series := m.links[lk]
+	if e.links == nil {
+		e.links = pathLinks(e.path)
+	}
+	for _, lk := range e.links {
+		series := sh.links[lk]
 		if series == nil {
 			series = make(map[string]*excessSeries)
-			m.links[lk] = series
+			sh.links[lk] = series
 		}
 		s := series[fp]
 		if s == nil {
@@ -917,7 +1070,7 @@ func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error, passiv
 		}
 		s.ingest(excess, now)
 	}
-	m.linkCache, m.linkCacheMap = nil, nil
+	m.markLinkDirty()
 	if passive {
 		return Outcome{Latency: rtt, Passive: true}
 	}
@@ -931,46 +1084,60 @@ func (m *Monitor) ingestLocked(e *monEntry, rtt time.Duration, err error, passiv
 // sink fan-out) but is marked Outcome{Probe: false, Passive: true} so
 // use-driven selectors don't mistake ack cadence for request cadence.
 //
+// This is the squic ack hot path, and it touches exactly ONE shard lock:
+// the destination's. Everything cross-shard it would otherwise need is
+// atomic — the budget floor load, the link-snapshot dirty mark, the sink
+// snapshot pointer.
+//
 // The budget saver: the sample stamps the path's lastPassive time, and the
-// scheduled fire() SKIPS the active probe (rescheduling only) while that
+// scheduled fire SKIPS the active probe (rescheduling only) while that
 // stamp is younger than the path's effective interval. A destination with
 // continuous traffic therefore keeps fresh telemetry while consuming
 // (near-)zero probe budget, a tight ProbeBudget concentrates structurally
 // on the destinations with no traffic to learn from, and — because the
 // suppression decision lives at the (rare) fire, not here — the per-ack
-// hot path never touches a timer. Samples for untracked paths are dropped:
-// tracking is the scheduling contract, and passive data must not keep
-// telemetry alive for paths nothing dials anymore.
+// hot path never touches the scheduler. Samples for untracked paths are
+// dropped: tracking is the scheduling contract, and passive data must not
+// keep telemetry alive for paths nothing dials anymore.
 func (m *Monitor) Observe(path *segment.Path, rtt time.Duration) {
 	if path == nil || rtt <= 0 {
 		return
 	}
 	fp := path.Fingerprint()
-	m.mu.Lock()
-	e := m.entries[fp]
+	sh := m.shardFor(path.Dst)
+	sh.mu.Lock()
+	e := sh.entries[fp]
 	if e == nil || len(e.targets) == 0 {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	outcome := m.ingestLocked(e, rtt, nil, true)
-	sinks := m.sinksLocked()
-	m.mu.Unlock()
-	for _, sink := range sinks {
+	outcome := m.ingestLocked(sh, e, rtt, nil, true)
+	sh.mu.Unlock()
+	for _, sink := range m.sinksSnapshot() {
 		sink(path, outcome)
 	}
 }
 
 // TargetSamples reports a tracked destination's telemetry sample split —
 // how many zero-cost passive samples versus active probes have fed its
-// paths. ok is false for destinations the monitor does not track.
+// paths. ok is false for destinations the monitor does not track. A sample
+// on a path serving several destinations credits each of them (they all
+// consume its freshness): the split sums the cumulative per-entry counters
+// over the destination's current paths.
 func (m *Monitor) TargetSamples(remote addr.UDPAddr, serverName string) (SampleSplit, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tgt := m.targets[targetKey(remote, serverName)]
-	if tgt == nil {
+	sh := m.shardFor(remote.IA)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	key := targetKey(remote, serverName)
+	if sh.targets[key] == nil {
 		return SampleSplit{}, false
 	}
-	return SampleSplit{Passive: tgt.passive, Probes: tgt.probes}, true
+	var split SampleSplit
+	for _, e := range sh.byTarget[key] {
+		split.Passive += e.passiveTotal
+		split.Probes += e.probeTotal
+	}
+	return split, true
 }
 
 // RunRound synchronously probes every tracked path once, in fingerprint
@@ -978,34 +1145,43 @@ func (m *Monitor) TargetSamples(remote addr.UDPAddr, serverName string) (SampleS
 // tools, and benchmarks drive directly. Outcomes are ingested and fanned
 // out exactly as scheduled probes are.
 func (m *Monitor) RunRound() {
-	m.mu.Lock()
-	for key, tgt := range m.targets {
-		m.syncTargetLocked(key, tgt)
+	type probeRef struct {
+		sh *monShard
+		fp string
 	}
-	fps := make([]string, 0, len(m.entries))
-	for fp, e := range m.entries {
-		if m.inflight[fp] || !entrySchedulable(e) {
-			continue // mid-flight, retired, or passive-only; don't probe
+	var refs []probeRef
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for key, tgt := range sh.targets {
+			m.syncTargetLocked(sh, key, tgt)
 		}
-		m.inflight[fp] = true
-		fps = append(fps, fp)
+		for fp, e := range sh.entries {
+			if sh.inflight[fp] || !entrySchedulable(e) {
+				continue // mid-flight, retired, or passive-only; don't probe
+			}
+			sh.inflight[fp] = true
+			refs = append(refs, probeRef{sh, fp})
+		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
-	sort.Strings(fps)
-	for _, fp := range fps {
-		m.probeEntry(fp, false)
+	sort.Slice(refs, func(i, j int) bool { return refs[i].fp < refs[j].fp })
+	for _, r := range refs {
+		m.probeEntry(r.sh, r.fp, false)
 	}
 }
 
 // Telemetry returns the live telemetry of one tracked path.
 func (m *Monitor) Telemetry(fp string) (PathTelemetry, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.entries[fp]
-	if e == nil {
-		return PathTelemetry{}, false
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		if e := sh.entries[fp]; e != nil {
+			t := m.telemetryLocked(fp, e)
+			sh.mu.Unlock()
+			return t, true
+		}
+		sh.mu.Unlock()
 	}
-	return m.telemetryLocked(fp, e), true
+	return PathTelemetry{}, false
 }
 
 func (m *Monitor) telemetryLocked(fp string, e *monEntry) PathTelemetry {
@@ -1013,7 +1189,7 @@ func (m *Monitor) telemetryLocked(fp string, e *monEntry) PathTelemetry {
 	// monitor actually runs — the budget-floored interval — so a tightly
 	// budgeted proxy doesn't misread its own slower cadence as staleness
 	// and race wide on every dial.
-	iv := m.effectiveIntervalLocked(e)
+	iv := m.effectiveInterval(e)
 	t := PathTelemetry{
 		Fingerprint:    fp,
 		RTT:            e.rtt,
@@ -1035,13 +1211,14 @@ func (m *Monitor) telemetryLocked(fp string, e *monEntry) PathTelemetry {
 // without a new sample before LinkStats ignores it.
 const staleSeriesAfter = 10
 
-// linkStatLocked computes one link's congestion estimate: the minimum EWMA
-// excess among the live series of paths crossing it (with that series'
-// deviation). Boolean-tomography logic: if ANY path crossing the link is
-// clean, the link is exonerated and the congestion lives elsewhere.
-func (m *Monitor) linkStatLocked(lk linkKey, series map[string]*excessSeries, now time.Time) (LinkStat, bool) {
+// shardLinkStat computes one link's congestion estimate from ONE shard's
+// series: the minimum EWMA excess among the live series of paths crossing
+// it (with that series' deviation). Boolean-tomography logic: if ANY path
+// crossing the link is clean, the link is exonerated and the congestion
+// lives elsewhere. Stale series are pruned in place (caller holds the
+// shard lock).
+func shardLinkStat(lk linkKey, series map[string]*excessSeries, now time.Time, horizon time.Duration) (LinkStat, bool) {
 	st := LinkStat{A: lk.a, B: lk.b}
-	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
 	found := false
 	var newest time.Time
 	for fp, s := range series {
@@ -1064,23 +1241,58 @@ func (m *Monitor) linkStatLocked(lk linkKey, series map[string]*excessSeries, no
 	return st, found
 }
 
-// linkCacheLocked returns the memoized link snapshot (sorted slice + by-key
-// map), rebuilding it only when dirty (a sample was ingested or pruning ran
-// since) or older than MaxInterval (so series expiring purely by age still
-// drop out). The returned slice is the cache itself: callers must copy
-// before handing it out.
+// linkCacheLocked returns the memoized CROSS-SHARD link snapshot (sorted
+// slice + by-key map), rebuilding it only when dirty (a sample was ingested
+// or pruning ran since) or older than MaxInterval (so series expiring
+// purely by age still drop out). The rebuild walks every shard — lock
+// order linkMu → shard.mu — merging per-shard minima; min-of-mins over a
+// disjoint partition of the series is exactly the global minimum, so
+// sharding never changes a LinkStat. The returned slice is the cache
+// itself: callers must copy before handing it out. Caller holds linkMu.
 func (m *Monitor) linkCacheLocked() ([]LinkStat, map[linkKey]LinkStat) {
 	now := m.clock.Now()
-	if m.linkCache != nil && now.Sub(m.linkCacheAt) <= m.opts.MaxInterval {
+	if !m.linkDirty.Load() && m.linkCache != nil && now.Sub(m.linkCacheAt) <= m.opts.MaxInterval {
 		return m.linkCache, m.linkCacheMap
 	}
-	out := make([]LinkStat, 0, len(m.links))
-	byKey := make(map[linkKey]LinkStat, len(m.links))
-	for lk, series := range m.links {
-		if st, ok := m.linkStatLocked(lk, series, now); ok {
-			out = append(out, st)
+	// Clear BEFORE aggregating: a sample ingested mid-rebuild re-dirties
+	// the flag and the next query rebuilds again — conservative, never
+	// stale.
+	m.linkDirty.Store(false)
+	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
+	byKey := make(map[linkKey]LinkStat)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for lk, series := range sh.links {
+			st, ok := shardLinkStat(lk, series, now, horizon)
+			if len(series) == 0 {
+				delete(sh.links, lk)
+			}
+			if !ok {
+				continue
+			}
+			if prev, merged := byKey[lk]; merged {
+				st.Sharers += prev.Sharers
+				if prev.Age < st.Age {
+					st.Age = prev.Age // freshest underlying sample wins
+				}
+				if prev.Congestion < st.Congestion || (prev.Congestion == st.Congestion && prev.Dev < st.Dev) {
+					st.Congestion, st.Dev = prev.Congestion, prev.Dev
+				}
+			}
 			byKey[lk] = st
 		}
+		sh.mu.Unlock()
+	}
+	// Aged-out priors ride along with the rebuild — this is the one place
+	// that owns the prior store under linkMu.
+	for lk, pr := range m.priors {
+		if pr.age(now) > horizon {
+			delete(m.priors, lk)
+		}
+	}
+	out := make([]LinkStat, 0, len(byKey))
+	for _, st := range byKey {
+		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {
@@ -1099,8 +1311,8 @@ func (m *Monitor) linkCacheLocked() ([]LinkStat, map[linkKey]LinkStat) {
 // is cached between sample ingests — this is called per gossip round and per
 // stats scrape.
 func (m *Monitor) LinkStats() []LinkStat {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.linkMu.Lock()
+	defer m.linkMu.Unlock()
 	stats, _ := m.linkCacheLocked()
 	return append([]LinkStat(nil), stats...)
 }
@@ -1116,8 +1328,8 @@ func (m *Monitor) LinkStats() []LinkStat {
 // the warm-start half of link-state sharing. A link with ANY live series
 // ignores its prior — local measurement always overrides imports.
 func (m *Monitor) PathPenalty(p *segment.Path) time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.linkMu.Lock()
+	defer m.linkMu.Unlock()
 	_, byKey := m.linkCacheLocked()
 	now := m.clock.Now()
 	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
@@ -1146,35 +1358,52 @@ type PathStat struct {
 	Penalty time.Duration
 }
 
-// PathStats evaluates every path's telemetry and hotspot penalty under ONE
-// lock acquisition — the batched form of Telemetry+PathPenalty for ranking
-// passes that run on hot paths (reverse-path steering evaluates per sample
-// batch on the packet delivery path; 2·N lock round-trips per evaluation
-// would contend with probe ingest across every served connection).
+// PathStats evaluates every path's telemetry and hotspot penalty in a
+// batch — the batched form of Telemetry+PathPenalty for ranking passes
+// that run on hot paths (reverse-path steering evaluates per sample batch
+// on the packet delivery path; 2·N lock round-trips per evaluation would
+// contend with probe ingest across every served connection). Under
+// sharding the batch takes one shard lock per RUN of same-destination
+// paths (a steering batch is all one destination: one acquisition) plus
+// one linkMu acquisition for the penalties.
 func (m *Monitor) PathStats(paths []*segment.Path) []PathStat {
 	out := make([]PathStat, len(paths))
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	var cur *monShard
+	for i, p := range paths {
+		fp := p.Fingerprint()
+		sh := m.shardFor(p.Dst)
+		if sh != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			sh.mu.Lock()
+			cur = sh
+		}
+		st := PathStat{Telemetry: PathTelemetry{Fingerprint: fp}}
+		if e := sh.entries[fp]; e != nil {
+			st.Telemetry = m.telemetryLocked(fp, e)
+			st.Known = true
+		}
+		out[i] = st
+	}
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+	m.linkMu.Lock()
+	defer m.linkMu.Unlock()
 	_, byKey := m.linkCacheLocked()
 	now := m.clock.Now()
 	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
 	for i, p := range paths {
-		fp := p.Fingerprint()
-		st := PathStat{Telemetry: PathTelemetry{Fingerprint: fp}}
-		if e := m.entries[fp]; e != nil {
-			st.Telemetry = m.telemetryLocked(fp, e)
-			st.Known = true
-		}
 		for _, lk := range pathLinks(p) {
 			if ls, ok := byKey[lk]; ok {
-				st.Penalty += ls.Congestion + 2*ls.Dev
+				out[i].Penalty += ls.Congestion + 2*ls.Dev
 				continue
 			}
 			if pr := m.priors[lk]; pr != nil {
-				st.Penalty += pr.penalty(now, horizon)
+				out[i].Penalty += pr.penalty(now, horizon)
 			}
 		}
-		out[i] = st
 	}
 	return out
 }
@@ -1263,15 +1492,25 @@ func (m *Monitor) RaceWidth(cands []Candidate, max int) (int, string) {
 		n = len(cands)
 	}
 	tels := make([]PathTelemetry, 0, n)
-	m.mu.Lock()
+	var cur *monShard
 	for _, c := range cands[:n] {
 		fp := c.Path.Fingerprint()
-		if e := m.entries[fp]; e != nil {
+		sh := m.shardFor(c.Path.Dst)
+		if sh != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			sh.mu.Lock()
+			cur = sh
+		}
+		if e := sh.entries[fp]; e != nil {
 			tels = append(tels, m.telemetryLocked(fp, e))
 		} else {
 			tels = append(tels, PathTelemetry{Fingerprint: fp})
 		}
 	}
-	m.mu.Unlock()
+	if cur != nil {
+		cur.mu.Unlock()
+	}
 	return AdviseRaceWidth(tels, max)
 }

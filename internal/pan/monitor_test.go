@@ -128,6 +128,19 @@ func (r *reportLog) outcomes(fp string) []pan.Outcome {
 
 var probeErr = errors.New("probe timeout")
 
+// testShards, when nonzero, pins MonitorOptions.Shards for every monitor
+// the suite constructs — the hook TestMonitorSuiteAcrossShardCounts uses to
+// re-run the behavioral tests on both sides of the shard hash (1 shard =
+// the pre-sharding lock shape, 8 = destinations spread across locks).
+var testShards int
+
+func newTestMonitor(clock netsim.Clock, paths func(addr.IA) []*segment.Path, opts pan.MonitorOptions) *pan.Monitor {
+	if opts.Shards == 0 {
+		opts.Shards = testShards
+	}
+	return pan.NewMonitor(clock, paths, opts)
+}
+
 func probeTarget(i int) addr.UDPAddr {
 	return addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr(fmt.Sprintf("10.0.0.%d", i+2))}, Port: 443}
 }
@@ -140,7 +153,7 @@ func monitorFixture(t *testing.T, paths []*segment.Path, script *probeScript, op
 	script.clock = clock
 	log := &reportLog{}
 	opts.Probe = script.fn
-	m := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return paths }, opts)
+	m := newTestMonitor(clock, func(addr.IA) []*segment.Path { return paths }, opts)
 	m.Subscribe(log.report)
 	m.Track(probeTarget(0), "probe.server")
 	return m, clock, log
@@ -213,7 +226,7 @@ func TestMonitorJitteredScheduling(t *testing.T) {
 	}
 	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
 	script.clock = clock
-	m := pan.NewMonitor(clock, func(ia addr.IA) []*segment.Path { return all }, pan.MonitorOptions{
+	m := newTestMonitor(clock, func(ia addr.IA) []*segment.Path { return all }, pan.MonitorOptions{
 		BaseInterval: 4 * time.Second,
 		ProbeBudget:  -1, // uncapped: this test isolates phase jitter
 		Probe:        script.fn,
@@ -446,7 +459,7 @@ func TestMonitorFeedsSubscribedSelectors(t *testing.T) {
 		fp1:                    {{rtt: 5 * time.Millisecond}},
 	}}
 	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
-	m := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return paths }, pan.MonitorOptions{
+	m := newTestMonitor(clock, func(addr.IA) []*segment.Path { return paths }, pan.MonitorOptions{
 		BaseInterval: time.Second, Probe: script.fn,
 	})
 	ls1, ls2 := pan.NewLatencySelector(), pan.NewLatencySelector()
@@ -636,7 +649,7 @@ func TestHotspotSelectorRanksAroundSharedHotLink(t *testing.T) {
 		clean.Fingerprint(): {{rtt: 160 * time.Millisecond}},
 	}}
 	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
-	m := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return paths }, pan.MonitorOptions{
+	m := newTestMonitor(clock, func(addr.IA) []*segment.Path { return paths }, pan.MonitorOptions{
 		BaseInterval: time.Second, Probe: script.fn,
 	})
 	hs := pan.NewHotspotSelector(m)
@@ -675,7 +688,7 @@ func TestMonitorDropsVanishedPaths(t *testing.T) {
 	current := []*segment.Path{keep, gone}
 	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
 	script.clock = clock
-	m := pan.NewMonitor(clock, func(addr.IA) []*segment.Path {
+	m := newTestMonitor(clock, func(addr.IA) []*segment.Path {
 		mu.Lock()
 		defer mu.Unlock()
 		return current
@@ -723,11 +736,11 @@ func TestMonitorObserveMatchesProbePipeline(t *testing.T) {
 	script := &probeScript{script: map[string][]probeOutcome{probed.Fingerprint(): {
 		{rtt: samples[0]}, {rtt: samples[1]}, {rtt: samples[2]},
 	}}}
-	mProbe := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{probed} }, pan.MonitorOptions{
+	mProbe := newTestMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{probed} }, pan.MonitorOptions{
 		BaseInterval: time.Second, Probe: script.fn,
 	})
 	mProbe.Track(probeTarget(0), "probe.server")
-	mPassive := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{observed} }, pan.MonitorOptions{
+	mPassive := newTestMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{observed} }, pan.MonitorOptions{
 		BaseInterval: time.Second, Probe: script.fn,
 	})
 	log := &reportLog{}
@@ -881,7 +894,7 @@ func TestMonitorStopRestartMidProbe(t *testing.T) {
 		}
 		return 30 * time.Millisecond, nil
 	}
-	m := pan.NewMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{p} }, pan.MonitorOptions{
+	m := newTestMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{p} }, pan.MonitorOptions{
 		BaseInterval: time.Second, Probe: probe,
 	})
 	m.Track(probeTarget(0), "probe.server")

@@ -84,10 +84,9 @@ func (pr *linkPrior) penalty(now time.Time, horizon time.Duration) time.Duration
 // local sample (or an unresolved local failure). Imported priors are
 // excluded — see LinkSnapshot. Output ordering is deterministic.
 func (m *Monitor) ExportLinks() LinkSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	now := m.clock.Now()
 	snap := LinkSnapshot{Version: LinkSnapshotVersion}
+	m.linkMu.Lock()
 	stats, _ := m.linkCacheLocked()
 	cacheLag := now.Sub(m.linkCacheAt)
 	for _, st := range stats {
@@ -99,23 +98,28 @@ func (m *Monitor) ExportLinks() LinkSnapshot {
 			Age:        st.Age + cacheLag,
 		})
 	}
-	for fp, e := range m.entries {
-		if e.prior || (e.samples == 0 && !e.down) {
-			continue
+	m.linkMu.Unlock()
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for fp, e := range sh.entries {
+			if e.prior || (e.samples == 0 && !e.down) {
+				continue
+			}
+			var age time.Duration
+			if !e.lastSample.IsZero() {
+				age = now.Sub(e.lastSample)
+			}
+			snap.Paths = append(snap.Paths, PathExport{
+				Dst:         e.path.Dst,
+				Fingerprint: fp,
+				RTT:         e.rtt,
+				Dev:         e.dev,
+				Samples:     e.samples,
+				Age:         age,
+				Down:        e.down,
+			})
 		}
-		var age time.Duration
-		if !e.lastSample.IsZero() {
-			age = now.Sub(e.lastSample)
-		}
-		snap.Paths = append(snap.Paths, PathExport{
-			Dst:         e.path.Dst,
-			Fingerprint: fp,
-			RTT:         e.rtt,
-			Dev:         e.dev,
-			Samples:     e.samples,
-			Age:         age,
-			Down:        e.down,
-		})
+		sh.mu.Unlock()
 	}
 	sort.Slice(snap.Paths, func(i, j int) bool {
 		if snap.Paths[i].Dst != snap.Paths[j].Dst {
@@ -194,11 +198,10 @@ func (m *Monitor) ImportLinks(snap LinkSnapshot, weight float64) (int, error) {
 	scale := func(age time.Duration) time.Duration {
 		return time.Duration(float64(age) / weight)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	now := m.clock.Now()
 	horizon := time.Duration(staleSeriesAfter) * m.opts.MaxInterval
 	applied := 0
+	m.linkMu.Lock()
 	for _, l := range snap.Links {
 		effAge := scale(l.Age)
 		if effAge >= horizon {
@@ -216,8 +219,10 @@ func (m *Monitor) ImportLinks(snap LinkSnapshot, weight float64) (int, error) {
 		}
 		applied++
 	}
+	m.linkMu.Unlock()
 	// Resolve imported paths against this host's own control plane, one
-	// lookup per destination.
+	// lookup per destination — outside every lock; the per-path apply then
+	// takes exactly the destination's shard lock, like any other ingest.
 	byDst := make(map[addr.IA]map[string]*segment.Path)
 	for _, p := range snap.Paths {
 		effAge := scale(p.Age)
@@ -239,17 +244,21 @@ func (m *Monitor) ImportLinks(snap LinkSnapshot, weight float64) (int, error) {
 		if path == nil {
 			continue // not a path this host can use
 		}
-		e := m.entries[p.Fingerprint]
+		sh := m.shardFor(p.Dst)
+		sh.mu.Lock()
+		e := sh.entries[p.Fingerprint]
 		if e == nil {
 			e = &monEntry{
 				path:     path,
 				targets:  make(map[string]*monTarget),
 				interval: m.opts.BaseInterval,
 			}
-			m.entries[p.Fingerprint] = e
+			sh.entries[p.Fingerprint] = e
 		} else if e.samples > 0 && !e.prior {
+			sh.mu.Unlock()
 			continue // live local telemetry always overrides imports
 		} else if e.prior && !e.lastSample.IsZero() && now.Sub(e.lastSample) <= effAge {
+			sh.mu.Unlock()
 			continue // the prior already held is effectively younger
 		}
 		e.rtt, e.dev = p.RTT, p.Dev
@@ -257,6 +266,7 @@ func (m *Monitor) ImportLinks(snap LinkSnapshot, weight float64) (int, error) {
 		e.down = p.Down
 		e.prior = true
 		e.lastSample = now.Add(-effAge)
+		sh.mu.Unlock()
 		applied++
 	}
 	return applied, nil

@@ -21,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -123,13 +124,30 @@ type Proxy struct {
 	stripe     *pan.StripeOptions
 	// origins remembers each SCION-served host's endpoint so the stats
 	// snapshot can ask the monitor for that destination's passive/probe
-	// sample split.
-	origins map[string]addr.UDPAddr
+	// sample split. Entries carry a last-touched sequence (originSeq) so
+	// the over-cap sweep evicts oldest-first instead of in map iteration
+	// order — a hot origin must never lose its slot to an idle pooled one.
+	origins   map[string]originRec
+	originSeq uint64
+	// sweeping marks an origin sweep in flight; at most one runs at a time,
+	// off the request path (see sweepOrigins).
+	sweeping bool
+	// originTracked answers "does the monitor still track this origin" for
+	// the sweep. Defaults to a TargetSamples probe of the monitor passed to
+	// the sweep; a test hook so sweep/request interleaving is controllable.
+	originTracked func(m *pan.Monitor, remote addr.UDPAddr, host string) bool
+}
+
+// originRec is one remembered origin: its endpoint plus the monotone
+// sequence stamp of its most recent request.
+type originRec struct {
+	remote addr.UDPAddr
+	touch  uint64
 }
 
 // New builds the proxy.
 func New(cfg Config) *Proxy {
-	p := &Proxy{cfg: cfg, stats: NewStats(), passive: cfg.Passive, origins: make(map[string]addr.UDPAddr)}
+	p := &Proxy{cfg: cfg, stats: NewStats(), passive: cfg.Passive, origins: make(map[string]originRec)}
 	p.dialer = cfg.Host.NewDialer(pan.DialOptions{
 		Selector:     cfg.Selector,
 		Mode:         pan.Opportunistic,
@@ -259,22 +277,19 @@ func (p *Proxy) passiveSampleCount(remote addr.UDPAddr, host string) int {
 // before passive telemetry was enabled).
 func (p *Proxy) observeFirstByte(host string, remote addr.UDPAddr, path *segment.Path, ttfb time.Duration, warm bool, passiveBefore int) {
 	p.mu.Lock()
-	p.origins[host] = remote
+	p.originSeq++
+	p.origins[host] = originRec{remote: remote, touch: p.originSeq}
 	// Amortized bound: sweep only once the map has outgrown the cap by a
-	// slack margin (so the O(n) prune runs at most once per cap/4 inserts,
-	// not per request), and if pruning untracked hosts frees nothing —
-	// every origin still pooled — evict arbitrarily down to the cap; a
-	// dropped-but-hot origin re-registers on its next request.
-	if len(p.origins) > maxTrackedOrigins+maxTrackedOrigins/4 {
-		p.pruneOriginsLocked()
-		for h := range p.origins {
-			if len(p.origins) <= maxTrackedOrigins {
-				break
-			}
-			delete(p.origins, h)
-		}
-	}
+	// slack margin (so the O(n) sweep runs at most once per cap/4 inserts,
+	// not per request) — and in a goroutine of its own. The request path
+	// pays exactly one map insert: the old inline sweep held p.mu through
+	// up to ~1280 monitor queries, stalling every concurrent request (and
+	// every connection whose ack sample needed the proxy's locks).
 	m, on := p.monitor, p.passive
+	if len(p.origins) > maxTrackedOrigins+maxTrackedOrigins/4 && !p.sweeping {
+		p.sweeping = true
+		go p.sweepOrigins(m)
+	}
 	p.mu.Unlock()
 	if m == nil || !on || !warm || path == nil || ttfb <= 0 {
 		return
@@ -290,18 +305,70 @@ func (p *Proxy) observeFirstByte(host string, remote addr.UDPAddr, path *segment
 // out the ones the monitor has stopped tracking once the map outgrows this.
 const maxTrackedOrigins = 1024
 
-// pruneOriginsLocked drops origins the monitor no longer tracks (their
-// pooled connections were evicted, so their sample split is gone anyway).
-// Lock order p.mu → monitor.mu, the same direction every proxy call takes.
-func (p *Proxy) pruneOriginsLocked() {
-	m := p.monitor
-	if m == nil {
-		p.origins = make(map[string]addr.UDPAddr)
-		return
+// sweepOrigins bounds the origin map, OFF the request path, in three
+// phases: snapshot the entries under p.mu, query the monitor with no proxy
+// lock held (the expensive part — one TargetSamples per origin), then
+// delete in a second short critical section. Untracked origins (pooled
+// connections evicted, so their sample split is gone anyway) go first;
+// if the map is still over cap — every origin tracked — the OLDEST-touched
+// entries are evicted until it fits, so the busiest origins always keep
+// their slots. An entry touched by a request after the snapshot is left
+// alone either way: its staleness verdict and its position in the age
+// order both describe a state that no longer holds.
+func (p *Proxy) sweepOrigins(m *pan.Monitor) {
+	defer func() {
+		p.mu.Lock()
+		p.sweeping = false
+		p.mu.Unlock()
+	}()
+	type snap struct {
+		host string
+		rec  originRec
 	}
-	for host, remote := range p.origins {
-		if _, ok := m.TargetSamples(remote, host); !ok {
-			delete(p.origins, host)
+	p.mu.Lock()
+	entries := make([]snap, 0, len(p.origins))
+	for h, rec := range p.origins {
+		entries = append(entries, snap{h, rec})
+	}
+	tracked := p.originTracked
+	p.mu.Unlock()
+	if tracked == nil {
+		tracked = func(m *pan.Monitor, remote addr.UDPAddr, host string) bool {
+			if m == nil {
+				// No telemetry plane to consult: treat every origin as live
+				// and let recency alone pick the evictions.
+				return true
+			}
+			_, ok := m.TargetSamples(remote, host)
+			return ok
+		}
+	}
+	stale := make([]snap, 0)
+	for _, s := range entries {
+		if !tracked(m, s.rec.remote, s.host) {
+			stale = append(stale, s)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].rec.touch < entries[j].rec.touch })
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.monitor != m {
+		// A concurrent SetProbing swapped the plane: the staleness verdicts
+		// describe a monitor no longer attached. Age-based eviction below
+		// still applies — recency is the proxy's own state.
+		stale = nil
+	}
+	for _, s := range stale {
+		if cur, ok := p.origins[s.host]; ok && cur.touch == s.rec.touch {
+			delete(p.origins, s.host)
+		}
+	}
+	for _, s := range entries {
+		if len(p.origins) <= maxTrackedOrigins {
+			break
+		}
+		if cur, ok := p.origins[s.host]; ok && cur.touch == s.rec.touch {
+			delete(p.origins, s.host)
 		}
 	}
 }
@@ -315,7 +382,7 @@ func (p *Proxy) SampleSplits() map[string]pan.SampleSplit {
 	m := p.monitor
 	origins := make(map[string]addr.UDPAddr, len(p.origins))
 	for h, r := range p.origins {
-		origins[h] = r
+		origins[h] = r.remote
 	}
 	p.mu.Unlock()
 	if m == nil || len(origins) == 0 {
