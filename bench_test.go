@@ -849,6 +849,13 @@ func BenchmarkServerObserve(b *testing.B) {
 		b.Fatal("no reverse paths")
 	}
 	base := 2 * rev[0].Meta.Latency
+	// One warmup iteration outside the measured region: the first pick pays
+	// one-time telemetry map and reverse-path cache construction that the
+	// steady state never sees again.
+	m.Observe(rev[0], base)
+	if _, ok := st.PickReverse(topology.AS111); !ok {
+		b.Fatal("no steering pick despite fresh telemetry")
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -859,8 +866,8 @@ func BenchmarkServerObserve(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	if tel, ok := m.Telemetry(rev[0].Fingerprint()); !ok || tel.PassiveSamples != b.N {
-		b.Fatalf("server ingested %d of %d samples", tel.PassiveSamples, b.N)
+	if tel, ok := m.Telemetry(rev[0].Fingerprint()); !ok || tel.PassiveSamples != b.N+1 {
+		b.Fatalf("server ingested %d of %d samples", tel.PassiveSamples, b.N+1)
 	}
 }
 
@@ -890,6 +897,64 @@ func BenchmarkSnapshotMerge(b *testing.B) {
 	b.ReportMetric(float64(applied)/float64(b.N), "estimates/merge")
 }
 
+// BenchmarkRouterTransit measures one end-to-end multi-hop forwarding pass
+// with the flow-verified MAC cache warm (steady state of an established flow)
+// versus cold (every transit router re-derives and re-verifies each hop MAC),
+// isolating what the verdict cache is worth per packet.
+func BenchmarkRouterTransit(b *testing.B) {
+	run := func(b *testing.B, cold bool) {
+		topo, infra, reg := controlPlane(b)
+		clock := netsim.NewSimClock(during)
+		dw, err := dataplane.NewWorld(topo, infra.ForwardingKeys, clock, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered := 0
+		dw.Router(topology.AS211).SetDeliveryHandler(func(p *dataplane.Packet) { delivered++; p.Release() })
+		paths := pathdb.NewCombiner(reg).Paths(topology.AS111, topology.AS211, during)
+		tmpl, err := dataplane.TemplateFor(paths[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		routers := make([]*dataplane.Router, 0, len(paths[0].Hops))
+		for _, h := range paths[0].Hops {
+			routers = append(routers, dw.Router(h.IA))
+		}
+		pkt := &dataplane.Packet{
+			Src:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS111, Host: netip.MustParseAddr("10.0.0.1")}, Port: 1},
+			Dst:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 2},
+			Hops:    paths[0].Hops,
+			Payload: make([]byte, 900),
+		}
+		// Warmup pass (pool and verifier construction) before measuring.
+		if err := dw.Router(topology.AS111).InjectTemplated(pkt, tmpl); err != nil {
+			b.Fatal(err)
+		}
+		for clock.AdvanceToNext() {
+		}
+		delivered = 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cold {
+				for _, r := range routers {
+					r.InvalidateMACCache()
+				}
+			}
+			if err := dw.Router(topology.AS111).InjectTemplated(pkt, tmpl); err != nil {
+				b.Fatal(err)
+			}
+			for clock.AdvanceToNext() {
+			}
+		}
+		if delivered != b.N {
+			b.Fatalf("delivered %d of %d", delivered, b.N)
+		}
+	}
+	b.Run("warm", func(b *testing.B) { run(b, false) })
+	b.Run("cold", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkDataplaneForwarding measures router validation+forwarding of one
 // packet across the full inter-ISD path (virtual network, real CPU cost).
 func BenchmarkDataplaneForwarding(b *testing.B) {
@@ -900,8 +965,12 @@ func BenchmarkDataplaneForwarding(b *testing.B) {
 		b.Fatal(err)
 	}
 	delivered := 0
-	dw.Router(topology.AS211).SetDeliveryHandler(func(*dataplane.Packet) { delivered++ })
+	dw.Router(topology.AS211).SetDeliveryHandler(func(p *dataplane.Packet) { delivered++; p.Release() })
 	paths := pathdb.NewCombiner(reg).Paths(topology.AS111, topology.AS211, during)
+	tmpl, err := dataplane.TemplateFor(paths[0])
+	if err != nil {
+		b.Fatal(err)
+	}
 	pkt := &dataplane.Packet{
 		Src:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS111, Host: netip.MustParseAddr("10.0.0.1")}, Port: 1},
 		Dst:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 2},
@@ -909,11 +978,10 @@ func BenchmarkDataplaneForwarding(b *testing.B) {
 		Payload: make([]byte, 900), // header + payload must fit the 1400 B MTU
 	}
 	// One warmup packet outside the measured region: the first forwarding
-	// pass pays one-time MAC/key cache construction, which at CI's
-	// -benchtime=1x would otherwise drown the steady-state cost the
-	// trajectory tracks.
-	warm := *pkt
-	if err := dw.Router(topology.AS111).InjectLocal(&warm); err != nil {
+	// pass pays one-time MAC/key cache and buffer/packet pool construction,
+	// which at CI's -benchtime=1x would otherwise drown the steady-state
+	// cost the trajectory tracks.
+	if err := dw.Router(topology.AS111).InjectTemplated(pkt, tmpl); err != nil {
 		b.Fatal(err)
 	}
 	for clock.AdvanceToNext() {
@@ -922,9 +990,7 @@ func BenchmarkDataplaneForwarding(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fresh := *pkt
-		fresh.CurrHop = 0
-		if err := dw.Router(topology.AS111).InjectLocal(&fresh); err != nil {
+		if err := dw.Router(topology.AS111).InjectTemplated(pkt, tmpl); err != nil {
 			b.Fatal(err)
 		}
 		// Drain the in-flight hops deterministically.
@@ -934,6 +1000,44 @@ func BenchmarkDataplaneForwarding(b *testing.B) {
 	if delivered != b.N {
 		b.Fatalf("delivered %d of %d", delivered, b.N)
 	}
+}
+
+// BenchmarkPacketTemplate contrasts template-patched marshaling (the snet
+// send path: pre-encoded hop section copied, only header/addresses/payload
+// written per packet) against re-encoding the full header with Marshal.
+func BenchmarkPacketTemplate(b *testing.B) {
+	_, _, reg := controlPlane(b)
+	paths := pathdb.NewCombiner(reg).Paths(topology.AS111, topology.AS211, during)
+	pkt := &dataplane.Packet{
+		Src:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS111, Host: netip.MustParseAddr("10.0.0.1")}, Port: 1},
+		Dst:     addr.UDPAddr{Addr: addr.Addr{IA: topology.AS211, Host: netip.MustParseAddr("10.0.0.2")}, Port: 2},
+		Hops:    paths[0].Hops,
+		Payload: make([]byte, 1000),
+	}
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(1000)
+		for i := 0; i < b.N; i++ {
+			if _, err := pkt.Marshal(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("templated", func(b *testing.B) {
+		tmpl, err := dataplane.TemplateFor(paths[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetBytes(1000)
+		for i := 0; i < b.N; i++ {
+			buf, err := pkt.MarshalTemplated(tmpl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			netsim.PutBuf(buf)
+		}
+	})
 }
 
 // BenchmarkStatsSummarize measures five-number summaries on a 1000-sample

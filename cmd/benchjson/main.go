@@ -9,6 +9,10 @@
 // budget check: each named benchmark must report allocs/op (b.ReportAllocs)
 // at or under N, or the exit status is nonzero — wired into CI's
 // bench-smoke step so alloc regressions on gated hot paths fail the build.
+//
+// Repeatable -gate-min Name/metric=X flags are the throughput mirror: the
+// named benchmark's custom metric (everything after the first '/' — metric
+// names may themselves contain slashes, e.g. MB/s) must be at least X.
 package main
 
 import (
@@ -65,6 +69,67 @@ func (g *allocGates) Set(v string) error {
 	return nil
 }
 
+// minGate is one -gate-min entry: a floor on a benchmark's custom metric.
+type minGate struct {
+	name   string
+	metric string
+	min    float64
+}
+
+// minGates implements flag.Value for repeatable -gate-min Name/metric=X
+// flags. The benchmark name ends at the FIRST '/': metric names may contain
+// slashes themselves (MB/s).
+type minGates []minGate
+
+func (g *minGates) String() string {
+	parts := make([]string, len(*g))
+	for i, e := range *g {
+		parts[i] = fmt.Sprintf("%s/%s=%g", e.name, e.metric, e.min)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *minGates) Set(v string) error {
+	spec, lim, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want Name/metric=X, got %q", v)
+	}
+	name, metric, ok := strings.Cut(spec, "/")
+	if !ok || name == "" || metric == "" {
+		return fmt.Errorf("want Name/metric=X, got %q", v)
+	}
+	min, err := strconv.ParseFloat(lim, 64)
+	if err != nil {
+		return fmt.Errorf("bad floor in %q: %v", v, err)
+	}
+	*g = append(*g, minGate{name: name, metric: metric, min: min})
+	return nil
+}
+
+// check enforces every floor; missing benchmarks or metrics fail like
+// exceeded floors do.
+func (g minGates) check(benchmarks map[string]Result) (failed bool) {
+	for _, e := range g {
+		r, ok := benchmarks[e.name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate-min %s: benchmark missing from input\n", e.name)
+			failed = true
+			continue
+		}
+		v, ok := r.Metrics[e.metric]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate-min %s: no %s metric in output\n", e.name, e.metric)
+			failed = true
+			continue
+		}
+		if v < e.min {
+			fmt.Fprintf(os.Stderr, "benchjson: gate-min %s: %g %s below floor %g\n", e.name, v, e.metric, e.min)
+			failed = true
+		}
+	}
+	return failed
+}
+
 // check enforces every gate against the parsed results, reporting each
 // violation; a missing benchmark or one not reporting allocs/op fails too —
 // a silently vanished gate is itself a regression.
@@ -94,6 +159,8 @@ func main() {
 	pr := flag.Int("pr", 0, "PR number stamped into the document")
 	var gates allocGates
 	flag.Var(&gates, "gate", "allocation budget Name=N (repeatable): fail unless the named benchmark reports allocs/op <= N")
+	var floors minGates
+	flag.Var(&floors, "gate-min", "metric floor Name/metric=X (repeatable): fail unless the named benchmark reports metric >= X")
 	flag.Parse()
 
 	out := Trajectory{PR: *pr, Benchmarks: map[string]Result{}}
@@ -149,7 +216,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	if gates.check(out.Benchmarks) {
+	failed := gates.check(out.Benchmarks)
+	if floors.check(out.Benchmarks) {
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,81 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMacCacheHitRequiresExactBytesAndIngress(t *testing.T) {
+	var c macCache
+	now := time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC)
+	raw := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	key := macKey(raw, 7)
+	c.store(key, raw, 7, now.Add(time.Hour))
+
+	if !c.lookup(key, raw, 7, now) {
+		t.Fatal("stored verdict not found")
+	}
+	// Same key, different ingress: no hit.
+	if c.lookup(key, raw, 9, now) {
+		t.Fatal("verdict leaked across ingress interfaces")
+	}
+	// Forged bytes that happen to collide on the hash must still miss: the
+	// cache compares the full wire bytes, not just the 64-bit key.
+	forged := append([]byte(nil), raw...)
+	forged[3] ^= 0x80
+	if c.lookup(key, forged, 7, now) {
+		t.Fatal("verdict granted to different hop bytes under the same key")
+	}
+	// The defensive copy must shield the cache from callers mutating raw
+	// after store (the router hands in a span of a pooled, reused buffer).
+	raw[0] ^= 0xFF
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !c.lookup(key, orig, 7, now) {
+		t.Fatal("cache entry corrupted by caller mutating the stored slice")
+	}
+}
+
+func TestMacCacheExpiry(t *testing.T) {
+	var c macCache
+	now := time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC)
+	raw := []byte{9, 9, 9}
+	key := macKey(raw, 1)
+	c.store(key, raw, 1, now.Add(time.Minute))
+	if !c.lookup(key, raw, 1, now.Add(59*time.Second)) {
+		t.Fatal("verdict missing before expiry")
+	}
+	// At and after the stored expiry the verdict is dead — and deleted, so a
+	// subsequent pre-expiry lookup can't resurrect it.
+	if c.lookup(key, raw, 1, now.Add(time.Minute)) {
+		t.Fatal("verdict honored at expiry instant")
+	}
+	if c.lookup(key, raw, 1, now) {
+		t.Fatal("expired entry resurrected")
+	}
+}
+
+func TestMacCacheResetAndBound(t *testing.T) {
+	var c macCache
+	now := time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC)
+	exp := now.Add(time.Hour)
+	// Overfill well past capacity; the per-shard bound must hold.
+	raw := make([]byte, 8)
+	for i := 0; i < macCacheShards*macShardCap*2; i++ {
+		raw[0], raw[1], raw[2], raw[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		c.store(macKey(raw, 0), raw, 0, exp)
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n := len(s.m)
+		s.mu.Unlock()
+		if n > macShardCap {
+			t.Fatalf("shard %d holds %d entries, cap %d", i, n, macShardCap)
+		}
+	}
+	c.reset()
+	raw2 := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if c.lookup(macKey(raw2, 0), raw2, 0, now) {
+		t.Fatal("lookup hit after reset")
+	}
+}

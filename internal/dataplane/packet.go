@@ -9,9 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
 
 	"tango/internal/addr"
+	"tango/internal/netsim"
 	"tango/internal/segment"
 )
 
@@ -26,6 +28,33 @@ type Packet struct {
 	// CurrHop indexes the hop being processed.
 	CurrHop uint8
 	Payload []byte
+
+	// wire is the leased buffer Payload aliases when the packet came out of
+	// the router's pooled decode path (see unmarshalOwned); Release returns
+	// both to their pools.
+	wire   []byte
+	pooled bool
+}
+
+// packetPool recycles delivered packets (struct + hop slice) between
+// deliveries; see unmarshalOwned and Release.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Release returns a router-delivered packet, its hop slice, and the wire
+// buffer its payload aliases to their pools. It is a no-op for packets that
+// did not come from the pooled decode path, so delivery handlers may call it
+// unconditionally on every packet they are done with. Handlers that retain
+// the packet — or any slice into it (Payload, Hops) — must simply not call
+// Release; such packets fall to the garbage collector like before.
+func (p *Packet) Release() {
+	if !p.pooled {
+		return
+	}
+	wire := p.wire
+	hops := p.Hops[:0]
+	*p = Packet{Hops: hops}
+	packetPool.Put(p)
+	netsim.PutBuf(wire)
 }
 
 // Wire-format constants.
@@ -56,10 +85,20 @@ var (
 
 // Marshal encodes the packet.
 func (p *Packet) Marshal() ([]byte, error) {
+	return p.appendWire(make([]byte, 0, HeaderLen(p.Hops)+len(p.Payload)))
+}
+
+// marshalPooled encodes the packet into a buffer leased from the netsim
+// buffer pool; ownership of the result transfers to the caller (typically
+// straight into Link.SendOwned).
+func (p *Packet) marshalPooled() ([]byte, error) {
+	return p.appendWire(netsim.GetBuf(HeaderLen(p.Hops) + len(p.Payload))[:0])
+}
+
+func (p *Packet) appendWire(buf []byte) ([]byte, error) {
 	if len(p.Hops) > 255 {
 		return nil, fmt.Errorf("%w: %d hops", ErrBadPacket, len(p.Hops))
 	}
-	buf := make([]byte, 0, HeaderLen(p.Hops)+len(p.Payload))
 	buf = append(buf, version, p.CurrHop, byte(len(p.Hops)), 0)
 	buf = appendUDPAddr(buf, p.Src)
 	buf = appendUDPAddr(buf, p.Dst)
@@ -98,44 +137,79 @@ func appendUDPAddr(buf []byte, a addr.UDPAddr) []byte {
 	return buf
 }
 
-// Unmarshal decodes a packet from buf.
+// Unmarshal decodes a packet from buf. The returned packet is independent of
+// buf (the payload is copied).
 func Unmarshal(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := p.unmarshalInto(buf, false); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// unmarshalOwned decodes buf, taking ownership of it: the returned packet
+// comes from packetPool, its hop slice is reused across deliveries, and its
+// Payload aliases buf instead of copying. Release returns everything. On
+// error the buffer is released here and only the accounting is left to the
+// caller.
+func unmarshalOwned(buf []byte) (*Packet, error) {
+	p := packetPool.Get().(*Packet)
+	if err := p.unmarshalInto(buf, true); err != nil {
+		hops := p.Hops[:0]
+		*p = Packet{Hops: hops}
+		packetPool.Put(p)
+		netsim.PutBuf(buf)
+		return nil, err
+	}
+	p.wire = buf
+	p.pooled = true
+	return p, nil
+}
+
+// unmarshalInto decodes buf into p, reusing p's hop slice capacity. With
+// alias set the payload aliases buf; otherwise it is copied.
+func (p *Packet) unmarshalInto(buf []byte, alias bool) error {
 	if len(buf) < fixedHeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if buf[0] != version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
+		return fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
 	}
-	p := &Packet{CurrHop: buf[1]}
+	p.CurrHop = buf[1]
 	numHops := int(buf[2])
 	buf = buf[fixedHeaderLen:]
 
 	var err error
 	p.Src, buf, err = readUDPAddr(buf)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p.Dst, buf, err = readUDPAddr(buf)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	p.Hops = make([]segment.Hop, numHops)
+	if cap(p.Hops) >= numHops {
+		p.Hops = p.Hops[:numHops]
+	} else {
+		p.Hops = make([]segment.Hop, numHops)
+	}
 	for i := 0; i < numHops; i++ {
 		if len(buf) < hopFixedLen {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		h := &p.Hops[i]
+		*h = segment.Hop{}
 		h.IA = addr.IA{ISD: addr.ISD(binary.BigEndian.Uint16(buf[0:2])), AS: addr.AS(binary.BigEndian.Uint64(buf[2:10]))}
 		h.Ingress = addr.IfID(binary.BigEndian.Uint16(buf[10:12]))
 		h.Egress = addr.IfID(binary.BigEndian.Uint16(buf[12:14]))
 		h.NumAuth = int(buf[14])
 		buf = buf[hopFixedLen:]
 		if h.NumAuth > 2 {
-			return nil, fmt.Errorf("%w: hop with %d auth fields", ErrBadPacket, h.NumAuth)
+			return fmt.Errorf("%w: hop with %d auth fields", ErrBadPacket, h.NumAuth)
 		}
 		for j := 0; j < h.NumAuth; j++ {
 			if len(buf) < authFieldLen {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
 			a := &h.Auth[j]
 			a.SegInfo.Timestamp = time.Unix(0, int64(binary.BigEndian.Uint64(buf[0:8]))).UTC()
@@ -152,31 +226,38 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		}
 	}
 	if len(buf) < 2 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	plen := int(binary.BigEndian.Uint16(buf[0:2]))
 	buf = buf[2:]
 	if len(buf) < plen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	p.Payload = append([]byte(nil), buf[:plen]...)
-	return p, nil
+	if alias {
+		p.Payload = buf[:plen:plen]
+	} else {
+		p.Payload = append([]byte(nil), buf[:plen]...)
+	}
+	return nil
 }
 
-// transitHop decodes ONLY the current hop of an encoded packet — the border
-// router's forwarding fast path. For a well-formed non-final transit hop it
-// avoids materializing the addresses, the other hops, and the payload; the
-// caller validates the hop and forwards the original buffer with CurrHop
-// patched in place. ok=false (truncation, bad version, final hop, AS-local
-// path) sends the caller to the full Unmarshal slow path, which keeps the
+// currHopSpan locates the encoded bytes of the current hop — the border
+// router's forwarding fast path. ok means the span is fully in bounds with a
+// plausible auth count, so decodeHopSpan can decode it without further
+// checks; final reports whether the current hop is the last (delivery rather
+// than transit). ok=false (truncation, bad version, AS-local path, bogus
+// NumAuth) sends the caller to the full Unmarshal slow path, which keeps the
 // error accounting and delivery semantics.
-func transitHop(buf []byte) (hop segment.Hop, ok bool) {
+//
+// The wire offsets double as the MAC-cache identity: the returned span is
+// exactly the bytes hashed and compared by the router's hop-verdict cache.
+func currHopSpan(buf []byte) (raw []byte, final, ok bool) {
 	if len(buf) < fixedHeaderLen || buf[0] != version {
-		return hop, false
+		return nil, false, false
 	}
 	curr, numHops := int(buf[1]), int(buf[2])
-	if numHops == 0 || curr >= numHops-1 {
-		return hop, false // final hop or malformed: needs the full packet
+	if numHops == 0 || curr >= numHops {
+		return nil, false, false
 	}
 	// Walk over the preceding hops: each contributes its fixed part plus
 	// NumAuth auth fields. A bogus intermediate NumAuth overshoots the buffer
@@ -184,26 +265,37 @@ func transitHop(buf []byte) (hop segment.Hop, ok bool) {
 	off := fixedHeaderLen + 2*udpAddrLen
 	for i := 0; i < curr; i++ {
 		if off+hopFixedLen > len(buf) {
-			return hop, false
+			return nil, false, false
 		}
-		off += hopFixedLen + int(buf[off+hopFixedLen-1])*authFieldLen
+		na := int(buf[off+hopFixedLen-1])
+		if na > 2 {
+			return nil, false, false
+		}
+		off += hopFixedLen + na*authFieldLen
 	}
 	if off+hopFixedLen > len(buf) {
-		return hop, false
+		return nil, false, false
 	}
-	b := buf[off:]
-	hop.IA = addr.IA{ISD: addr.ISD(binary.BigEndian.Uint16(b[0:2])), AS: addr.AS(binary.BigEndian.Uint64(b[2:10]))}
-	hop.Ingress = addr.IfID(binary.BigEndian.Uint16(b[10:12]))
-	hop.Egress = addr.IfID(binary.BigEndian.Uint16(b[12:14]))
-	hop.NumAuth = int(b[14])
-	if hop.NumAuth > 2 {
-		return segment.Hop{}, false
+	numAuth := int(buf[off+hopFixedLen-1])
+	if numAuth > 2 {
+		return nil, false, false
 	}
-	b = b[hopFixedLen:]
+	end := off + hopFixedLen + numAuth*authFieldLen
+	if end > len(buf) {
+		return nil, false, false
+	}
+	return buf[off:end], curr == numHops-1, true
+}
+
+// decodeHopSpan decodes a hop span located by currHopSpan (bounds and auth
+// count already validated there).
+func decodeHopSpan(raw []byte) (hop segment.Hop) {
+	hop.IA = addr.IA{ISD: addr.ISD(binary.BigEndian.Uint16(raw[0:2])), AS: addr.AS(binary.BigEndian.Uint64(raw[2:10]))}
+	hop.Ingress = addr.IfID(binary.BigEndian.Uint16(raw[10:12]))
+	hop.Egress = addr.IfID(binary.BigEndian.Uint16(raw[12:14]))
+	hop.NumAuth = int(raw[14])
+	b := raw[hopFixedLen:]
 	for j := 0; j < hop.NumAuth; j++ {
-		if len(b) < authFieldLen {
-			return segment.Hop{}, false
-		}
 		a := &hop.Auth[j]
 		a.SegInfo.Timestamp = time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC()
 		a.SegInfo.SegID = binary.BigEndian.Uint16(b[8:10])
@@ -217,7 +309,7 @@ func transitHop(buf []byte) (hop segment.Hop, ok bool) {
 		copy(a.HopField.MAC[:], b[32:32+segment.MACLen])
 		b = b[authFieldLen:]
 	}
-	return hop, true
+	return hop
 }
 
 func readUDPAddr(buf []byte) (addr.UDPAddr, []byte, error) {

@@ -1,8 +1,10 @@
 package dataplane
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tango/internal/addr"
@@ -10,7 +12,9 @@ import (
 	"tango/internal/segment"
 )
 
-// DeliveryHandler receives packets destined for hosts inside an AS.
+// DeliveryHandler receives packets destined for hosts inside an AS. Handlers
+// that are done with a packet when they return should call pkt.Release to
+// recycle it; handlers that retain the packet (or its Payload/Hops) must not.
 type DeliveryHandler func(pkt *Packet)
 
 // RouterStats counts packet outcomes at one border router.
@@ -28,6 +32,23 @@ type RouterStats struct {
 	SendRejected uint64
 }
 
+// routerCounters is the hot-path representation of RouterStats: independent
+// atomics, so per-packet accounting neither takes nor contends the router
+// mutex guarding the interface table.
+type routerCounters struct {
+	forwarded    atomic.Uint64
+	delivered    atomic.Uint64
+	badMAC       atomic.Uint64
+	expired      atomic.Uint64
+	wrongIA      atomic.Uint64
+	noInterface  atomic.Uint64
+	parseError   atomic.Uint64
+	wrongIngress atomic.Uint64
+	unauthorized atomic.Uint64
+	noLocalHosts atomic.Uint64
+	sendRejected atomic.Uint64
+}
+
 // Router is the (collapsed) border-router plane of one AS: it validates
 // hop-field MACs with the AS's forwarding key and forwards packets between
 // the AS's inter-domain links, or delivers them to local hosts.
@@ -38,11 +59,14 @@ type Router struct {
 	// verifiers pools keyed HMAC states so per-packet MAC checks neither
 	// rebuild the SHA-256 key schedule nor allocate digests.
 	verifiers sync.Pool
+	// macs caches hop validation verdicts keyed by the hop's wire bytes, so
+	// steady-state flows skip the HMAC entirely (see macCache).
+	macs  macCache
+	stats routerCounters
 
 	mu      sync.RWMutex
 	ifaces  map[addr.IfID]linkEnd
 	deliver DeliveryHandler
-	stats   RouterStats
 }
 
 type linkEnd struct {
@@ -76,54 +100,80 @@ func (r *Router) SetDeliveryHandler(h DeliveryHandler) {
 	r.deliver = h
 }
 
+// InvalidateMACCache drops every cached hop-validation verdict, forcing full
+// MAC re-validation for all flows — the hook for forwarding-key rotation
+// (and the cold-cache lever in benchmarks).
+func (r *Router) InvalidateMACCache() { r.macs.reset() }
+
 // Stats returns a snapshot of the router's counters.
 func (r *Router) Stats() RouterStats {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.stats
+	return RouterStats{
+		Forwarded:    r.stats.forwarded.Load(),
+		Delivered:    r.stats.delivered.Load(),
+		BadMAC:       r.stats.badMAC.Load(),
+		Expired:      r.stats.expired.Load(),
+		WrongIA:      r.stats.wrongIA.Load(),
+		NoInterface:  r.stats.noInterface.Load(),
+		ParseError:   r.stats.parseError.Load(),
+		WrongIngress: r.stats.wrongIngress.Load(),
+		Unauthorized: r.stats.unauthorized.Load(),
+		NoLocalHosts: r.stats.noLocalHosts.Load(),
+		SendRejected: r.stats.sendRejected.Load(),
+	}
 }
 
-func (r *Router) count(f func(*RouterStats)) {
-	r.mu.Lock()
-	f(&r.stats)
-	r.mu.Unlock()
-}
-
-// handleFromWire processes a packet arriving on interface in.
+// handleFromWire processes a packet arriving on interface in. The router
+// owns buf (links transfer ownership on delivery) and must release it on
+// every drop path.
 //
-// Transit packets (current hop not the last) take a fast path: only the
-// current hop is decoded and validated, CurrHop is patched in the received
-// buffer, and the buffer is sent on as-is — no Packet, hop slice, or payload
-// allocation and no re-Marshal per forwarded packet. The buffer is
-// exclusively ours (netsim.Link.Send copies), so the in-place patch is safe.
-// Final-hop delivery and anything transitHop cannot cheaply decode fall back
-// to the full Unmarshal path.
+// Transit packets (current hop not the last) take a fast path: the current
+// hop's wire bytes are located in place, validated via the MAC verdict cache
+// (full HMAC validation only on a cache miss), CurrHop is patched in the
+// received buffer, and the very same buffer is handed to the egress link —
+// no Packet, hop slice, or payload allocation, no re-Marshal, and no copy
+// per forwarded packet. Final-hop delivery and anything currHopSpan cannot
+// cheaply locate fall back to the pooled Unmarshal path.
 func (r *Router) handleFromWire(in addr.IfID, buf []byte) {
-	if hop, ok := transitHop(buf); ok {
-		if !r.validateHop(&hop, in) {
-			return
+	raw, final, ok := currHopSpan(buf)
+	if ok && !final {
+		var egress addr.IfID
+		if r.macs.lookup(macKey(raw, in), raw, in, r.clock.Now()) {
+			egress = addr.IfID(binary.BigEndian.Uint16(raw[12:14]))
+		} else {
+			hop := decodeHopSpan(raw)
+			exp, valid := r.validateHop(&hop, in)
+			if !valid {
+				netsim.PutBuf(buf)
+				return
+			}
+			r.macs.store(macKey(raw, in), raw, in, exp)
+			egress = hop.Egress
 		}
 		r.mu.RLock()
-		le, ok := r.ifaces[hop.Egress]
+		le, attached := r.ifaces[egress]
 		r.mu.RUnlock()
-		if !ok {
-			r.count(func(s *RouterStats) { s.NoInterface++ })
+		if !attached {
+			r.stats.noInterface.Add(1)
+			netsim.PutBuf(buf)
 			return
 		}
 		buf[1]++ // CurrHop
-		if !le.link.Send(le.end, buf) {
-			r.count(func(s *RouterStats) { s.SendRejected++ })
+		if !le.link.SendOwned(le.end, buf) {
+			r.stats.sendRejected.Add(1)
 			return
 		}
-		r.count(func(s *RouterStats) { s.Forwarded++ })
+		r.stats.forwarded.Add(1)
 		return
 	}
-	pkt, err := Unmarshal(buf)
+	pkt, err := unmarshalOwned(buf)
 	if err != nil {
-		r.count(func(s *RouterStats) { s.ParseError++ })
+		r.stats.parseError.Add(1)
 		return
 	}
-	r.process(pkt, in)
+	if !ok {
+		raw = nil // malformed span: full validation only
+	}
+	r.processRaw(pkt, in, raw)
 }
 
 // localDelay models AS-internal forwarding time for AS-local (empty path)
@@ -154,19 +204,66 @@ func (r *Router) InjectLocal(pkt *Packet) error {
 	return nil
 }
 
+// InjectTemplated is InjectLocal for the common transport case: a non-empty
+// path whose header template tmpl (see TemplateFor) matches pkt.Hops. The
+// wire image is encoded once, straight into a pooled buffer — template bytes
+// copied, only the fixed header, addresses, and payload written fresh —
+// instead of re-encoding every hop and auth field per packet, and hop-0
+// validation is memoized through the MAC verdict cache keyed by the
+// template's bytes. Falls back to InjectLocal whenever the template does not
+// apply.
+func (r *Router) InjectTemplated(pkt *Packet, tmpl *PathTemplate) error {
+	if tmpl == nil || pkt.CurrHop != 0 || len(pkt.Hops) != tmpl.numHops || len(pkt.Hops) < 2 {
+		return r.InjectLocal(pkt)
+	}
+	hop := &pkt.Hops[0]
+	if hop.IA != r.ia {
+		return fmt.Errorf("dataplane: current hop is not %s", r.ia)
+	}
+	if hop.Ingress != 0 {
+		return fmt.Errorf("dataplane: locally injected packet must start with ingress 0")
+	}
+	raw := tmpl.hopSpan(0)
+	if r.macs.lookup(macKey(raw, 0), raw, 0, r.clock.Now()) {
+		// cached verdict
+	} else {
+		exp, valid := r.validateHop(hop, 0)
+		if !valid {
+			return nil // counted; silent like process
+		}
+		r.macs.store(macKey(raw, 0), raw, 0, exp)
+	}
+	r.mu.RLock()
+	le, attached := r.ifaces[hop.Egress]
+	r.mu.RUnlock()
+	if !attached {
+		r.stats.noInterface.Add(1)
+		return nil
+	}
+	buf := netsim.GetBuf(tmpl.wireLen(len(pkt.Payload)))
+	tmpl.encodeInto(buf, pkt.Src, pkt.Dst, pkt.CurrHop+1, pkt.Payload)
+	if !le.link.SendOwned(le.end, buf) {
+		r.stats.sendRejected.Add(1)
+		return nil
+	}
+	r.stats.forwarded.Add(1)
+	return nil
+}
+
 // validateHop applies the per-hop checks for a packet that entered via
 // interface in (0 = local origin): hop identity, ingress match, MAC and
 // expiry on every carried authorization, and interface authorization. End
-// hosts cannot forge or extend hop fields. Failures are counted; true means
-// the packet may proceed.
-func (r *Router) validateHop(hop *segment.Hop, in addr.IfID) bool {
+// hosts cannot forge or extend hop fields. Failures are counted; valid means
+// the packet may proceed, and expiry is the earliest auth-field expiry — the
+// instant any cached verdict for this hop must die.
+func (r *Router) validateHop(hop *segment.Hop, in addr.IfID) (expiry time.Time, valid bool) {
 	if hop.IA != r.ia {
-		r.count(func(s *RouterStats) { s.WrongIA++ })
-		return false
+		r.stats.wrongIA.Add(1)
+		return time.Time{}, false
 	}
 	if hop.Ingress != in {
-		r.count(func(s *RouterStats) { s.WrongIngress++ })
-		return false
+		r.stats.wrongIngress.Add(1)
+		return time.Time{}, false
 	}
 	now := r.clock.Now()
 	inOK := in == 0
@@ -175,12 +272,15 @@ func (r *Router) validateHop(hop *segment.Hop, in addr.IfID) bool {
 	defer r.verifiers.Put(v)
 	for _, a := range hop.AuthFields() {
 		if !v.Verify(a.SegInfo, a.HopField) {
-			r.count(func(s *RouterStats) { s.BadMAC++ })
-			return false
+			r.stats.badMAC.Add(1)
+			return time.Time{}, false
 		}
 		if !a.HopField.ExpTime.After(now) {
-			r.count(func(s *RouterStats) { s.Expired++ })
-			return false
+			r.stats.expired.Add(1)
+			return time.Time{}, false
+		}
+		if expiry.IsZero() || a.HopField.ExpTime.Before(expiry) {
+			expiry = a.HopField.ExpTime
 		}
 		if a.Authorizes(hop.Ingress) {
 			inOK = true
@@ -190,28 +290,56 @@ func (r *Router) validateHop(hop *segment.Hop, in addr.IfID) bool {
 		}
 	}
 	if hop.NumAuth == 0 || !inOK || !outOK {
-		r.count(func(s *RouterStats) { s.Unauthorized++ })
+		r.stats.unauthorized.Add(1)
+		return time.Time{}, false
+	}
+	return expiry, true
+}
+
+// verifyHop validates the current hop, consulting the MAC verdict cache when
+// the hop's wire bytes are available (raw non-nil).
+func (r *Router) verifyHop(hop *segment.Hop, in addr.IfID, raw []byte) bool {
+	if raw == nil {
+		_, valid := r.validateHop(hop, in)
+		return valid
+	}
+	key := macKey(raw, in)
+	if r.macs.lookup(key, raw, in, r.clock.Now()) {
+		return true
+	}
+	exp, valid := r.validateHop(hop, in)
+	if !valid {
 		return false
 	}
+	r.macs.store(key, raw, in, exp)
 	return true
 }
 
 // process validates and forwards/delivers one packet that entered via
 // interface in (0 = local origin).
-func (r *Router) process(pkt *Packet, in addr.IfID) {
+func (r *Router) process(pkt *Packet, in addr.IfID) { r.processRaw(pkt, in, nil) }
+
+// processRaw is process with the current hop's wire bytes (when the packet
+// came off the wire and currHopSpan located them) for cached validation. It
+// releases pkt on every path that does not hand it to the delivery handler —
+// a no-op for caller-constructed packets, the pool return for wire packets.
+func (r *Router) processRaw(pkt *Packet, in addr.IfID, raw []byte) {
 	if int(pkt.CurrHop) >= len(pkt.Hops) {
-		r.count(func(s *RouterStats) { s.ParseError++ })
+		r.stats.parseError.Add(1)
+		pkt.Release()
 		return
 	}
 	hop := &pkt.Hops[pkt.CurrHop]
-	if !r.validateHop(hop, in) {
+	if !r.verifyHop(hop, in, raw) {
+		pkt.Release()
 		return
 	}
 
 	if int(pkt.CurrHop) == len(pkt.Hops)-1 {
 		// Final AS: deliver to the local host stack.
 		if hop.Egress != 0 || pkt.Dst.IA != r.ia {
-			r.count(func(s *RouterStats) { s.WrongIA++ })
+			r.stats.wrongIA.Add(1)
+			pkt.Release()
 			return
 		}
 		r.deliverLocal(pkt)
@@ -219,23 +347,27 @@ func (r *Router) process(pkt *Packet, in addr.IfID) {
 	}
 
 	r.mu.RLock()
-	le, ok := r.ifaces[hop.Egress]
+	le, attached := r.ifaces[hop.Egress]
 	r.mu.RUnlock()
-	if !ok {
-		r.count(func(s *RouterStats) { s.NoInterface++ })
+	if !attached {
+		r.stats.noInterface.Add(1)
+		pkt.Release()
 		return
 	}
 	pkt.CurrHop++
-	buf, err := pkt.Marshal()
+	buf, err := pkt.marshalPooled()
 	if err != nil {
-		r.count(func(s *RouterStats) { s.ParseError++ })
+		r.stats.parseError.Add(1)
+		pkt.Release()
 		return
 	}
-	if !le.link.Send(le.end, buf) {
-		r.count(func(s *RouterStats) { s.SendRejected++ })
+	sent := le.link.SendOwned(le.end, buf)
+	pkt.Release()
+	if !sent {
+		r.stats.sendRejected.Add(1)
 		return
 	}
-	r.count(func(s *RouterStats) { s.Forwarded++ })
+	r.stats.forwarded.Add(1)
 }
 
 func (r *Router) deliverLocal(pkt *Packet) {
@@ -243,9 +375,10 @@ func (r *Router) deliverLocal(pkt *Packet) {
 	h := r.deliver
 	r.mu.RUnlock()
 	if h == nil {
-		r.count(func(s *RouterStats) { s.NoLocalHosts++ })
+		r.stats.noLocalHosts.Add(1)
+		pkt.Release()
 		return
 	}
-	r.count(func(s *RouterStats) { s.Delivered++ })
+	r.stats.delivered.Add(1)
 	h(pkt)
 }

@@ -1,0 +1,106 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/segment"
+)
+
+// PathTemplate is the pre-marshaled hop section of a path's wire header.
+// Hops and auth fields are immutable for the lifetime of a path, so
+// re-encoding them for every packet (the bulk of Packet.Marshal: per-hop
+// interface fields plus per-auth-field timestamps and MACs) is pure waste;
+// a template encodes them once and per-packet marshaling shrinks to one
+// memcpy plus patching the fixed header, addresses, and payload.
+type PathTemplate struct {
+	numHops int
+	hops    []byte // the encoded hop sequence, exactly as Marshal writes it
+	hopLens []int  // encoded length of each hop within hops
+}
+
+// NewPathTemplate pre-marshals the hop section for hops. It fails on the
+// same path shapes Marshal rejects (>255 hops, >2 auth fields on a hop).
+func NewPathTemplate(hops []segment.Hop) (*PathTemplate, error) {
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("%w: empty path has no template", ErrBadPacket)
+	}
+	probe := Packet{Hops: hops}
+	wire, err := probe.appendWire(make([]byte, 0, HeaderLen(hops)))
+	if err != nil {
+		return nil, err
+	}
+	start := fixedHeaderLen + 2*udpAddrLen
+	enc := wire[start : len(wire)-2] // strip fixed header+addrs and payload length
+	t := &PathTemplate{
+		numHops: len(hops),
+		hops:    append([]byte(nil), enc...),
+		hopLens: make([]int, len(hops)),
+	}
+	for i := range hops {
+		t.hopLens[i] = hopFixedLen + hops[i].NumAuth*authFieldLen
+	}
+	return t, nil
+}
+
+// TemplateFor returns the header template for path, memoized on the path
+// itself (same pattern as Path.Fingerprint: paths are immutable, concurrent
+// first callers may both build one and either result is equivalent).
+func TemplateFor(path *segment.Path) (*PathTemplate, error) {
+	if t, _ := path.WireTemplate().(*PathTemplate); t != nil {
+		return t, nil
+	}
+	t, err := NewPathTemplate(path.Hops)
+	if err != nil {
+		return nil, err
+	}
+	path.SetWireTemplate(t)
+	return t, nil
+}
+
+// NumHops returns the number of hops the template encodes.
+func (t *PathTemplate) NumHops() int { return t.numHops }
+
+// hopSpan returns hop i's encoded bytes — the identity the MAC verdict
+// cache keys on (identical to what currHopSpan locates in a full packet).
+func (t *PathTemplate) hopSpan(i int) []byte {
+	off := 0
+	for j := 0; j < i; j++ {
+		off += t.hopLens[j]
+	}
+	return t.hops[off : off+t.hopLens[i]]
+}
+
+// wireLen returns the encoded packet size for a payload of the given length.
+func (t *PathTemplate) wireLen(payloadLen int) int {
+	return fixedHeaderLen + 2*udpAddrLen + len(t.hops) + 2 + payloadLen
+}
+
+// encodeInto writes the full wire packet into buf, which must be exactly
+// wireLen(len(payload)) long.
+func (t *PathTemplate) encodeInto(buf []byte, src, dst addr.UDPAddr, currHop byte, payload []byte) {
+	b := buf[:0]
+	b = append(b, version, currHop, byte(t.numHops), 0)
+	b = appendUDPAddr(b, src)
+	b = appendUDPAddr(b, dst)
+	b = append(b, t.hops...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(payload)))
+	copy(buf[len(b):], payload)
+}
+
+// MarshalTemplated encodes the packet like Marshal, but using the path
+// template: the pre-encoded hop section is copied and only the fixed header,
+// addresses, payload length, and payload are written per packet. The result
+// is leased from the netsim buffer pool; ownership transfers to the caller
+// (typically straight into the router/link, which release it downstream —
+// otherwise release with netsim.PutBuf).
+func (p *Packet) MarshalTemplated(t *PathTemplate) ([]byte, error) {
+	if len(p.Hops) != t.numHops {
+		return nil, fmt.Errorf("%w: packet has %d hops, template %d", ErrBadPacket, len(p.Hops), t.numHops)
+	}
+	buf := netsim.GetBuf(t.wireLen(len(p.Payload)))
+	t.encodeInto(buf, p.Src, p.Dst, p.CurrHop, p.Payload)
+	return buf, nil
+}

@@ -35,6 +35,16 @@ type Clock interface {
 	Since(t time.Time) time.Duration
 }
 
+// DeliveryScheduler is an optional Clock capability used by the packet
+// plane: schedule a one-shot packet delivery with no cancel handle. Links
+// deliver millions of packets and never cancel them, so the cancel closure
+// AfterFunc must construct is pure garbage on that path; implementations can
+// also recycle their timer records since no reference escapes. Both clocks
+// in this package implement it; custom Clocks fall back to AfterFunc.
+type DeliveryScheduler interface {
+	ScheduleDelivery(d time.Duration, recv func([]byte), buf []byte)
+}
+
 // RealClock is the production Clock backed by package time.
 type RealClock struct{}
 
@@ -56,13 +66,26 @@ func (RealClock) AfterFunc(d time.Duration, f func()) func() bool {
 // Since implements Clock.
 func (RealClock) Since(t time.Time) time.Duration { return time.Since(t) }
 
-// simTimer is one pending virtual-clock timer.
+// ScheduleDelivery implements DeliveryScheduler.
+func (RealClock) ScheduleDelivery(d time.Duration, recv func([]byte), buf []byte) {
+	time.AfterFunc(d, func() { recv(buf) })
+}
+
+// simTimer is one pending virtual-clock timer. Delivery timers (see
+// ScheduleDelivery) carry recv+buf directly instead of a closure and are
+// recycled through simTimerPool after firing; only timers with no
+// outstanding cancel handle may be pooled.
 type simTimer struct {
 	deadline time.Time
 	seq      uint64 // tie-break so equal deadlines fire in schedule order
 	fn       func()
-	index    int // heap index, -1 once removed
+	recv     func([]byte)
+	buf      []byte
+	pooled   bool // no cancel handle exists; recycle after firing
+	index    int  // heap index, -1 once removed
 }
+
+var simTimerPool = sync.Pool{New: func() any { return new(simTimer) }}
 
 type timerHeap []*simTimer
 
@@ -157,6 +180,24 @@ func (c *SimClock) AfterFunc(d time.Duration, f func()) func() bool {
 	}
 }
 
+// ScheduleDelivery implements DeliveryScheduler: like AfterFunc but with the
+// callback's argument stored on the (pooled) timer record, so the packet hot
+// path schedules deliveries with zero allocations in steady state.
+func (c *SimClock) ScheduleDelivery(d time.Duration, recv func([]byte), buf []byte) {
+	t := simTimerPool.Get().(*simTimer)
+	t.fn = nil
+	t.recv = recv
+	t.buf = buf
+	t.pooled = true
+	c.mu.Lock()
+	c.activity.Add(1)
+	t.deadline = c.now.Add(d)
+	t.seq = c.seq
+	c.seq++
+	heap.Push(&c.timers, t)
+	c.mu.Unlock()
+}
+
 // Since implements Clock.
 func (c *SimClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
 
@@ -210,7 +251,16 @@ func (c *SimClock) advanceTo(target time.Time) {
 		}
 		c.activity.Add(1)
 		c.mu.Unlock()
-		t.fn()
+		fn, recv, buf := t.fn, t.recv, t.buf
+		if t.pooled {
+			*t = simTimer{}
+			simTimerPool.Put(t)
+		}
+		if recv != nil {
+			recv(buf)
+		} else {
+			fn()
+		}
 	}
 }
 
@@ -235,7 +285,18 @@ func (c *SimClock) AutoAdvance(grace time.Duration) (stop func()) {
 	// quietYields is the number of consecutive scheduler yields without
 	// timer activity required before advancing. Large enough for woken
 	// application goroutines to run; small enough to keep advances cheap.
-	const quietYields = 96
+	// It scales with GOMAXPROCS: on few cores one Gosched round-robins the
+	// entire run queue (every runnable goroutine executes before the
+	// advancer runs again), while on many cores the advancer can spin
+	// through yields faster than woken goroutines get scheduled elsewhere,
+	// so it must wait out more of them. The packet plane fires thousands of
+	// delivery timers per transfer, each costing one quiescence window, so
+	// this constant is a first-order throughput term for every virtual-time
+	// benchmark.
+	quietYields := 16 * runtime.GOMAXPROCS(0)
+	if quietYields > 96 {
+		quietYields = 96
+	}
 	done := make(chan struct{})
 	go func() {
 		last := c.activity.Load()

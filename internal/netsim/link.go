@@ -37,6 +37,7 @@ type LinkStats struct {
 // lossy links silently drop.
 type Link struct {
 	clock Clock
+	sched DeliveryScheduler // clock's allocation-free scheduling capability, if any
 	props LinkProps
 
 	mu       sync.Mutex
@@ -49,8 +50,10 @@ type Link struct {
 // NewLink creates a link with the given properties. The seed drives loss and
 // jitter so scenarios are reproducible.
 func NewLink(clock Clock, props LinkProps, seed int64) *Link {
+	sched, _ := clock.(DeliveryScheduler)
 	return &Link{
 		clock: clock,
+		sched: sched,
 		props: props,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
@@ -83,24 +86,40 @@ func (l *Link) Attach(end int, recv func(pkt []byte)) {
 
 // Send transmits pkt from the given end toward the other. It reports whether
 // the packet was accepted for (eventual) delivery; false means it was dropped
-// by loss, MTU, or a missing receiver. The packet is copied, so the caller
-// may reuse the buffer.
+// by loss, MTU, or a missing receiver. The packet is copied (into a pooled
+// buffer the receiver may Release, see SendOwned), so the caller may reuse
+// its own buffer immediately.
 func (l *Link) Send(from int, pkt []byte) bool {
+	buf := GetBuf(len(pkt))
+	copy(buf, pkt)
+	return l.SendOwned(from, buf)
+}
+
+// SendOwned is Send with ownership transfer: the caller relinquishes pkt on
+// call, whether or not it is accepted (dropped packets are returned to the
+// buffer pool). Delivery hands ownership to the receiver, which must either
+// PutBuf the buffer when done decoding or pass it on. This is the zero-copy
+// path: a router can patch a received buffer in place and forward the very
+// same bytes to the next link.
+func (l *Link) SendOwned(from int, pkt []byte) bool {
 	to := 1 - from
 	l.mu.Lock()
 	recv := l.ends[to]
 	if recv == nil {
 		l.mu.Unlock()
+		PutBuf(pkt)
 		return false
 	}
 	if l.props.MTU > 0 && len(pkt) > l.props.MTU {
 		l.stats[from].TooBig++
 		l.mu.Unlock()
+		PutBuf(pkt)
 		return false
 	}
 	if l.props.LossRate > 0 && l.rng.Float64() < l.props.LossRate {
 		l.stats[from].Lost++
 		l.mu.Unlock()
+		PutBuf(pkt)
 		return false
 	}
 	now := l.clock.Now()
@@ -121,9 +140,11 @@ func (l *Link) Send(from int, pkt []byte) bool {
 	l.stats[from].Bytes += uint64(len(pkt))
 	l.mu.Unlock()
 
-	buf := make([]byte, len(pkt))
-	copy(buf, pkt)
-	l.clock.AfterFunc(delay, func() { recv(buf) })
+	if l.sched != nil {
+		l.sched.ScheduleDelivery(delay, recv, pkt)
+	} else {
+		l.clock.AfterFunc(delay, func() { recv(pkt) })
+	}
 	return true
 }
 

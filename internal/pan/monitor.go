@@ -1367,7 +1367,22 @@ type PathStat struct {
 // paths (a steering batch is all one destination: one acquisition) plus
 // one linkMu acquisition for the penalties.
 func (m *Monitor) PathStats(paths []*segment.Path) []PathStat {
-	out := make([]PathStat, len(paths))
+	return m.PathStatsAppend(nil, paths)
+}
+
+// PathStatsAppend is PathStats appending into dst (often a scratch slice a
+// steering pass reuses across evaluations, keeping the per-sample ranking
+// path allocation-free).
+func (m *Monitor) PathStatsAppend(dst []PathStat, paths []*segment.Path) []PathStat {
+	start := len(dst)
+	if need := start + len(paths); cap(dst) >= need {
+		dst = dst[:need]
+	} else {
+		grown := make([]PathStat, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := dst[start:]
 	var cur *monShard
 	for i, p := range paths {
 		fp := p.Fingerprint()
@@ -1405,7 +1420,7 @@ func (m *Monitor) PathStats(paths []*segment.Path) []PathStat {
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // DefaultAdaptiveRaceWidth caps adaptive racing when the Dialer's RaceWidth

@@ -86,7 +86,21 @@ type Path struct {
 	// construction leaves it empty; the first call fills it. A concurrent
 	// first call may compute twice — both arrive at the same value.
 	fp atomic.Pointer[string]
+
+	// wireTmpl memoizes the data plane's pre-marshaled header template for
+	// this path, same immutability argument as fp. It is stored as an opaque
+	// any because the concrete type lives in internal/dataplane, which
+	// imports this package; see dataplane.TemplateFor.
+	wireTmpl atomic.Value
 }
+
+// WireTemplate returns the memoized wire-header template, or nil if none has
+// been cached yet. The caller (internal/dataplane) owns the concrete type.
+func (p *Path) WireTemplate() any { return p.wireTmpl.Load() }
+
+// SetWireTemplate caches the wire-header template. Concurrent first callers
+// may both compute one; either value is equivalent, last store wins.
+func (p *Path) SetWireTemplate(v any) { p.wireTmpl.Store(v) }
 
 // Fingerprint returns a short stable identifier of the AS/interface
 // sequence, used for dedup and for pinning paths in statistics.

@@ -69,6 +69,7 @@ func (d *Dispatcher) deliver(pkt *dataplane.Packet) {
 	host := d.hosts[pkt.Dst.Host]
 	d.mu.RUnlock()
 	if host == nil {
+		pkt.Release()
 		return
 	}
 	host.deliver(pkt)
@@ -134,6 +135,7 @@ func (s *Stack) deliver(pkt *dataplane.Packet) {
 	c := s.conns[pkt.Dst.Port]
 	s.mu.Unlock()
 	if c == nil {
+		pkt.Release()
 		return
 	}
 	dg := &Datagram{Payload: pkt.Payload, Src: pkt.Src, ReplyPath: pkt.ReplyPath()}
@@ -143,10 +145,18 @@ func (s *Stack) deliver(pkt *dataplane.Packet) {
 	if h != nil {
 		// Handler mode: synchronous dispatch in the delivery (timer)
 		// context, keeping the causal cascade of a virtual instant
-		// complete before time advances.
+		// complete before time advances. The payload may alias the
+		// router's leased wire buffer, released right after the handler
+		// returns — hence the SetHandler contract that handlers copy
+		// anything they keep.
 		h(dg)
+		pkt.Release()
 		return
 	}
+	// Queued mode: the datagram outlives this delivery context, so the
+	// payload must not alias the wire buffer.
+	dg.Payload = append([]byte(nil), pkt.Payload...)
+	pkt.Release()
 	select {
 	case c.inbox <- dg:
 	default:
@@ -173,6 +183,10 @@ type Conn struct {
 // ReadFrom. Transports that process packets without blocking (squic) use
 // this mode; it makes virtual-time experiments deterministic. Passing nil
 // reverts to queued mode.
+//
+// The datagram's Payload is only valid for the duration of the call — it may
+// alias a pooled wire buffer that is recycled when h returns. Handlers that
+// keep payload bytes must copy them.
 func (c *Conn) SetHandler(h func(*Datagram)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -204,6 +218,11 @@ func (c *Conn) WriteTo(payload []byte, dst addr.UDPAddr, path *segment.Path) err
 		Dst:     dst,
 		Hops:    path.Hops,
 		Payload: payload,
+	}
+	if len(path.Hops) > 1 {
+		if tmpl, err := dataplane.TemplateFor(path); err == nil {
+			return c.stack.router.InjectTemplated(pkt, tmpl)
+		}
 	}
 	return c.stack.router.InjectLocal(pkt)
 }

@@ -285,7 +285,12 @@ func (s *Stream) nextFrameLocked(maxData int) *streamFrame {
 	}
 	f := &streamFrame{id: s.id, offset: s.sendOffset}
 	if n > 0 {
-		f.data = append([]byte(nil), s.pending[:n]...)
+		// The frame aliases the pending buffer instead of copying: pending
+		// only ever slides forward (s.pending = s.pending[n:]) and Write
+		// appends strictly past the sliced-off region, so the frame's bytes
+		// are immutable until the packet is acked and the frame dropped —
+		// including across retransmissions, which reuse the same frame.
+		f.data = s.pending[:n:n]
 		s.pending = s.pending[n:]
 		s.sendOffset += uint64(n)
 		s.c.writable.Broadcast()

@@ -250,7 +250,11 @@ func parseFrames(buf []byte) ([]frame, error) {
 			if uint64(len(rest3)) < length {
 				return nil, errTruncatedPacket
 			}
-			data := append([]byte(nil), rest3[:length]...)
+			// Alias the packet buffer rather than copy: every caller hands
+			// parseFrames a freshly decrypted plaintext it never reuses, so
+			// the frame (and the reassembly queue holding it) can own the
+			// bytes in place.
+			data := rest3[:length:length]
 			buf = rest3[length:]
 			out = append(out, &streamFrame{id: id, offset: offset, fin: fin, data: data})
 		case ftMaxStreamData:
