@@ -1,0 +1,273 @@
+// Skiplint runs the repo's static-analysis suite (internal/lint): lockorder,
+// buflease, wallclock, and atomicfield.
+//
+// It has two modes:
+//
+//	go run ./cmd/skiplint ./...          # standalone: loads packages from source
+//	go vet -vettool=$(which skiplint) ./...  # unit checker under cmd/go
+//
+// Standalone mode type-checks the module offline with internal/lint's source
+// loader and needs nothing but a GOROOT. Vettool mode speaks cmd/go's unit
+// checker protocol (the same one golang.org/x/tools/go/analysis/unitchecker
+// implements): go vet hands it one JSON config per package, facts flow
+// between packages as .vetx files, and results are cached by the build
+// system like any other vet run.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tango/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		// cmd/go probes the tool identity with -V=full before first use.
+		if strings.HasPrefix(a, "-V") {
+			printVersion()
+			return
+		}
+		// ... and asks for the tool's flag set, which is empty.
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion prints the version/buildID line cmd/go parses to fingerprint
+// the tool for vet result caching. The content hash of the executable is the
+// only part that matters: rebuilding skiplint invalidates cached results.
+func printVersion() {
+	name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	data, err := os.ReadFile(os.Args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiplint: reading own executable: %v\n", err)
+		os.Exit(1)
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h)
+}
+
+// ---- standalone mode ----
+
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiplint: %v\n", err)
+		return 1
+	}
+	paths, err := loader.ModulePackages(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiplint: %v\n", err)
+		return 1
+	}
+	deps := make(lint.Facts)
+	exit := 0
+	for _, path := range paths {
+		pkgs, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiplint: %v\n", err)
+			return 1
+		}
+		for _, pkg := range pkgs {
+			diags, out, err := lint.RunAnalyzers(pkg, deps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skiplint: %v\n", err)
+				return 1
+			}
+			deps.Merge(out)
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// ---- unit checker mode ----
+
+// vetConfig mirrors the JSON configuration cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiplint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "skiplint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "skiplint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the compiler's export data: ImportMap
+	// canonicalizes vendored paths, PackageFile locates the export file.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "skiplint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// Facts from dependencies arrive as .vetx files this tool wrote when
+	// cmd/go ran it over them (VetxOnly).
+	deps := make(lint.Facts)
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, p)
+	}
+	sort.Strings(vetxPaths)
+	for _, p := range vetxPaths {
+		facts, err := readVetx(cfg.PackageVetx[p])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiplint: reading facts for %s: %v\n", p, err)
+			return 1
+		}
+		deps.Merge(facts)
+	}
+
+	pkg := &lint.Package{
+		PkgPath: cfg.ImportPath,
+		Dir:     cfg.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	diags, out, err := lint.RunAnalyzers(pkg, deps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiplint: %v\n", err)
+		return 1
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := writeVetx(cfg.VetxOutput, out); err != nil {
+			fmt.Fprintf(os.Stderr, "skiplint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func readVetx(file string) (lint.Facts, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	facts := make(lint.Facts)
+	if err := gob.NewDecoder(f).Decode(&facts); err != nil {
+		if err == io.EOF { // empty facts file
+			return facts, nil
+		}
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	return facts, nil
+}
+
+func writeVetx(file string, facts lint.Facts) error {
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(facts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -164,13 +164,13 @@ func main() {
 		fmt.Printf("\nfetching %s striped through the proxy...\n", url)
 		req := httptest.NewRequest(http.MethodGet, url, nil)
 		rec := httptest.NewRecorder()
-		start := time.Now()
+		start := w.Clock.Now()
 		client.Proxy.ServeHTTP(rec, req)
 		res := rec.Result()
 		n, _ := io.Copy(io.Discard, res.Body)
 		res.Body.Close()
 		fmt.Printf("  status=%d via=%s bytes=%d wall=%v\n",
-			res.StatusCode, res.Header.Get(proxy.HeaderVia), n, time.Since(start).Round(time.Millisecond))
+			res.StatusCode, res.Header.Get(proxy.HeaderVia), n, w.Clock.Since(start).Round(time.Millisecond))
 		for dst, pipes := range client.Proxy.StripeStatus() {
 			fmt.Printf("  stripe set %s:\n", dst)
 			for _, ps := range pipes {

@@ -91,6 +91,8 @@ func (p *Packet) Marshal() ([]byte, error) {
 // marshalPooled encodes the packet into a buffer leased from the netsim
 // buffer pool; ownership of the result transfers to the caller (typically
 // straight into Link.SendOwned).
+//
+//lint:lease source
 func (p *Packet) marshalPooled() ([]byte, error) {
 	return p.appendWire(netsim.GetBuf(HeaderLen(p.Hops) + len(p.Payload))[:0])
 }
@@ -152,6 +154,8 @@ func Unmarshal(buf []byte) (*Packet, error) {
 // Payload aliases buf instead of copying. Release returns everything. On
 // error the buffer is released here and only the accounting is left to the
 // caller.
+//
+//lint:lease sink
 func unmarshalOwned(buf []byte) (*Packet, error) {
 	p := packetPool.Get().(*Packet)
 	if err := p.unmarshalInto(buf, true); err != nil {
@@ -251,6 +255,8 @@ func (p *Packet) unmarshalInto(buf []byte, alias bool) error {
 //
 // The wire offsets double as the MAC-cache identity: the returned span is
 // exactly the bytes hashed and compared by the router's hop-verdict cache.
+//
+//lint:lease borrow
 func currHopSpan(buf []byte) (raw []byte, final, ok bool) {
 	if len(buf) < fixedHeaderLen || buf[0] != version {
 		return nil, false, false

@@ -133,6 +133,8 @@ func (r *Router) Stats() RouterStats {
 // no Packet, hop slice, or payload allocation, no re-Marshal, and no copy
 // per forwarded packet. Final-hop delivery and anything currHopSpan cannot
 // cheaply locate fall back to the pooled Unmarshal path.
+//
+//lint:lease sink
 func (r *Router) handleFromWire(in addr.IfID, buf []byte) {
 	raw, final, ok := currHopSpan(buf)
 	if ok && !final {

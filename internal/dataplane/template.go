@@ -80,6 +80,8 @@ func (t *PathTemplate) wireLen(payloadLen int) int {
 
 // encodeInto writes the full wire packet into buf, which must be exactly
 // wireLen(len(payload)) long.
+//
+//lint:lease borrow
 func (t *PathTemplate) encodeInto(buf []byte, src, dst addr.UDPAddr, currHop byte, payload []byte) {
 	b := buf[:0]
 	b = append(b, version, currHop, byte(t.numHops), 0)
@@ -96,6 +98,8 @@ func (t *PathTemplate) encodeInto(buf []byte, src, dst addr.UDPAddr, currHop byt
 // is leased from the netsim buffer pool; ownership transfers to the caller
 // (typically straight into the router/link, which release it downstream —
 // otherwise release with netsim.PutBuf).
+//
+//lint:lease source
 func (p *Packet) MarshalTemplated(t *PathTemplate) ([]byte, error) {
 	if len(p.Hops) != t.numHops {
 		return nil, fmt.Errorf("%w: packet has %d hops, template %d", ErrBadPacket, len(p.Hops), t.numHops)

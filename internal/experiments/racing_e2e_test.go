@@ -256,7 +256,9 @@ func TestRacingAndProbingE2E(t *testing.T) {
 	// 2. Loser cleanup: canceled racers' abandoned server-side handshakes
 	// are reaped by the confirm timeout; only the pooled winner remains.
 	w.Clock.Sleep(7 * time.Second) // past the server's 10s confirm timeout
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	deadline := time.Now().Add(10 * time.Second)
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	for lis.ConnCount() > 1 && time.Now().Before(deadline) {
 		w.Clock.Sleep(500 * time.Millisecond)
 	}
@@ -318,8 +320,11 @@ func TestRacingAndProbingE2E(t *testing.T) {
 	lis.Close()
 	w.Close()
 
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	deadline = time.Now().Add(10 * time.Second)
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	for runtime.NumGoroutine() > goroutinesBefore && time.Now().Before(deadline) {
+		//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 		time.Sleep(50 * time.Millisecond)
 	}
 	if g := runtime.NumGoroutine(); g > goroutinesBefore {

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields: a field
+// that is accessed through sync/atomic anywhere in the package — either by
+// passing its address to the atomic free functions (atomic.AddUint64(&s.n))
+// or by being declared with one of the sync/atomic value types
+// (atomic.Uint64) — must never be read or written plainly elsewhere in the
+// package. Mixed access is how torn reads sneak past the race detector on
+// lightly-scheduled CI runs: RouterStats counters, the monitor's dirty
+// flag, its budget counter, and its sink snapshot all rely on this rule.
+//
+// For atomic-typed fields "plain access" means copying the value (reading
+// s.flag into a variable, assigning one field to another, passing it by
+// value): the copy elides the atomic protocol. Method calls and taking the
+// address remain fine. "//lint:allow-atomic <reason>" on or above the line
+// suppresses a report (e.g. a constructor initializing a counter before the
+// struct is published).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly",
+	Run:  runAtomicField,
+}
+
+// atomicFreeFuncs are the sync/atomic functions whose first argument is the
+// address of the shared word.
+var atomicFreeFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapPointer": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true, "CompareAndSwapUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadPointer": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true,
+	"StoreInt32": true, "StoreInt64": true, "StorePointer": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapPointer": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect fields whose address reaches a sync/atomic free
+	// function anywhere in the package, remembering those argument
+	// expressions so pass 2 can skip them.
+	atomicByFunc := map[*types.Var]bool{} // field → accessed via atomic.XxxNN(&f)
+	sanctioned := map[ast.Expr]bool{}     // the &f arguments themselves
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomicFreeFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			if f := fieldOf(pass, un.X); f != nil {
+				atomicByFunc[f] = true
+				sanctioned[un.X] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain accesses. Selector expressions resolving to a
+	// collected field are plain unless they are a sanctioned &f argument.
+	// Fields of sync/atomic value types are flagged when copied by value.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldOf(pass, sel)
+			if f == nil {
+				return true
+			}
+			parent := ast.Node(nil)
+			if len(stack) >= 2 {
+				parent = stack[len(stack)-2]
+			}
+			if atomicByFunc[f] {
+				if sanctioned[sel] {
+					return true
+				}
+				// &f outside an atomic call is opaque: the pointer may
+				// feed an atomic op elsewhere. Leave it to the race
+				// detector rather than guess.
+				if un, ok := parent.(*ast.UnaryExpr); ok && un.X == sel {
+					return true
+				}
+				if pass.Allowed("allow-atomic", sel.Pos()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere in this package", f.Name())
+				return true
+			}
+			if isAtomicValueType(f.Type()) {
+				// Selecting a method (f.Load()) or taking the address is
+				// the atomic protocol; anything that copies the value is
+				// not.
+				if p, ok := parent.(*ast.SelectorExpr); ok && p.X == sel {
+					return true // f.Load, f.Store, ... — method selection
+				}
+				if un, ok := parent.(*ast.UnaryExpr); ok && un.X == sel {
+					return true // &f
+				}
+				if pass.Allowed("allow-atomic", sel.Pos()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "field %s has atomic type %s but is copied by value here; atomics must be accessed through their methods", f.Name(), f.Type())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves expr to the struct-field object it selects, or nil.
+func fieldOf(pass *Pass, expr ast.Expr) *types.Var {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's value types
+// (atomic.Bool, Int32, ..., Pointer[T], Value).
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

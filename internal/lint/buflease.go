@@ -1,0 +1,813 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BufLease checks single-release ownership of pooled buffer leases. The
+// protocol is annotation-driven:
+//
+//	//lint:lease source — the function's []byte result is a pool lease the
+//	    caller owns (netsim.GetBuf, dataplane.MarshalTemplated, ...)
+//	//lint:lease sink — the function consumes its []byte argument(s),
+//	    taking ownership (netsim.PutBuf, Link.SendOwned, unmarshalOwned);
+//	    inside such a function the parameter itself is a tracked lease
+//	//lint:lease borrow — the function reads/writes the buffer but does
+//	    not retain or release it (encodeInto, currHopSpan)
+//
+// Within each function the analyzer tracks lease variables (and their
+// slice/append aliases) through an abstract walk of the body: every path
+// must hand each live lease to exactly one sink, a second sink is a
+// double-release, and any use after a sink is a use-after-release — the
+// pooled-buffer bug classes that corrupt unrelated packets at a distance.
+//
+// The walk is deliberately conservative: a lease that escapes (returned,
+// stored into a structure, captured by a closure, or passed to a function
+// the analyzer knows nothing about) stops being tracked, so reports are
+// near-certain bugs, not maybes. Roles cross package boundaries as facts.
+var BufLease = &Analyzer{
+	Name: "buflease",
+	Doc:  "pooled buffer leases must reach exactly one ownership sink on every path, with no use after it",
+	Run:  runBufLease,
+}
+
+type leaseStatus int
+
+const (
+	leaseLive leaseStatus = iota
+	leaseReleased
+	leaseDeferred // a deferred sink will release at function end
+	leaseEscaped
+)
+
+type leaseCell struct {
+	status   leaseStatus
+	acqPos   token.Pos
+	what     string
+	reported bool
+}
+
+type leaseState map[*types.Var]*leaseCell
+
+type leaseChecker struct {
+	pass  *Pass
+	roles map[types.Object]string // in-package annotated functions
+}
+
+func runBufLease(pass *Pass) error {
+	c := &leaseChecker{pass: pass, roles: map[types.Object]string{}}
+	c.collectRoles()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			state := leaseState{}
+			// Inside a sink, the consumed []byte parameters are leases this
+			// function now owns and must release or hand on.
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && c.roles[fn] == "sink" && fd.Type.Params != nil {
+				for _, param := range fd.Type.Params.List {
+					for _, name := range param.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok && isByteSlice(v.Type()) {
+							state[v] = &leaseCell{status: leaseLive, acqPos: name.Pos(), what: "lease parameter " + v.Name()}
+						}
+					}
+				}
+			}
+			c.walkStmts(fd.Body.List, state)
+			c.reportLiveAtEnd(state)
+		}
+	}
+	return nil
+}
+
+// collectRoles gathers //lint:lease annotations on function declarations and
+// interface methods and exports them as facts.
+func (c *leaseChecker) collectRoles() {
+	pass := c.pass
+	record := func(obj types.Object, d Directive) {
+		role := strings.Fields(d.Args)
+		if len(role) != 1 || (role[0] != "source" && role[0] != "sink" && role[0] != "borrow") {
+			pass.Reportf(d.Pos, "malformed lease directive: want \"//lint:lease source|sink|borrow\", got %q", d.Args)
+			return
+		}
+		c.roles[obj] = role[0]
+		pass.ExportFact("role "+ObjKey(obj), role[0])
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if d, ok := c.directiveAt("lease", fd.Doc, fd.Pos()); ok {
+					if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+						record(fn, d)
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, m := range it.Methods.List {
+				if len(m.Names) == 0 {
+					continue
+				}
+				if d, ok := pass.DirectiveForField("lease", m); ok {
+					if fn, ok := pass.Info.Defs[m.Names[0]].(*types.Func); ok {
+						record(fn, d)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *leaseChecker) directiveAt(verb string, doc *ast.CommentGroup, declPos token.Pos) (Directive, bool) {
+	file := c.pass.FileFor(declPos)
+	if file == nil {
+		return Directive{}, false
+	}
+	lines := map[int]bool{c.pass.Fset.Position(declPos).Line: true}
+	if doc != nil {
+		for _, cm := range doc.List {
+			lines[c.pass.Fset.Position(cm.Pos()).Line] = true
+		}
+	}
+	for _, d := range c.pass.Directives(file) {
+		if d.Verb == verb && lines[d.Line] {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// roleOf resolves a call's lease role: "" for unknown callees.
+func (c *leaseChecker) roleOf(call *ast.CallExpr) (string, *types.Func) {
+	fn := callee(c.pass, call)
+	if fn == nil {
+		return "", nil
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		return c.roles[fn], fn
+	}
+	return c.pass.DepFact("role " + ObjKey(fn)), fn
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// trackedVar unwraps parens and slice expressions down to an identifier of a
+// tracked lease variable.
+func trackedVar(pass *Pass, state leaseState, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[x].(*types.Var); ok {
+				if _, tracked := state[v]; tracked {
+					return v
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// ---- statement walk ----
+
+// walkStmts threads state through a statement list and reports whether the
+// list definitely terminates (returns or panics), in which case its final
+// state never merges into the fall-through path.
+func (c *leaseChecker) walkStmts(stmts []ast.Stmt, state leaseState) (terminated bool) {
+	for _, s := range stmts {
+		if c.walkStmt(s, state) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *leaseChecker) walkStmt(stmt ast.Stmt, state leaseState) (terminated bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, state)
+	case *ast.ExprStmt:
+		c.processExpr(s.X, state)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		c.processAssign(s, state)
+	case *ast.DeferStmt:
+		c.processDefer(s, state)
+	case *ast.ReturnStmt:
+		c.processReturn(s, state)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto: the state jumps elsewhere; don't let it
+		// flow into the fall-through merge.
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.processExpr(s.Cond, state)
+		bodyState := cloneState(state)
+		bodyTerm := c.walkStmts(s.Body.List, bodyState)
+		elseState := cloneState(state)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.walkStmt(s.Else, elseState)
+		}
+		switch {
+		case bodyTerm && elseTerm && s.Else != nil:
+			return true
+		case bodyTerm:
+			replaceState(state, elseState)
+		case elseTerm:
+			replaceState(state, bodyState)
+		default:
+			replaceState(state, mergeStates(bodyState, elseState))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			c.processExpr(s.Cond, state)
+		}
+		c.walkLoopBody(s.Body, state)
+	case *ast.RangeStmt:
+		c.processExpr(s.X, state)
+		c.walkLoopBody(s.Body, state)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkBranching(stmt, state)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, state)
+	case *ast.GoStmt:
+		c.processExpr(s.Call, state)
+	case *ast.SendStmt:
+		c.escapeUses(s.Chan, state)
+		c.escapeUses(s.Value, state)
+	case *ast.IncDecStmt:
+		c.processExpr(s.X, state)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.processExpr(v, state)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// walkLoopBody walks a loop body on a cloned state: leases acquired inside
+// the body that are still live when an iteration ends leak once per
+// iteration; state changes to outer leases don't flow past the loop unless
+// both sides agree.
+func (c *leaseChecker) walkLoopBody(body *ast.BlockStmt, state leaseState) {
+	bodyState := cloneState(state)
+	terminated := c.walkStmts(body.List, bodyState)
+	if !terminated {
+		for v, cell := range bodyState {
+			if _, outer := state[v]; !outer && cell.status == leaseLive && !cell.reported {
+				cell.reported = true
+				c.report(cell.acqPos, "%s is still live at the end of the loop body: it leaks once per iteration", cell.what)
+			}
+		}
+		replaceState(state, mergeStates(state, bodyState))
+	}
+}
+
+func (c *leaseChecker) walkBranching(stmt ast.Stmt, state leaseState) bool {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			c.processExpr(s.Tag, state)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.walkStmt(s.Assign, state)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	var fallThroughs []leaseState
+	allTerminate := len(clauses) > 0
+	for _, cl := range clauses {
+		cs := cloneState(state)
+		var body []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				c.processExpr(e, cs)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			hasDefault = hasDefault || cc.Comm == nil
+			if cc.Comm != nil {
+				c.walkStmt(cc.Comm, cs)
+			}
+			body = cc.Body
+		}
+		if c.walkStmts(body, cs) {
+			continue
+		}
+		allTerminate = false
+		fallThroughs = append(fallThroughs, cs)
+	}
+	if !hasDefault {
+		// No default: the whole statement can be skipped.
+		allTerminate = false
+		fallThroughs = append(fallThroughs, cloneState(state))
+	}
+	if allTerminate {
+		return true
+	}
+	merged := fallThroughs[0]
+	for _, fs := range fallThroughs[1:] {
+		merged = mergeStates(merged, fs)
+	}
+	replaceState(state, merged)
+	return false
+}
+
+// ---- expression processing ----
+
+// processExpr scans an expression for sink/borrow/unknown calls over
+// tracked leases and for escaping or after-release uses.
+func (c *leaseChecker) processExpr(expr ast.Expr, state leaseState) {
+	if expr == nil {
+		return
+	}
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		c.processCall(e, state)
+	case *ast.ParenExpr:
+		c.processExpr(e.X, state)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			c.escapeUses(e.X, state)
+		} else {
+			c.processExpr(e.X, state)
+		}
+	case *ast.BinaryExpr:
+		c.processExpr(e.X, state)
+		c.processExpr(e.Y, state)
+	case *ast.IndexExpr:
+		// x[i]: reading or writing an element borrows; still flag
+		// use-after-release.
+		if v := trackedVar(c.pass, state, e.X); v != nil {
+			c.useAfterReleaseCheck(v, state, e.Pos())
+		} else {
+			c.processExpr(e.X, state)
+		}
+		c.processExpr(e.Index, state)
+	case *ast.SliceExpr:
+		// A bare slice expression produces an alias value; who receives it
+		// decides the outcome, so contexts (assign, call) handle it. Seen
+		// here, the alias goes somewhere opaque.
+		if v := trackedVar(c.pass, state, e.X); v != nil {
+			c.useAfterReleaseCheck(v, state, e.Pos())
+			c.escapeVar(v, state)
+		} else {
+			c.processExpr(e.X, state)
+		}
+	case *ast.Ident:
+		if v := trackedVar(c.pass, state, e); v != nil {
+			c.useAfterReleaseCheck(v, state, e.Pos())
+			c.escapeVar(v, state)
+		}
+	case *ast.StarExpr:
+		c.processExpr(e.X, state)
+	case *ast.SelectorExpr:
+		c.processExpr(e.X, state)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.escapeUses(el, state)
+		}
+	case *ast.FuncLit:
+		c.escapeUses(e.Body, state)
+	case *ast.TypeAssertExpr:
+		c.processExpr(e.X, state)
+	case *ast.KeyValueExpr:
+		c.processExpr(e.Key, state)
+		c.processExpr(e.Value, state)
+	}
+}
+
+// processCall applies a call's lease semantics.
+func (c *leaseChecker) processCall(call *ast.CallExpr, state leaseState) {
+	role, _ := c.roleOf(call)
+	// Builtins. append retains its arguments in the result, so outside the
+	// alias-preserving assignment form (x = append(x, ...), handled by
+	// aliasSource) a tracked argument escapes.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if id.Name == "append" {
+			for _, arg := range call.Args {
+				if v := trackedVar(c.pass, state, arg); v != nil {
+					c.useAfterReleaseCheck(v, state, arg.Pos())
+					c.escapeVar(v, state)
+					continue
+				}
+				c.processExpr(arg, state)
+			}
+			return
+		}
+		switch id.Name {
+		case "len", "cap", "copy", "print", "println", "min", "max":
+			for _, arg := range call.Args {
+				if v := trackedVar(c.pass, state, arg); v != nil {
+					c.useAfterReleaseCheck(v, state, arg.Pos())
+					continue
+				}
+				c.processExpr(arg, state)
+			}
+			return
+		}
+	}
+	// string(buf) copies; other conversions alias.
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		isString := false
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.String {
+			isString = true
+		}
+		for _, arg := range call.Args {
+			if v := trackedVar(c.pass, state, arg); v != nil {
+				c.useAfterReleaseCheck(v, state, arg.Pos())
+				if !isString {
+					c.escapeVar(v, state)
+				}
+				continue
+			}
+			c.processExpr(arg, state)
+		}
+		return
+	}
+	switch role {
+	case "sink":
+		for _, arg := range call.Args {
+			v := trackedVar(c.pass, state, arg)
+			if v == nil {
+				c.processExpr(arg, state)
+				continue
+			}
+			if tv, ok := c.pass.Info.Types[arg]; !ok || !isByteSlice(tv.Type) {
+				c.useAfterReleaseCheck(v, state, arg.Pos())
+				continue
+			}
+			cell := state[v]
+			switch cell.status {
+			case leaseLive:
+				cell.status = leaseReleased
+			case leaseReleased, leaseDeferred:
+				if !cell.reported {
+					cell.reported = true
+					c.report(arg.Pos(), "double release of %s: it already reached a sink", cell.what)
+				}
+			}
+		}
+	case "borrow":
+		for _, arg := range call.Args {
+			if v := trackedVar(c.pass, state, arg); v != nil {
+				c.useAfterReleaseCheck(v, state, arg.Pos())
+				continue
+			}
+			c.processExpr(arg, state)
+		}
+	default:
+		// Unknown callee: a lease argument escapes the analysis (the
+		// callee may retain it); everything else is scanned recursively.
+		for _, arg := range call.Args {
+			if v := trackedVar(c.pass, state, arg); v != nil {
+				c.useAfterReleaseCheck(v, state, arg.Pos())
+				c.escapeVar(v, state)
+				continue
+			}
+			c.processExpr(arg, state)
+		}
+		c.processExpr(call.Fun, state)
+	}
+}
+
+func (c *leaseChecker) processAssign(s *ast.AssignStmt, state leaseState) {
+	// x := source(...): bind the []byte result. Tuple-result sources
+	// (buf, err := Marshal...) are deliberately not tracked: on the error
+	// arm the buffer is nil and there is no lease, so "return err without
+	// releasing" would be a false positive.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if role, fn := c.roleOf(call); role == "source" {
+				c.processCall(call, state) // scan args (and apply sink/borrow semantics of nested calls)
+				if id, ok := unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					if v := identVar(c.pass, id); v != nil && isByteSlice(v.Type()) {
+						if old, tracked := state[v]; tracked && old.status == leaseLive && !old.reported {
+							old.reported = true
+							c.report(s.Pos(), "%s is overwritten before release", old.what)
+						}
+						state[v] = &leaseCell{status: leaseLive, acqPos: s.Pos(), what: "lease from " + fn.Name()}
+					}
+				}
+				return
+			}
+		}
+	}
+	// General assignments: handle alias-preserving forms, then uses.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			c.assignOne(s, lhs, s.Rhs[i], state)
+		}
+		return
+	}
+	for _, rhs := range s.Rhs {
+		c.processExpr(rhs, state)
+	}
+	for _, lhs := range s.Lhs {
+		c.assignTarget(lhs, state)
+	}
+}
+
+func (c *leaseChecker) assignOne(s *ast.AssignStmt, lhs, rhs ast.Expr, state leaseState) {
+	lhsID, _ := unparen(lhs).(*ast.Ident)
+	// y = x, y = x[:n], x = append(x, ...): alias-preserving forms share
+	// the lease cell.
+	if src := c.aliasSource(rhs, state); src != nil {
+		c.useAfterReleaseCheck(src, state, rhs.Pos())
+		if lhsID != nil && lhsID.Name != "_" {
+			if v := identVar(c.pass, lhsID); v != nil {
+				if v == src {
+					return // x = x[:n] and friends: same lease
+				}
+				if old, tracked := state[v]; tracked && old != state[src] && old.status == leaseLive && !old.reported {
+					old.reported = true
+					c.report(s.Pos(), "%s is overwritten before release", old.what)
+				}
+				state[v] = state[src]
+				return
+			}
+		}
+		// Alias stored somewhere opaque (field, slice element, ...).
+		c.escapeVar(src, state)
+		c.assignTarget(lhs, state)
+		return
+	}
+	c.processExpr(rhs, state)
+	if lhsID != nil && lhsID.Name != "_" {
+		if v := identVar(c.pass, lhsID); v != nil {
+			if old, tracked := state[v]; tracked {
+				if old.status == leaseLive && !old.reported {
+					old.reported = true
+					c.report(s.Pos(), "%s is overwritten before release", old.what)
+				}
+				delete(state, v)
+			}
+		}
+		return
+	}
+	c.assignTarget(lhs, state)
+}
+
+// aliasSource reports the tracked variable rhs aliases, for the
+// alias-preserving forms: x, x[:n], append(x, ...).
+func (c *leaseChecker) aliasSource(rhs ast.Expr, state leaseState) *types.Var {
+	rhs = unparen(rhs)
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			for _, arg := range call.Args[1:] {
+				c.processExpr(arg, state)
+			}
+			return trackedVar(c.pass, state, call.Args[0])
+		}
+		return nil
+	}
+	return trackedVar(c.pass, state, rhs)
+}
+
+// assignTarget handles a non-identifier assignment target: writing INTO a
+// tracked buffer (x[i] = b) borrows; anything else involving a tracked
+// lease on the left side is opaque.
+func (c *leaseChecker) assignTarget(lhs ast.Expr, state leaseState) {
+	if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+		if v := trackedVar(c.pass, state, ix.X); v != nil {
+			c.useAfterReleaseCheck(v, state, ix.Pos())
+			c.processExpr(ix.Index, state)
+			return
+		}
+	}
+	c.processExpr(lhs, state)
+}
+
+func (c *leaseChecker) processDefer(s *ast.DeferStmt, state leaseState) {
+	role, _ := c.roleOf(s.Call)
+	if role == "sink" {
+		for _, arg := range s.Call.Args {
+			v := trackedVar(c.pass, state, arg)
+			if v == nil {
+				c.processExpr(arg, state)
+				continue
+			}
+			if tv, ok := c.pass.Info.Types[arg]; !ok || !isByteSlice(tv.Type) {
+				continue
+			}
+			cell := state[v]
+			switch cell.status {
+			case leaseLive:
+				cell.status = leaseDeferred
+			case leaseReleased, leaseDeferred:
+				if !cell.reported {
+					cell.reported = true
+					c.report(arg.Pos(), "double release of %s: a sink is already deferred or done", cell.what)
+				}
+			}
+		}
+		return
+	}
+	c.processExpr(s.Call, state)
+}
+
+func (c *leaseChecker) processReturn(s *ast.ReturnStmt, state leaseState) {
+	for _, res := range s.Results {
+		if v := trackedVar(c.pass, state, res); v != nil {
+			c.useAfterReleaseCheck(v, state, res.Pos())
+			c.escapeVar(v, state) // ownership moves to the caller
+			continue
+		}
+		c.processExpr(res, state)
+	}
+	for _, cell := range state {
+		if cell.status == leaseLive && !cell.reported {
+			cell.reported = true
+			c.report(s.Pos(), "%s is not released on this return path", cell.what)
+		}
+	}
+}
+
+func (c *leaseChecker) reportLiveAtEnd(state leaseState) {
+	for _, cell := range state {
+		if cell.status == leaseLive && !cell.reported {
+			cell.reported = true
+			c.report(cell.acqPos, "%s is not released on the fall-through return path", cell.what)
+		}
+	}
+}
+
+// escapeUses escapes every tracked lease referenced anywhere under n.
+func (c *leaseChecker) escapeUses(n ast.Node, state leaseState) {
+	ast.Inspect(n, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+			if _, tracked := state[v]; tracked {
+				c.useAfterReleaseCheck(v, state, id.Pos())
+				c.escapeVar(v, state)
+			}
+		}
+		return true
+	})
+}
+
+func (c *leaseChecker) useAfterReleaseCheck(v *types.Var, state leaseState, pos token.Pos) {
+	cell := state[v]
+	if cell.status == leaseReleased && !cell.reported {
+		cell.reported = true
+		c.report(pos, "use of %s after it reached a sink", cell.what)
+	}
+}
+
+// report emits a diagnostic unless an "//lint:allow-lease <reason>" directive
+// on or above the line suppresses it.
+func (c *leaseChecker) report(pos token.Pos, format string, args ...any) {
+	if c.pass.Allowed("allow-lease", pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *leaseChecker) escapeVar(v *types.Var, state leaseState) {
+	if cell := state[v]; cell.status == leaseLive || cell.status == leaseDeferred {
+		cell.status = leaseEscaped
+	}
+}
+
+func identVar(pass *Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.Info.Uses[id].(*types.Var)
+	return v
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ---- state plumbing ----
+
+func cloneState(state leaseState) leaseState {
+	out := make(leaseState, len(state))
+	cells := map[*leaseCell]*leaseCell{}
+	for v, cell := range state {
+		nc, ok := cells[cell]
+		if !ok {
+			cp := *cell
+			nc = &cp
+			cells[cell] = nc
+		}
+		out[v] = nc
+	}
+	return out
+}
+
+// mergeStates joins two fall-through states: agreement keeps the status,
+// disagreement (or presence on one side only) escapes the lease — the walk
+// never guesses which path ran. Alias structure from the first state is
+// preserved. The reported flag survives from either side so one bug is one
+// report.
+func mergeStates(a, b leaseState) leaseState {
+	out := make(leaseState)
+	type pair struct{ ca, cb *leaseCell }
+	cells := map[pair]*leaseCell{}
+	for v, ca := range a {
+		cb := b[v]
+		key := pair{ca, cb}
+		nc, ok := cells[key]
+		if !ok {
+			cp := *ca
+			nc = &cp
+			if cb == nil || cb.status != ca.status {
+				nc.status = leaseEscaped
+			}
+			if cb != nil && cb.reported {
+				nc.reported = true
+			}
+			cells[key] = nc
+		}
+		out[v] = nc
+	}
+	for v, cb := range b {
+		if _, ok := a[v]; ok {
+			continue
+		}
+		key := pair{nil, cb}
+		nc, ok := cells[key]
+		if !ok {
+			cp := *cb
+			nc = &cp
+			nc.status = leaseEscaped
+			cells[key] = nc
+		}
+		out[v] = nc
+	}
+	return out
+}
+
+func replaceState(dst, src leaseState) {
+	for v := range dst {
+		delete(dst, v)
+	}
+	for v, cell := range src {
+		dst[v] = cell
+	}
+}

@@ -1,0 +1,139 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their diagnostics against "// want `regexp`" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (not vendored here).
+//
+// Fixture packages live in testdata/src/<name> relative to the calling
+// test's directory and are loaded by the same offline source loader the
+// skiplint driver uses, so fixtures may import the standard library and
+// real module packages (e.g. tango/internal/netsim).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tango/internal/lint"
+)
+
+// Run loads each fixture package from testdata/src and runs one analyzer
+// over it, failing t on any mismatch between reported diagnostics and the
+// fixture's "// want" comments. Packages are processed in order with facts
+// flowing from earlier to later ones, so multi-package fixtures can
+// exercise cross-package facts.
+func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := make(lint.Facts)
+	for _, name := range pkgs {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loader.Overrides[name] = dir
+	}
+	for _, name := range pkgs {
+		targets, err := loader.Load(name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		for _, pkg := range targets {
+			var diags []lint.Diagnostic
+			out := make(lint.Facts)
+			pass := &lint.Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Deps:     deps,
+				Out:      out,
+				Report:   func(d lint.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s: %s: %v", a.Name, name, err)
+			}
+			deps.Merge(out)
+			check(t, pkg.Fset, pkg.Files, diags)
+		}
+	}
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if pat[0] == '`' {
+					pat = pat[1 : len(pat)-1]
+				} else if u, err := strconv.Unquote(pat); err == nil {
+					pat = u
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", describe(pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func describe(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(pos.Filename), pos.Line, pos.Column)
+}
+
+// MustContain is a convenience for driver-level tests: it fails t unless one
+// of the diagnostics' messages contains substr.
+func MustContain(t *testing.T, diags []lint.Diagnostic, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Fatalf("no diagnostic contains %q in %d diagnostics", substr, len(diags))
+}

@@ -1,0 +1,602 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder checks the repo's declared mutex acquisition order. Mutex
+// fields carry declarations:
+//
+//	//lint:lockorder <name>
+//	//lint:lockorder <name> before <other>[,<other>...]
+//
+// binding the field to an abstract lock name and declaring ordering edges
+// ("<name> must be acquired before <other> whenever both are held"). The
+// analyzer rejects cyclic declarations outright, then walks every function,
+// tracking the set of named locks held (Lock/RLock acquire, Unlock/RUnlock
+// release, deferred unlocks held to function end) and reports any
+// acquisition — direct, or transitively via a call whose summary says it
+// may acquire — that inverts the declared (transitively closed) order.
+//
+// Summaries and declarations cross package boundaries as facts, so pan's
+// striped-fetch lock can be ordered against stripe's status mutex even
+// though they live in different packages. Goroutine bodies and function
+// literals start with an empty held set (they run on their own stack), and
+// literals' acquisitions are not charged to the enclosing function — the
+// analysis never guesses when a stored closure runs.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "enforces declared mutex acquisition order on all static call paths",
+	Run:  runLockOrder,
+}
+
+type lockGraph struct {
+	pass  *Pass
+	names map[string]bool            // every declared lock name (local + deps)
+	binds map[*types.Var]string      // local mutex field → lock name
+	bindF map[string]string          // exported binding facts: "bind pkg.Struct.Field" → name
+	edges map[string]map[string]bool // a → b: a must be acquired before b
+	reach map[string]map[string]bool // transitive closure memo
+	sums  map[*types.Func][]string   // local function → lock names it may acquire
+}
+
+func runLockOrder(pass *Pass) error {
+	g := &lockGraph{
+		pass:  pass,
+		names: map[string]bool{},
+		binds: map[*types.Var]string{},
+		bindF: map[string]string{},
+		edges: map[string]map[string]bool{},
+		reach: map[string]map[string]bool{},
+		sums:  map[*types.Func][]string{},
+	}
+	// Imported declarations from dependencies.
+	for k, v := range pass.Deps[pass.Analyzer.Name] {
+		if name, ok := strings.CutPrefix(k, "name "); ok {
+			g.names[name] = true
+		}
+		if a, ok := strings.CutPrefix(k, "edge "); ok {
+			for _, b := range strings.Split(v, ",") {
+				g.addEdge(a, b)
+			}
+		}
+	}
+	if !g.collectDecls() {
+		return nil // cyclic or malformed declarations: don't pile on path reports
+	}
+	for name := range g.names {
+		pass.ExportFact("name "+name, "1")
+	}
+	for k, v := range g.bindF {
+		pass.ExportFact(k, v)
+	}
+	for a, bs := range g.edges {
+		var list []string
+		for b := range bs {
+			list = append(list, b)
+		}
+		sort.Strings(list)
+		pass.ExportFact("edge "+a, strings.Join(list, ","))
+	}
+	g.buildSummaries()
+	g.checkBodies()
+	return nil
+}
+
+func (g *lockGraph) addEdge(a, b string) {
+	g.names[a], g.names[b] = true, true
+	m := g.edges[a]
+	if m == nil {
+		m = map[string]bool{}
+		g.edges[a] = m
+	}
+	m[b] = true
+}
+
+// collectDecls parses every lockorder directive on a struct field, binding
+// fields to names and recording edges, then validates the graph. It returns
+// false if declarations are unusable (cycle or parse error).
+func (g *lockGraph) collectDecls() bool {
+	pass := g.pass
+	ok := true
+	type decl struct {
+		pos  token.Pos
+		a, b string
+	}
+	var declared []decl
+	for _, file := range pass.Files {
+		// Names of top-level struct types, so bindings on their fields can
+		// be exported for cross-package use (fields of local or anonymous
+		// structs stay package-private).
+		structName := map[*ast.StructType]string{}
+		for _, d := range file.Decls {
+			gd, isGen := d.(*ast.GenDecl)
+			if !isGen || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, isTS := spec.(*ast.TypeSpec); isTS {
+					if st, isStruct := ts.Type.(*ast.StructType); isStruct {
+						structName[st] = ts.Name.Name
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, isStruct := n.(*ast.StructType)
+			if !isStruct {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				d, has := pass.DirectiveForField("lockorder", field)
+				if !has {
+					continue
+				}
+				fields := strings.Fields(d.Args)
+				bad := len(fields) == 0 || (len(fields) > 1 && (len(fields) != 3 || fields[1] != "before"))
+				if bad {
+					pass.Reportf(d.Pos, "malformed lockorder directive: want \"//lint:lockorder name [before other[,other]]\", got %q", d.Args)
+					ok = false
+					continue
+				}
+				if !isMutexField(pass, field) {
+					pass.Reportf(d.Pos, "lockorder directive on non-mutex field")
+					ok = false
+					continue
+				}
+				name := fields[0]
+				g.names[name] = true
+				for _, fn := range field.Names {
+					if v, isVar := pass.Info.Defs[fn].(*types.Var); isVar {
+						g.binds[v] = name
+					}
+					if sn := structName[st]; sn != "" {
+						g.bindF["bind "+pass.Pkg.Path()+"."+sn+"."+fn.Name] = name
+					}
+				}
+				if len(fields) == 3 {
+					for _, b := range strings.Split(fields[2], ",") {
+						g.addEdge(name, b)
+						declared = append(declared, decl{d.Pos, name, b})
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Referencing an undeclared name is a typo until proven otherwise.
+	for _, d := range declared {
+		if !g.declaredSomewhere(d.b) {
+			pass.Reportf(d.pos, "lockorder edge %q before %q references undeclared lock name %q", d.a, d.b, d.b)
+			ok = false
+		}
+	}
+	// Reject cycles at declaration-parse time: an order that is not a
+	// partial order proves nothing.
+	for _, d := range declared {
+		if g.mustPrecede(d.b, d.a) {
+			pass.Reportf(d.pos, "lockorder declarations form a cycle: %q before %q contradicts an existing path %s", d.a, d.b, g.pathString(d.b, d.a))
+			ok = false
+		}
+	}
+	return ok
+}
+
+// declaredSomewhere reports whether name was bound to a field locally or in
+// a dependency.
+func (g *lockGraph) declaredSomewhere(name string) bool {
+	for _, n := range g.binds {
+		if n == name {
+			return true
+		}
+	}
+	return g.pass.Deps.Get(g.pass.Analyzer.Name, "name "+name) != ""
+}
+
+// mustPrecede reports whether a is (transitively) declared before b.
+func (g *lockGraph) mustPrecede(a, b string) bool {
+	if a == b {
+		return false
+	}
+	seen := g.reach[a]
+	if seen == nil {
+		seen = map[string]bool{}
+		var dfs func(string)
+		dfs = func(n string) {
+			for m := range g.edges[n] {
+				if !seen[m] {
+					seen[m] = true
+					dfs(m)
+				}
+			}
+		}
+		dfs(a)
+		g.reach[a] = seen
+	}
+	return seen[b]
+}
+
+// pathString renders one declared path a → ... → b for cycle messages.
+func (g *lockGraph) pathString(a, b string) string {
+	var path []string
+	var dfs func(string) bool
+	seen := map[string]bool{}
+	dfs = func(n string) bool {
+		path = append(path, n)
+		if n == b {
+			return true
+		}
+		var next []string
+		for m := range g.edges[n] {
+			next = append(next, m)
+		}
+		sort.Strings(next)
+		for _, m := range next {
+			if !seen[m] {
+				seen[m] = true
+				if dfs(m) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	dfs(a)
+	return strings.Join(path, " → ")
+}
+
+func isMutexField(pass *Pass, field *ast.Field) bool {
+	tv, ok := pass.Info.Types[field.Type]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return named.Obj().Pkg().Path() == "sync" && (name == "Mutex" || name == "RWMutex")
+}
+
+// lockOp classifies a call as an acquire/release of a named lock.
+func (g *lockGraph) lockOp(call *ast.CallExpr) (name string, acquire, isOp bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	f := fieldOf(g.pass, sel.X)
+	if f == nil {
+		return "", false, false
+	}
+	if name, bound := g.binds[f]; bound {
+		return name, acquire, true
+	}
+	// A mutex field of another package's struct: resolve its binding fact.
+	if f.Pkg() != nil && f.Pkg() != g.pass.Pkg {
+		if fsel, isSel := sel.X.(*ast.SelectorExpr); isSel {
+			if s, hasSel := g.pass.Info.Selections[fsel]; hasSel {
+				rt := s.Recv()
+				if p, isPtr := rt.(*types.Pointer); isPtr {
+					rt = p.Elem()
+				}
+				if named, isNamed := rt.(*types.Named); isNamed {
+					key := "bind " + f.Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+					if name := g.pass.DepFact(key); name != "" {
+						return name, acquire, true
+					}
+				}
+			}
+		}
+	}
+	return "", false, false
+}
+
+// callee resolves a call to its static *types.Func, or nil.
+func callee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// buildSummaries computes, to a fixpoint, the set of lock names each local
+// function may acquire directly or through local calls; dependency
+// summaries come in as facts, and the final summaries go out as facts.
+func (g *lockGraph) buildSummaries() {
+	pass := g.pass
+	type fnInfo struct {
+		fn      *types.Func
+		direct  map[string]bool
+		callees map[*types.Func]bool
+	}
+	var fns []*fnInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &fnInfo{fn: fn, direct: map[string]bool{}, callees: map[*types.Func]bool{}}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false // closures are not charged to the definer
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, acquire, isOp := g.lockOp(call); isOp {
+					if acquire {
+						info.direct[name] = true
+					}
+					return true
+				}
+				if c := callee(pass, call); c != nil {
+					if c.Pkg() == pass.Pkg {
+						info.callees[c] = true
+					} else {
+						for _, n := range strings.Split(pass.DepFact("acq "+ObjKey(c)), ",") {
+							if n != "" {
+								info.direct[n] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			fns = append(fns, info)
+		}
+	}
+	byFn := map[*types.Func]*fnInfo{}
+	for _, info := range fns {
+		byFn[info.fn] = info
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range fns {
+			for c := range info.callees {
+				if ci := byFn[c]; ci != nil {
+					for name := range ci.direct {
+						if !info.direct[name] {
+							info.direct[name] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, info := range fns {
+		var names []string
+		for name := range info.direct {
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		g.sums[info.fn] = names
+		pass.ExportFact("acq "+ObjKey(info.fn), strings.Join(names, ","))
+	}
+}
+
+// acquires returns the lock names a call's static callee may acquire.
+func (g *lockGraph) acquires(call *ast.CallExpr) []string {
+	c := callee(g.pass, call)
+	if c == nil {
+		return nil
+	}
+	if c.Pkg() == g.pass.Pkg {
+		return g.sums[c]
+	}
+	fact := g.pass.DepFact("acq " + ObjKey(c))
+	if fact == "" {
+		return nil
+	}
+	return strings.Split(fact, ",")
+}
+
+// checkBodies walks every function with held-set tracking and reports
+// order inversions.
+func (g *lockGraph) checkBodies() {
+	for _, file := range g.pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				g.walkStmt(fd.Body, map[string]int{})
+			}
+		}
+	}
+}
+
+// walkStmt threads the held-lock multiset through one statement. Branch
+// bodies run on copies: lock-state changes inside a branch are local to it
+// (an if that leaves a lock held on one arm only is beyond a static order
+// check and is deliberately not guessed at).
+func (g *lockGraph) walkStmt(stmt ast.Stmt, held map[string]int) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			g.walkStmt(st, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			g.walkStmt(s.Init, held)
+		}
+		g.walkExpr(s.Cond, held)
+		g.walkStmt(s.Body, copyHeld(held))
+		if s.Else != nil {
+			g.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			g.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			g.walkExpr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		g.walkStmt(s.Body, body)
+		if s.Post != nil {
+			g.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		g.walkExpr(s.X, held)
+		g.walkStmt(s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			g.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			g.walkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			g.walkStmt(c, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			g.walkStmt(s.Init, held)
+		}
+		g.walkStmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			g.walkStmt(c, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			g.walkStmt(c, copyHeld(held))
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			g.walkExpr(e, held)
+		}
+		for _, st := range s.Body {
+			g.walkStmt(st, held)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			g.walkStmt(s.Comm, held)
+		}
+		for _, st := range s.Body {
+			g.walkStmt(st, held)
+		}
+	case *ast.LabeledStmt:
+		g.walkStmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// A new goroutine starts with nothing held; its argument
+		// expressions evaluate on this one.
+		for _, arg := range s.Call.Args {
+			g.walkExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			g.walkStmt(lit.Body, map[string]int{})
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end — exactly
+		// what the sequential walk models by never releasing it. Any other
+		// deferred call is checked against the current held set.
+		if _, _, isOp := g.lockOp(s.Call); isOp {
+			return
+		}
+		g.walkExpr(s.Call, held)
+	case *ast.ExprStmt:
+		g.walkExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			g.walkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			g.walkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			g.walkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						g.walkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		g.walkExpr(s.Chan, held)
+		g.walkExpr(s.Value, held)
+	case *ast.IncDecStmt:
+		g.walkExpr(s.X, held)
+	}
+}
+
+// walkExpr scans an expression in evaluation order for lock operations and
+// summarized calls, updating held.
+func (g *lockGraph) walkExpr(expr ast.Expr, held map[string]int) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // runs later, on an unknown stack
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, acquire, isOp := g.lockOp(call); isOp {
+			if acquire {
+				g.checkAcquire(call.Pos(), name, held)
+				held[name]++
+			} else if held[name] > 0 {
+				held[name]--
+			}
+			return true
+		}
+		for _, name := range g.acquires(call) {
+			g.checkCallAcquire(call, name, held)
+		}
+		return true
+	})
+}
+
+func (g *lockGraph) checkAcquire(pos token.Pos, name string, held map[string]int) {
+	for h, n := range held {
+		if n > 0 && g.mustPrecede(name, h) {
+			g.pass.Reportf(pos, "acquires %q while holding %q: declared order is %s", name, h, g.pathString(name, h))
+		}
+	}
+}
+
+func (g *lockGraph) checkCallAcquire(call *ast.CallExpr, name string, held map[string]int) {
+	for h, n := range held {
+		if n > 0 && g.mustPrecede(name, h) {
+			c := callee(g.pass, call)
+			g.pass.Reportf(call.Pos(), "call to %s may acquire %q while holding %q: declared order is %s", c.Name(), name, h, g.pathString(name, h))
+		}
+	}
+}
+
+func copyHeld(held map[string]int) map[string]int {
+	out := make(map[string]int, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

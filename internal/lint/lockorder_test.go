@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tango/internal/lint"
+	"tango/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, "lockorder")
+}
+
+func TestLockOrderDeclarations(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, "lockorderdecl")
+}
+
+func TestLockOrderCrossPackage(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, "lockordera", "lockorderb")
+}

@@ -1,0 +1,53 @@
+// Package atomicfield is the fixture for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type statsByFunc struct {
+	hits  uint64
+	plain int
+}
+
+func (s *statsByFunc) bump() {
+	atomic.AddUint64(&s.hits, 1)
+	s.plain++ // never touched atomically: fine
+}
+
+func (s *statsByFunc) read() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+func (s *statsByFunc) torn() uint64 {
+	return s.hits // want `plain access to field hits`
+}
+
+func (s *statsByFunc) tornWrite() {
+	s.hits = 0 // want `plain access to field hits`
+}
+
+func (s *statsByFunc) allowed() uint64 {
+	//lint:allow-atomic snapshot before the struct is published
+	return s.hits
+}
+
+func (s *statsByFunc) address() *uint64 {
+	return &s.hits // opaque: pointer may feed an atomic op elsewhere
+}
+
+type statsTyped struct {
+	flag atomic.Bool
+	n    atomic.Int64
+}
+
+func (s *statsTyped) ok() {
+	s.flag.Store(true)
+	s.n.Add(1)
+	_ = s.n.Load()
+	_ = &s.flag
+}
+
+func (s *statsTyped) copies() atomic.Int64 {
+	v := s.flag // want `field flag has atomic type .* copied by value`
+	_ = v
+	return s.n // want `field n has atomic type .* copied by value`
+}

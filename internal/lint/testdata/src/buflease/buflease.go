@@ -1,0 +1,214 @@
+// Package buflease exercises the buflease analyzer with a self-contained
+// lease protocol: get is the source, put the sink, fill a borrower.
+package buflease
+
+import "errors"
+
+var errTest = errors.New("test")
+
+var retained [][]byte
+
+//lint:lease source
+func get(n int) []byte { return make([]byte, n) }
+
+//lint:lease source
+func getChecked(n int) ([]byte, error) { return make([]byte, n), nil }
+
+//lint:lease sink
+func put(b []byte) {
+	retained = append(retained, b)
+}
+
+//lint:lease borrow
+func fill(b []byte) {
+	if len(b) > 0 {
+		b[0] = 1
+	}
+}
+
+// consume is unannotated: a lease passed to it escapes the analysis.
+func consume(b []byte) { _ = b }
+
+// releasedOnAllPaths is the canonical correct shape.
+func releasedOnAllPaths(fail bool) error {
+	buf := get(64)
+	if fail {
+		put(buf)
+		return errTest
+	}
+	put(buf)
+	return nil
+}
+
+// leakOnError forgets the lease on the error arm.
+func leakOnError(fail bool) error {
+	buf := get(64)
+	if fail {
+		return errTest // want `lease from get is not released on this return path`
+	}
+	put(buf)
+	return nil
+}
+
+// leakFallThrough never releases at all.
+func leakFallThrough() {
+	buf := get(8) // want `lease from get is not released on the fall-through return path`
+	fill(buf)
+}
+
+// doubleRelease sinks the same lease twice.
+func doubleRelease() {
+	buf := get(8)
+	put(buf)
+	put(buf) // want `double release of lease from get`
+}
+
+// useAfterRelease touches the buffer once ownership is gone.
+func useAfterRelease() byte {
+	buf := get(8)
+	put(buf)
+	return buf[0] // want `use of lease from get after it reached a sink`
+}
+
+// borrowAfterRelease hands the dead buffer to a borrower.
+func borrowAfterRelease() {
+	buf := get(8)
+	fill(buf)
+	put(buf)
+	fill(buf) // want `use of lease from get after it reached a sink`
+}
+
+// deferRelease is fine: the deferred sink covers every path.
+func deferRelease(fail bool) error {
+	buf := get(8)
+	defer put(buf)
+	fill(buf)
+	if fail {
+		return errTest
+	}
+	return nil
+}
+
+// deferDouble arms a second sink on top of the deferred one.
+func deferDouble() {
+	buf := get(8)
+	defer put(buf)
+	put(buf) // want `double release of lease from get`
+}
+
+// aliasRelease releases through a subslice alias: same lease, one sink.
+func aliasRelease() {
+	buf := get(16)
+	head := buf[:8]
+	put(head)
+}
+
+// aliasDouble releases both names of one lease.
+func aliasDouble() {
+	buf := get(16)
+	head := buf[:8]
+	put(head)
+	put(buf) // want `double release of lease from get`
+}
+
+// growRebind keeps the lease through append-to-self.
+func growRebind() {
+	buf := get(8)
+	buf = append(buf, 1, 2, 3)
+	put(buf)
+}
+
+// overwritten drops a live lease by rebinding its only name.
+func overwritten() {
+	buf := get(8)
+	buf = get(8) // want `lease from get is overwritten before release`
+	put(buf)
+}
+
+// escapeToUnknown stops tracking: consume may retain the buffer.
+func escapeToUnknown() {
+	buf := get(8)
+	consume(buf)
+}
+
+// escapeByReturn moves ownership to the caller.
+func escapeByReturn() []byte {
+	buf := get(8)
+	fill(buf)
+	return buf
+}
+
+// escapeToStore: retention through a data structure is beyond the
+// analysis, so no report.
+func escapeToStore() {
+	buf := get(8)
+	retained = append(retained, buf)
+}
+
+// tupleUntracked: multi-result sources are not tracked (the error arm has
+// no lease), so nothing is reported on either path.
+func tupleUntracked() error {
+	buf, err := getChecked(8)
+	if err != nil {
+		return err
+	}
+	put(buf)
+	return nil
+}
+
+// loopLeak acquires once per iteration and never releases.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		buf := get(8) // want `still live at the end of the loop body`
+		fill(buf)
+	}
+}
+
+// loopRelease is the correct per-iteration shape.
+func loopRelease(n int) {
+	for i := 0; i < n; i++ {
+		buf := get(8)
+		put(buf)
+	}
+}
+
+// sinkImpl's own parameter is a lease it must dispose of on every path.
+//
+//lint:lease sink
+func sinkImpl(b []byte, drop bool) {
+	if drop {
+		return // want `lease parameter b is not released on this return path`
+	}
+	put(b)
+}
+
+// Sender shows sink annotations on interface methods.
+type Sender interface {
+	//lint:lease sink
+	Send(b []byte) bool
+}
+
+// ifaceRelease consumes through the interface; the failed-send arm needs
+// no separate release because Send owns the buffer either way.
+func ifaceRelease(s Sender) error {
+	buf := get(8)
+	if !s.Send(buf) {
+		return errTest
+	}
+	return nil
+}
+
+// ifaceDouble releases twice through the interface.
+func ifaceDouble(s Sender) {
+	buf := get(8)
+	s.Send(buf)
+	s.Send(buf) // want `double release of lease from get`
+}
+
+// stringCopyOK: string(buf) copies the bytes, the lease stays live.
+func stringCopyOK() string {
+	buf := get(8)
+	s := string(buf)
+	put(buf)
+	return s
+}

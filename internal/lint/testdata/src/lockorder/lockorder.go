@@ -1,0 +1,95 @@
+// Package lockorder exercises the lockorder analyzer's path checks against
+// a declared order A → B → C.
+package lockorder
+
+import "sync"
+
+type M struct {
+	a sync.Mutex   //lint:lockorder A before B
+	b sync.Mutex   //lint:lockorder B before C
+	c sync.RWMutex //lint:lockorder C
+}
+
+// good acquires in declared order.
+func good(m *M) {
+	m.a.Lock()
+	m.b.Lock()
+	m.c.RLock()
+	m.c.RUnlock()
+	m.b.Unlock()
+	m.a.Unlock()
+}
+
+// directBad inverts a declared edge.
+func directBad(m *M) {
+	m.b.Lock()
+	m.a.Lock() // want `acquires "A" while holding "B": declared order is A → B`
+	m.a.Unlock()
+	m.b.Unlock()
+}
+
+// transitiveBad inverts the transitive closure, not a direct edge.
+func transitiveBad(m *M) {
+	m.c.Lock()
+	m.a.Lock() // want `acquires "A" while holding "C": declared order is A → B → C`
+	m.a.Unlock()
+	m.c.Unlock()
+}
+
+// releasedOK may take A after B is released: nothing is held.
+func releasedOK(m *M) {
+	m.b.Lock()
+	m.b.Unlock()
+	m.a.Lock()
+	m.a.Unlock()
+}
+
+// deferHolds keeps B held to function end through the deferred unlock.
+func deferHolds(m *M) {
+	m.b.Lock()
+	defer m.b.Unlock()
+	m.a.Lock() // want `acquires "A" while holding "B"`
+	m.a.Unlock()
+}
+
+// helperLocksA gives callBad a summarized acquisition.
+func helperLocksA(m *M) {
+	m.a.Lock()
+	m.a.Unlock()
+}
+
+// callBad acquires A transitively through a call while holding C.
+func callBad(m *M) {
+	m.c.Lock()
+	defer m.c.Unlock()
+	helperLocksA(m) // want `call to helperLocksA may acquire "A" while holding "C"`
+}
+
+// nested reaches helperLocksA two calls deep: summaries are a fixpoint.
+func middle(m *M) { helperLocksA(m) }
+
+func nestedCallBad(m *M) {
+	m.b.Lock()
+	defer m.b.Unlock()
+	middle(m) // want `call to middle may acquire "A" while holding "B"`
+}
+
+// goroutineFresh starts a new stack: the held set does not carry over.
+func goroutineFresh(m *M) {
+	m.c.Lock()
+	defer m.c.Unlock()
+	go func() {
+		m.a.Lock()
+		m.a.Unlock()
+	}()
+}
+
+// branchLocal acquisitions stay local to their branch.
+func branchLocal(m *M, x bool) {
+	if x {
+		m.b.Lock()
+		m.b.Unlock()
+	}
+	m.a.Lock()
+	m.a.Unlock()
+}

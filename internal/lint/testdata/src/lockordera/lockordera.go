@@ -1,0 +1,22 @@
+// Package lockordera declares lock names consumed across the package
+// boundary by the lockorderb fixture.
+package lockordera
+
+import "sync"
+
+type S struct {
+	A sync.Mutex //lint:lockorder modA before modB
+	B sync.Mutex //lint:lockorder modB
+}
+
+// LockB has an exported acquisition summary: it may acquire modB.
+func (s *S) LockB() {
+	s.B.Lock()
+	s.B.Unlock()
+}
+
+// LockA has an exported acquisition summary: it may acquire modA.
+func (s *S) LockA() {
+	s.A.Lock()
+	s.A.Unlock()
+}

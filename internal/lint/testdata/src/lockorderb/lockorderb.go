@@ -1,0 +1,29 @@
+// Package lockorderb imports lockordera's declarations as facts: bindings
+// on foreign struct fields, edges, and call summaries all cross the
+// package boundary.
+package lockorderb
+
+import "lockordera"
+
+// fieldBad locks another package's annotated mutex fields out of order.
+func fieldBad(s *lockordera.S) {
+	s.B.Lock()
+	s.A.Lock() // want `acquires "modA" while holding "modB"`
+	s.A.Unlock()
+	s.B.Unlock()
+}
+
+// callOK holds modA and takes modB through a summarized call: that is the
+// declared order, so no report.
+func callOK(s *lockordera.S) {
+	s.A.Lock()
+	defer s.A.Unlock()
+	s.LockB()
+}
+
+// callBad inverts the order through an imported call summary.
+func callBad(s *lockordera.S) {
+	s.B.Lock()
+	defer s.B.Unlock()
+	s.LockA() // want `call to LockA may acquire "modA" while holding "modB"`
+}

@@ -1,0 +1,23 @@
+// Package lockorderdecl exercises declaration-time validation: cycles,
+// malformed directives, non-mutex fields, and undeclared names are all
+// rejected before any path checking happens.
+package lockorderdecl
+
+import "sync"
+
+type D struct {
+	a sync.Mutex //lint:lockorder X before Y // want `lockorder declarations form a cycle`
+	b sync.Mutex //lint:lockorder Y before X // want `lockorder declarations form a cycle`
+	c sync.Mutex //lint:lockorder M then N // want `malformed lockorder directive`
+	d int        //lint:lockorder P // want `lockorder directive on non-mutex field`
+	e sync.Mutex //lint:lockorder Q before Ghost // want `references undeclared lock name "Ghost"`
+}
+
+// bodyNotChecked would report an inversion, but unusable declarations skip
+// path checks entirely.
+func bodyNotChecked(d *D) {
+	d.b.Lock()
+	d.a.Lock()
+	d.a.Unlock()
+	d.b.Unlock()
+}

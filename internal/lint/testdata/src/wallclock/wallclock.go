@@ -1,0 +1,44 @@
+// Package wallclock is the fixture for the wallclock analyzer: direct
+// package-time calls are flagged unless a //lint:allow-wallclock directive
+// with a reason sits on or directly above the call line.
+package wallclock
+
+import "time"
+
+// Clock is a stand-in for netsim.Clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep`
+	t := time.Now()              // want `call to time\.Now`
+	_ = time.Since(t)            // want `call to time\.Since`
+	<-time.After(time.Second)    // want `call to time\.After`
+	_ = time.NewTimer(0)         // want `call to time\.NewTimer`
+	_ = time.NewTicker(1)        // want `call to time\.NewTicker`
+	f := time.Now                // want `call to time\.Now`
+	_ = f
+	return t
+}
+
+func allowedSameLine() time.Time {
+	return time.Now() //lint:allow-wallclock fixture: real-time boundary
+}
+
+func allowedLineAbove() {
+	//lint:allow-wallclock fixture: waiting on a real goroutine
+	time.Sleep(time.Millisecond)
+}
+
+func reasonRequired() {
+	//lint:allow-wallclock
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep`
+}
+
+func viaClock(c Clock) time.Duration {
+	start := c.Now()
+	c.Sleep(time.Millisecond) // durations and constants are fine
+	return c.Now().Sub(start)
+}

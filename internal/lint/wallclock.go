@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockBanned is the set of package-time entry points that read or
+// schedule against the wall clock. Code running under the simulated world
+// must take time from a netsim.Clock instead: one stray time.Now in a
+// simulated component silently breaks virtual-time determinism — the
+// foundation of every e2e test and benchmark in this repo.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+// WallClock reports direct package-time calls. The only legitimate callers
+// are the RealClock implementation in netsim/clock.go (the designated
+// wallclock boundary) and deliberate real-time waits — both carry a
+// "//lint:allow-wallclock <reason>" directive on or directly above the call
+// line. An empty reason does not suppress.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids direct time.Now/Sleep/After/... calls; simulated code must take time from a netsim.Clock",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallclockBanned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if pass.Allowed("allow-wallclock", sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "call to time.%s: take time from a netsim.Clock instead (or annotate //lint:allow-wallclock <reason>)", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

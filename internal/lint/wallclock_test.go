@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tango/internal/lint"
+	"tango/internal/lint/linttest"
+)
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, lint.WallClock, "wallclock")
+}

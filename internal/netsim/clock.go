@@ -42,6 +42,7 @@ type Clock interface {
 // also recycle their timer records since no reference escapes. Both clocks
 // in this package implement it; custom Clocks fall back to AfterFunc.
 type DeliveryScheduler interface {
+	//lint:lease sink
 	ScheduleDelivery(d time.Duration, recv func([]byte), buf []byte)
 }
 
@@ -49,26 +50,28 @@ type DeliveryScheduler interface {
 type RealClock struct{}
 
 // Now implements Clock.
-func (RealClock) Now() time.Time { return time.Now() }
+func (RealClock) Now() time.Time { return time.Now() } //lint:allow-wallclock RealClock is the wall-clock boundary
 
 // Sleep implements Clock.
-func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) } //lint:allow-wallclock RealClock is the wall-clock boundary
 
 // After implements Clock.
-func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) } //lint:allow-wallclock RealClock is the wall-clock boundary
 
 // AfterFunc implements Clock.
 func (RealClock) AfterFunc(d time.Duration, f func()) func() bool {
-	t := time.AfterFunc(d, f)
+	t := time.AfterFunc(d, f) //lint:allow-wallclock RealClock is the wall-clock boundary
 	return t.Stop
 }
 
 // Since implements Clock.
-func (RealClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (RealClock) Since(t time.Time) time.Duration { return time.Since(t) } //lint:allow-wallclock RealClock is the wall-clock boundary
 
 // ScheduleDelivery implements DeliveryScheduler.
+//
+//lint:lease sink
 func (RealClock) ScheduleDelivery(d time.Duration, recv func([]byte), buf []byte) {
-	time.AfterFunc(d, func() { recv(buf) })
+	time.AfterFunc(d, func() { recv(buf) }) //lint:allow-wallclock RealClock is the wall-clock boundary
 }
 
 // simTimer is one pending virtual-clock timer. Delivery timers (see
@@ -183,6 +186,8 @@ func (c *SimClock) AfterFunc(d time.Duration, f func()) func() bool {
 // ScheduleDelivery implements DeliveryScheduler: like AfterFunc but with the
 // callback's argument stored on the (pooled) timer record, so the packet hot
 // path schedules deliveries with zero allocations in steady state.
+//
+//lint:lease sink
 func (c *SimClock) ScheduleDelivery(d time.Duration, recv func([]byte), buf []byte) {
 	t := simTimerPool.Get().(*simTimer)
 	t.fn = nil
@@ -333,6 +338,7 @@ func (c *SimClock) AutoAdvance(grace time.Duration) (stop func()) {
 			if idle > 16 {
 				d = 4 * grace
 			}
+			//lint:allow-wallclock idle backoff of the real-time drain helper
 			time.Sleep(d)
 			quiet = 0
 		}

@@ -151,6 +151,7 @@ func TestSimClockAfter(t *testing.T) {
 		if want := epoch.Add(7 * time.Millisecond); !at.Equal(want) {
 			t.Fatalf("After delivered %v, want %v", at, want)
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(time.Second):
 		t.Fatal("After never fired")
 	}
@@ -167,6 +168,7 @@ func TestRealClockBasics(t *testing.T) {
 	c.AfterFunc(time.Millisecond, func() { close(fired) })
 	select {
 	case <-fired:
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(time.Second):
 		t.Fatal("AfterFunc never fired")
 	}

@@ -101,6 +101,8 @@ func (l *Link) Send(from int, pkt []byte) bool {
 // PutBuf the buffer when done decoding or pass it on. This is the zero-copy
 // path: a router can patch a received buffer in place and forward the very
 // same bytes to the next link.
+//
+//lint:lease sink
 func (l *Link) SendOwned(from int, pkt []byte) bool {
 	to := 1 - from
 	l.mu.Lock()

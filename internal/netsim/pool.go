@@ -46,6 +46,8 @@ var (
 // class that fits; requests beyond the largest class fall back to a plain
 // allocation). The caller owns the buffer until it transfers ownership or
 // calls PutBuf.
+//
+//lint:lease source
 func GetBuf(n int) []byte {
 	ci := -1
 	for i, c := range bufClasses {
@@ -73,6 +75,8 @@ func GetBuf(n int) []byte {
 // PutBuf returns a leased buffer to the pool. Buffers whose capacity is not
 // exactly a pool class (or whose stripe is full) are dropped to the GC, so
 // passing any []byte is safe. The caller must not use the buffer afterwards.
+//
+//lint:lease sink
 func PutBuf(b []byte) {
 	c := cap(b)
 	ci := -1
@@ -83,6 +87,7 @@ func PutBuf(b []byte) {
 		}
 	}
 	if ci < 0 {
+		//lint:allow-lease non-class buffers are dropped to the GC; that is their release
 		return
 	}
 	s := &bufPool[ci][stripeCtr.Add(1)&(bufStripes-1)]

@@ -26,6 +26,7 @@ func TestGetBufClassSelection(t *testing.T) {
 		PutBuf(b)
 	}
 	// Beyond the largest class: plain allocation, exact size.
+	//lint:allow-lease oversize buffers are plain allocations; the GC reclaims them
 	if b := GetBuf(100000); len(b) != 100000 || cap(b) != 100000 {
 		t.Errorf("oversize GetBuf = len %d cap %d", len(b), cap(b))
 	}
@@ -46,6 +47,7 @@ func TestPutBufGetBufReuses(t *testing.T) {
 	}
 	reused := 0
 	for i := 0; i < n; i++ {
+		//lint:allow-lease reuse counting deliberately keeps the gets
 		if b := GetBuf(1400); b[0] == 0xAB {
 			reused++
 		}
@@ -101,6 +103,7 @@ func TestSendOwnedDeliversSameBuffer(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 	// Zero-copy: the receiver sees the very bytes the sender leased.
+	//lint:allow-lease zero-copy assertion inspects the transferred bytes
 	if &got[0] != &buf[0] {
 		t.Fatal("SendOwned copied the buffer")
 	}
@@ -126,6 +129,7 @@ func TestSendOwnedReleasesDroppedPackets(t *testing.T) {
 	// buffers — proof the drops went back to the pool rather than leaking.
 	recovered := 0
 	for i := 0; i < 2*bufStripes; i++ {
+		//lint:allow-lease reuse counting deliberately keeps the gets
 		if b := GetBuf(50); b[1] == 0xCD {
 			recovered++
 		}

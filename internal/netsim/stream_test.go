@@ -123,6 +123,7 @@ func TestStreamDialContextCancel(t *testing.T) {
 	}
 	defer l.Close()
 	ctx, cancel := context.WithCancel(context.Background())
+	//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
 	if _, err := n.Dial(ctx, "a", "b:1"); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -157,6 +158,7 @@ func TestStreamCloseDeliversEOF(t *testing.T) {
 		if string(data) != "last words" {
 			t.Fatalf("server read %q", data)
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(5 * time.Second):
 		t.Fatal("server never saw EOF")
 	}
@@ -210,6 +212,7 @@ func TestStreamListenerCloseUnblocksAccept(t *testing.T) {
 		if err == nil {
 			t.Fatal("Accept returned nil after Close")
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(time.Second):
 		t.Fatal("Accept never unblocked")
 	}

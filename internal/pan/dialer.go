@@ -95,7 +95,7 @@ var ErrDialerClosed = errors.New("pan: dialer closed")
 type Dialer struct {
 	host *Host
 
-	mu     sync.Mutex
+	mu     sync.Mutex //lint:lockorder pandialer
 	opts   DialOptions
 	epoch  uint64
 	closed bool

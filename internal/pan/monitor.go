@@ -226,7 +226,7 @@ type monEntry struct {
 // holds under exactly one shard lock, and Observe on the squic ack hot path
 // touches a single shard.
 type monShard struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //lint:lockorder panshard before panwheel
 	targets map[string]*monTarget
 	entries map[string]*monEntry // path fingerprint → state
 	// byTarget indexes each target's entries so Track/Untrack and path-set
@@ -308,7 +308,7 @@ type Monitor struct {
 	// rebuild walks the shards); shard code never takes linkMu — the hot
 	// ingest path invalidates the aggregate with the linkDirty atomic
 	// instead, so one link lock can never serialize per-sample ingest.
-	linkMu sync.Mutex
+	linkMu sync.Mutex //lint:lockorder panlink before panshard
 	// priors are link congestion estimates imported from peers' snapshots
 	// (ImportLinks). They decay with age and only ever fill gaps: a link
 	// with live local series ignores its prior entirely.
@@ -328,7 +328,7 @@ type Monitor struct {
 	// as an atomic snapshot so per-sample fan-out is a single load.
 	// Rebuilds always allocate a FRESH slice, so callers may iterate a
 	// loaded snapshot outside every lock.
-	sinkMu   sync.Mutex
+	sinkMu   sync.Mutex //lint:lockorder pansink
 	sinks    map[int]func(*segment.Path, Outcome)
 	nextSink int
 	sinkList atomic.Pointer[[]func(*segment.Path, Outcome)]

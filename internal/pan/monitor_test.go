@@ -166,6 +166,7 @@ func drain(clock *netsim.SimClock, d, step time.Duration) {
 		clock.Advance(step)
 		// A probe runs in its own goroutine; give it real time to finish
 		// before moving virtual time again.
+		//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 		time.Sleep(time.Millisecond)
 	}
 }
@@ -904,6 +905,7 @@ func TestMonitorStopRestartMidProbe(t *testing.T) {
 	// Advance until the first scheduled probe is in flight.
 	for i := 0; i < 40; i++ {
 		clock.Advance(100 * time.Millisecond)
+		//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 		time.Sleep(time.Millisecond)
 		select {
 		case <-launched:
@@ -921,6 +923,7 @@ func TestMonitorStopRestartMidProbe(t *testing.T) {
 	m.Stop()
 	m.Start()
 	close(gate) // the held probe drains after the restart
+	//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 	time.Sleep(5 * time.Millisecond)
 
 	// Probing must resume: the drained probe (or Start) re-armed the

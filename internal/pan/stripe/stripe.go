@@ -105,7 +105,7 @@ type Pipeline struct {
 	// statusMu guards the snapshot-visible fields below against concurrent
 	// Status readers (CLI liveness, tests). The scheduler goroutine is the
 	// only writer, so its own lock-free reads stay consistent.
-	statusMu sync.Mutex
+	statusMu sync.Mutex //lint:lockorder stripestatus
 
 	// Jacobson/Karels estimator over segment completion times. Seeded from
 	// monitor telemetry so the first scheduling decisions are informed.

@@ -334,6 +334,7 @@ func TestContextCancel(t *testing.T) {
 	cancel()
 	select {
 	case <-done:
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(5 * time.Second):
 		t.Fatal("Fetch did not return after context cancellation")
 	}

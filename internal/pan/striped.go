@@ -69,7 +69,7 @@ type Striped struct {
 	// mu serializes fetches: pipeline scheduler state is single-threaded by
 	// design, and lock order is st.mu → d.mu (the Observe tap takes the
 	// dialer lock), so the dialer must never touch st.mu under its own lock.
-	mu sync.Mutex
+	mu sync.Mutex //lint:lockorder stripedfetch before pandialer,stripestatus
 	// pipes is set once in DialStriped and never mutated afterwards, so
 	// snapshot readers (Status, alive) need no lock — crucially, they must
 	// NOT take mu, which a running Fetch holds for the whole transfer.

@@ -51,7 +51,7 @@ type probeWheel struct {
 	epoch time.Time
 	fire  func(*wheelNode)
 
-	mu      sync.Mutex
+	mu      sync.Mutex             //lint:lockorder panwheel
 	slots   [wheelSlots]*wheelNode // per-slot doubly-linked list heads
 	count   int
 	cursor  int64 // absolute slot number processed up to (exclusive)

@@ -115,6 +115,7 @@ func wheelTestMonitor(t *testing.T) (*Monitor, *netsim.SimClock, *segment.Path, 
 func drainSim(clock *netsim.SimClock, d, step time.Duration) {
 	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
 		clock.Advance(step)
+		//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 		time.Sleep(time.Millisecond)
 	}
 }

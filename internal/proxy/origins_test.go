@@ -36,6 +36,7 @@ func TestOriginSweepOffRequestPath(t *testing.T) {
 	}
 	select {
 	case <-entered:
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(5 * time.Second):
 		t.Fatal("sweep never started")
 	}
@@ -50,11 +51,13 @@ func TestOriginSweepOffRequestPath(t *testing.T) {
 	}()
 	select {
 	case <-done:
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(5 * time.Second):
 		t.Fatal("observeFirstByte blocked behind an in-flight origin sweep")
 	}
 
 	close(release)
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		p.mu.Lock()
@@ -63,9 +66,11 @@ func TestOriginSweepOffRequestPath(t *testing.T) {
 		if !sweeping {
 			break
 		}
+		//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 		if time.Now().After(deadline) {
 			t.Fatal("sweep never finished")
 		}
+		//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 		time.Sleep(time.Millisecond)
 	}
 

@@ -211,6 +211,7 @@ func TestCloseUnblocksRead(t *testing.T) {
 	}
 	errc := make(chan error, 1)
 	go func() { _, err := c.ReadFrom(); errc <- err }()
+	//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 	time.Sleep(10 * time.Millisecond) // real time: let the reader block
 	c.Close()
 	select {
@@ -218,6 +219,7 @@ func TestCloseUnblocksRead(t *testing.T) {
 		if err != snet.ErrClosed {
 			t.Fatalf("err = %v", err)
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(time.Second):
 		t.Fatal("ReadFrom never unblocked")
 	}

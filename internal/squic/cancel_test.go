@@ -74,7 +74,9 @@ func TestServerReapsUnconfirmedConns(t *testing.T) {
 	}
 
 	// The server builds the conn when the Initial lands...
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	deadline := time.Now().Add(5 * time.Second)
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	for lis.ConnCount() == 0 && time.Now().Before(deadline) {
 		w.clock.Sleep(100 * time.Millisecond)
 	}
@@ -83,6 +85,7 @@ func TestServerReapsUnconfirmedConns(t *testing.T) {
 	}
 	// ...and reaps it once the handshake is never confirmed.
 	w.clock.Sleep(3 * time.Second)
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	for lis.ConnCount() > 0 && time.Now().Before(deadline) {
 		w.clock.Sleep(100 * time.Millisecond)
 	}

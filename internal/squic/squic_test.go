@@ -116,6 +116,7 @@ func dialPair(t testing.TB, w *testWorld, srcIA, dstIA addr.IA) (*squic.Conn, *s
 	select {
 	case server := <-connCh:
 		return client, server, paths[0]
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(10 * time.Second):
 		t.Fatal("server never accepted")
 		return nil, nil, nil
@@ -222,6 +223,7 @@ func TestLargeTransfer(t *testing.T) {
 		if got != sha256.Sum256(payload) {
 			t.Fatal("transfer corrupted")
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(240 * time.Second):
 		t.Fatal("transfer never completed")
 	}
@@ -265,6 +267,7 @@ func TestTransferOverLossyPath(t *testing.T) {
 		if !bytes.Equal(data, payload) {
 			t.Fatalf("corrupted: got %d bytes, want %d", len(data), len(payload))
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(240 * time.Second):
 		t.Fatal("lossy transfer never completed")
 	}
@@ -430,6 +433,7 @@ func TestConnCloseUnblocksPeer(t *testing.T) {
 		if err == nil {
 			t.Fatal("server read got nil error after abrupt close")
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(10 * time.Second):
 		t.Fatal("server read never unblocked")
 	}
@@ -551,6 +555,7 @@ func TestTransferOverReorderingPath(t *testing.T) {
 		if !bytes.Equal(data, payload) {
 			t.Fatalf("reordered transfer corrupted: %d bytes, want %d", len(data), len(payload))
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(240 * time.Second):
 		t.Fatal("reordered transfer never completed")
 	}
@@ -595,6 +600,7 @@ func TestDuplicatedPacketsIgnored(t *testing.T) {
 		if !bytes.Equal(data, payload) {
 			t.Fatalf("got %d bytes, want %d (duplicates must not corrupt)", len(data), len(payload))
 		}
+	//lint:allow-wallclock wall-time watchdog against test hangs
 	case <-time.After(240 * time.Second):
 		t.Fatal("transfer never completed")
 	}

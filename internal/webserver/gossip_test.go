@@ -90,15 +90,18 @@ func TestGossipExchange(t *testing.T) {
 	// The periodic loop keeps exchanging on the virtual clock.
 	g.Start()
 	t.Cleanup(g.Stop)
+	//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		rounds, _, _ := g.Stats()
 		if rounds >= 3 {
 			break
 		}
+		//lint:allow-wallclock wall-clock deadline bounds a real-time polling loop
 		if time.Now().After(deadline) {
 			t.Fatalf("gossip loop stalled at %d rounds", rounds)
 		}
+		//lint:allow-wallclock real-time yield so goroutines run between virtual-clock steps
 		time.Sleep(time.Millisecond)
 	}
 }
