@@ -13,6 +13,18 @@
 // Repeatable -gate-min Name/metric=X flags are the throughput mirror: the
 // named benchmark's custom metric (everything after the first '/' — metric
 // names may themselves contain slashes, e.g. MB/s) must be at least X.
+//
+// Repeatable -gate-max Name=N flags put a ceiling on a benchmark's ns/op,
+// and -gate-rel "A<=B*F" flags tie two benchmarks together: A's ns/op must
+// stay at or under B's times F — how CI asserts the optimized variant of a
+// pair actually beats the baseline it rode in with.
+//
+// -diff-prior DIR compares the parsed results against the highest-numbered
+// committed BENCH_<n>.json below -pr in DIR and prints every shared
+// benchmark whose ns/op regressed by more than 1.5x — to stderr and, when
+// $GITHUB_STEP_SUMMARY is set, as a markdown table in the job summary. The
+// diff is informational: single-iteration smoke numbers are too noisy to
+// fail the build on, but not too noisy to read.
 package main
 
 import (
@@ -21,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -130,6 +144,196 @@ func (g minGates) check(benchmarks map[string]Result) (failed bool) {
 	return failed
 }
 
+// nsGate is one -gate-max entry: a ceiling on a benchmark's ns/op.
+type nsGate struct {
+	name string
+	max  float64
+}
+
+// nsGates implements flag.Value for repeatable -gate-max Name=N flags.
+type nsGates []nsGate
+
+func (g *nsGates) String() string {
+	parts := make([]string, len(*g))
+	for i, e := range *g {
+		parts[i] = fmt.Sprintf("%s=%g", e.name, e.max)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *nsGates) Set(v string) error {
+	name, lim, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want Name=N, got %q", v)
+	}
+	max, err := strconv.ParseFloat(lim, 64)
+	if err != nil {
+		return fmt.Errorf("bad ceiling in %q: %v", v, err)
+	}
+	*g = append(*g, nsGate{name: name, max: max})
+	return nil
+}
+
+// check enforces every ns/op ceiling; missing benchmarks fail too.
+func (g nsGates) check(benchmarks map[string]Result) (failed bool) {
+	for _, e := range g {
+		r, ok := benchmarks[e.name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate-max %s: benchmark missing from input\n", e.name)
+			failed = true
+			continue
+		}
+		if r.NsPerOp > e.max {
+			fmt.Fprintf(os.Stderr, "benchjson: gate-max %s: %g ns/op exceeds ceiling %g\n", e.name, r.NsPerOp, e.max)
+			failed = true
+		}
+	}
+	return failed
+}
+
+// relGate is one -gate-rel entry: benchmark a's ns/op must stay at or
+// under benchmark b's ns/op scaled by factor.
+type relGate struct {
+	a, b   string
+	factor float64
+}
+
+// relGates implements flag.Value for repeatable -gate-rel "A<=B*F" flags.
+// Both sides are FULL benchmark names (sub-benchmark slashes included).
+type relGates []relGate
+
+func (g *relGates) String() string {
+	parts := make([]string, len(*g))
+	for i, e := range *g {
+		parts[i] = fmt.Sprintf("%s<=%s*%g", e.a, e.b, e.factor)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *relGates) Set(v string) error {
+	a, rest, ok := strings.Cut(v, "<=")
+	if !ok || a == "" {
+		return fmt.Errorf(`want "A<=B*F", got %q`, v)
+	}
+	b, f, ok := strings.Cut(rest, "*")
+	if !ok || b == "" {
+		return fmt.Errorf(`want "A<=B*F", got %q`, v)
+	}
+	factor, err := strconv.ParseFloat(f, 64)
+	if err != nil || factor <= 0 {
+		return fmt.Errorf("bad factor in %q: %v", v, err)
+	}
+	*g = append(*g, relGate{a: a, b: b, factor: factor})
+	return nil
+}
+
+// check enforces every relative gate; either side missing fails.
+func (g relGates) check(benchmarks map[string]Result) (failed bool) {
+	for _, e := range g {
+		ra, okA := benchmarks[e.a]
+		rb, okB := benchmarks[e.b]
+		if !okA || !okB {
+			for name, ok := range map[string]bool{e.a: okA, e.b: okB} {
+				if !ok {
+					fmt.Fprintf(os.Stderr, "benchjson: gate-rel %s<=%s*%g: benchmark %s missing from input\n", e.a, e.b, e.factor, name)
+				}
+			}
+			failed = true
+			continue
+		}
+		if limit := rb.NsPerOp * e.factor; ra.NsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: gate-rel %s: %g ns/op exceeds %s*%g = %g\n", e.a, ra.NsPerOp, e.b, e.factor, limit)
+			failed = true
+		}
+	}
+	return failed
+}
+
+// priorRegressionFactor is the informational-diff threshold: shared
+// benchmarks whose ns/op grew past this multiple of the prior trajectory
+// get printed. Smoke runs are single-iteration, so small drift is noise.
+const priorRegressionFactor = 1.5
+
+// diffPrior locates the highest-numbered BENCH_<n>.json below pr in dir,
+// compares shared benchmarks' ns/op, and reports regressions beyond
+// priorRegressionFactor — to stderr always, and into $GITHUB_STEP_SUMMARY
+// when running under CI. Informational only: never fails the run.
+func diffPrior(dir string, pr int, benchmarks map[string]Result) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: diff-prior: %v\n", err)
+		return
+	}
+	best, bestPath := -1, ""
+	for _, ent := range entries {
+		var n int
+		if _, err := fmt.Sscanf(ent.Name(), "BENCH_%d.json", &n); err != nil {
+			continue
+		}
+		if ent.Name() != fmt.Sprintf("BENCH_%d.json", n) {
+			continue
+		}
+		if n < pr && n > best {
+			best, bestPath = n, filepath.Join(dir, ent.Name())
+		}
+	}
+	if best < 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: diff-prior: no BENCH_<n>.json below %d in %s\n", pr, dir)
+		return
+	}
+	raw, err := os.ReadFile(bestPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: diff-prior: %v\n", err)
+		return
+	}
+	var prior Trajectory
+	if err := json.Unmarshal(raw, &prior); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: diff-prior %s: %v\n", bestPath, err)
+		return
+	}
+	type reg struct {
+		name     string
+		was, now float64
+	}
+	var regs []reg
+	shared := 0
+	for name, r := range benchmarks {
+		p, ok := prior.Benchmarks[name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		shared++
+		if r.NsPerOp > p.NsPerOp*priorRegressionFactor {
+			regs = append(regs, reg{name: name, was: p.NsPerOp, now: r.NsPerOp})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].now/regs[i].was > regs[j].now/regs[j].was })
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: diff-prior: no >%.1fx ns/op regressions vs %s (%d shared benchmarks)\n", priorRegressionFactor, bestPath, shared)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: diff-prior: %d of %d shared benchmarks regressed >%.1fx vs %s:\n", len(regs), shared, priorRegressionFactor, bestPath)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %-40s %12.0f -> %12.0f ns/op (%.1fx)\n", r.name, r.was, r.now, r.now/r.was)
+	}
+	summary := os.Getenv("GITHUB_STEP_SUMMARY")
+	if summary == "" {
+		return
+	}
+	f, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: diff-prior: job summary: %v\n", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "### Bench regressions vs %s (>%.1fx ns/op, informational)\n\n", filepath.Base(bestPath), priorRegressionFactor)
+	fmt.Fprintf(f, "| benchmark | was (ns/op) | now (ns/op) | factor |\n|---|---:|---:|---:|\n")
+	for _, r := range regs {
+		fmt.Fprintf(f, "| %s | %.0f | %.0f | %.1fx |\n", r.name, r.was, r.now, r.now/r.was)
+	}
+	fmt.Fprintln(f)
+}
+
 // check enforces every gate against the parsed results, reporting each
 // violation; a missing benchmark or one not reporting allocs/op fails too —
 // a silently vanished gate is itself a regression.
@@ -161,6 +365,11 @@ func main() {
 	flag.Var(&gates, "gate", "allocation budget Name=N (repeatable): fail unless the named benchmark reports allocs/op <= N")
 	var floors minGates
 	flag.Var(&floors, "gate-min", "metric floor Name/metric=X (repeatable): fail unless the named benchmark reports metric >= X")
+	var ceilings nsGates
+	flag.Var(&ceilings, "gate-max", "ns/op ceiling Name=N (repeatable): fail unless the named benchmark runs in <= N ns/op")
+	var rels relGates
+	flag.Var(&rels, "gate-rel", `relative gate "A<=B*F" (repeatable): fail unless benchmark A's ns/op <= benchmark B's ns/op * F`)
+	diffDir := flag.String("diff-prior", "", "directory holding committed BENCH_<n>.json files: report >1.5x ns/op regressions vs the latest one below -pr (informational)")
 	flag.Parse()
 
 	out := Trajectory{PR: *pr, Benchmarks: map[string]Result{}}
@@ -216,8 +425,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *diffDir != "" {
+		diffPrior(*diffDir, *pr, out.Benchmarks)
+	}
 	failed := gates.check(out.Benchmarks)
 	if floors.check(out.Benchmarks) {
+		failed = true
+	}
+	if ceilings.check(out.Benchmarks) {
+		failed = true
+	}
+	if rels.check(out.Benchmarks) {
 		failed = true
 	}
 	if failed {

@@ -156,9 +156,16 @@ func (h *Host) NewDialer(opts DialOptions) *Dialer {
 // selector is active at delivery time, so SetSelector swaps redirect probe
 // feedback automatically.
 func (d *Dialer) subscribeLocked(m *Monitor) {
-	d.unsub = m.Subscribe(func(p *segment.Path, o Outcome) {
-		d.Selector().Report(p, o)
-	})
+	d.unsub = m.SubscribeBatch(BatchSinkFunc(func(reports []SampleReport) {
+		sel := d.Selector()
+		if bs, ok := sel.(BatchSink); ok {
+			bs.ReportBatch(reports)
+			return
+		}
+		for _, r := range reports {
+			sel.Report(r.Path, r.Outcome)
+		}
+	}))
 }
 
 // Monitor returns the attached telemetry plane, if any.
@@ -231,6 +238,18 @@ func (d *Dialer) observePassive(path *segment.Path, rtt time.Duration) {
 		return
 	}
 	m.Observe(path, rtt)
+}
+
+// observePassiveBatch is observePassive for a connection's coalesced ack
+// RTT batch: the monitor ingests the whole burst in one ring drain.
+func (d *Dialer) observePassiveBatch(path *segment.Path, rtts []time.Duration) {
+	d.mu.Lock()
+	m, on := d.opts.Monitor, d.opts.Passive
+	d.mu.Unlock()
+	if m == nil || !on {
+		return
+	}
+	m.ObserveBatch(path, rtts)
 }
 
 // LastRace reports how the most recent Dial chose its race width.
@@ -565,7 +584,7 @@ func (d *Dialer) Dial(ctx context.Context, remote addr.UDPAddr, serverName strin
 		// dialer's monitor/passive state per sample, so SetMonitor and
 		// SetPassive apply to live connections immediately.
 		path := won.Path
-		conn.OnRTTSample(func(rtt time.Duration) { d.observePassive(path, rtt) })
+		conn.OnRTTSampleBatch(func(rtts []time.Duration) { d.observePassiveBatch(path, rtts) })
 	}
 	// Report Success only for a connection actually put into service: a
 	// discarded race-loser or stale-epoch dial must not advance use-driven

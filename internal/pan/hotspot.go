@@ -100,6 +100,25 @@ func (s *HotspotSelector) Report(path *segment.Path, outcome Outcome) {
 	}
 }
 
+// ReportBatch implements BatchSink: one health lock and one EWMA lock for
+// the whole drained batch, mirroring LatencySelector.ReportBatch.
+func (s *HotspotSelector) ReportBatch(reports []SampleReport) {
+	s.reportBatch(reports)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range reports {
+		if r.Path == nil || r.Outcome.Failed || r.Outcome.Latency <= 0 {
+			continue
+		}
+		fp := r.Path.Fingerprint()
+		if prev, ok := s.observed[fp]; ok {
+			s.observed[fp] = prev - prev/4 + r.Outcome.Latency/4
+		} else {
+			s.observed[fp] = r.Outcome.Latency
+		}
+	}
+}
+
 // PathHealth implements HealthExporter: every path with an RTT observation
 // or an unresolved failure.
 func (s *HotspotSelector) PathHealth() []PathHealth {

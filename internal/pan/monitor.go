@@ -62,6 +62,15 @@ type MonitorOptions struct {
 	// contention — and exists as a knob so tests can pin the shard count on
 	// both sides of the hash (1 and many).
 	Shards int
+	// IngestRing overrides the per-shard passive-sample ring capacity
+	// (rounded up to a power of two; default 256). Smaller rings coalesce
+	// or drop sooner under bursts; they never block a producer.
+	IngestRing int
+	// DirectIngest disables the per-shard ingest rings: Observe takes the
+	// shard lock and applies the sample synchronously, the pre-ring
+	// behavior. The contended-ingest benchmark uses this as its baseline;
+	// it is not meant for production configurations.
+	DirectIngest bool
 }
 
 // PathTelemetry is one tracked path's live probe-derived state, the raw
@@ -185,6 +194,13 @@ type monEntry struct {
 	// fingerprint, and rebuilding the slice was the one allocation left on
 	// the per-sample ingest path.
 	links []linkKey
+	// seriesRefs memoizes the entry's per-link excess series pointers
+	// (sh.links[lk][fp] for each lk in links), valid while seriesGen
+	// matches the shard's generation counter — the double map lookup per
+	// link per sample was the next cost on the ingest path once batching
+	// amortized the lock.
+	seriesRefs []*excessSeries
+	seriesGen  uint64
 
 	rtt, dev   time.Duration
 	samples    int
@@ -244,6 +260,29 @@ type monShard struct {
 	// aggregation in linkCacheLocked merges them (min-of-mins is exact).
 	// Keeping the series with the shard keeps sample ingest single-lock.
 	links map[linkKey]map[string]*excessSeries
+	// gen invalidates the entries' memoized seriesRefs. Bumped (under mu)
+	// by everything that deletes an excessSeries — pruning and the
+	// aggregation rebuild's stale-series sweep.
+	gen uint64
+	// applied/untracked/batches are the shard's drain-side ingest stats,
+	// maintained under mu (the ring's own counters are atomics).
+	applied   uint64
+	untracked uint64
+	batches   uint64
+
+	// ring buffers passive samples OUTSIDE the shard lock: Observe pushes
+	// lock-free, drainShard applies a whole batch under ONE mu
+	// acquisition. nil when MonitorOptions.DirectIngest is set.
+	ring *sampleRing
+	// draining is the flat-combining token: whoever CASes it false→true
+	// drains the ring for everybody (producers that lose the CAS leave
+	// their sample for the winner). Strictly outside mu — the holder
+	// acquires mu, never the reverse.
+	draining atomic.Bool
+	// drainScratch/reportScratch are reused batch buffers, owned by the
+	// draining-token holder (NOT guarded by mu).
+	drainScratch  []sampleRec
+	reportScratch []SampleReport
 }
 
 // Monitor is the shared telemetry plane below the selectors: ONE monitor per
@@ -329,9 +368,49 @@ type Monitor struct {
 	// Rebuilds always allocate a FRESH slice, so callers may iterate a
 	// loaded snapshot outside every lock.
 	sinkMu   sync.Mutex //lint:lockorder pansink
-	sinks    map[int]func(*segment.Path, Outcome)
+	sinks    map[int]monSink
 	nextSink int
-	sinkList atomic.Pointer[[]func(*segment.Path, Outcome)]
+	sinkList atomic.Pointer[[]monSink]
+}
+
+// SampleReport is one applied sample in a batched sink fan-out.
+type SampleReport struct {
+	Path    *segment.Path
+	Outcome Outcome
+}
+
+// BatchSink receives one call per drained ingest batch instead of one per
+// sample. Selectors that implement it amortize their own locks across the
+// batch; per-sample sinks registered with Subscribe are adapted
+// transparently. The reports slice is reused between batches — a sink
+// must not retain it past the call.
+type BatchSink interface {
+	ReportBatch(reports []SampleReport)
+}
+
+// BatchSinkFunc adapts a function to BatchSink.
+type BatchSinkFunc func(reports []SampleReport)
+
+// ReportBatch implements BatchSink.
+func (f BatchSinkFunc) ReportBatch(reports []SampleReport) { f(reports) }
+
+// funcSink adapts a per-sample sink to BatchSink for the batched drain
+// fan-out.
+type funcSink func(*segment.Path, Outcome)
+
+func (f funcSink) ReportBatch(reports []SampleReport) {
+	for _, r := range reports {
+		f(r.Path, r.Outcome)
+	}
+}
+
+// monSink is one subscribed sink in both shapes: batch is always set and
+// carries batched fan-out; fn is set only for per-sample subscribers, so
+// the single-sample paths (probes, direct ingest) can call them without
+// building a one-element batch.
+type monSink struct {
+	fn    func(*segment.Path, Outcome)
+	batch BatchSink
 }
 
 // defaultShardCount is the GOMAXPROCS-derived power-of-two shard count.
@@ -380,13 +459,16 @@ func NewMonitor(clock netsim.Clock, paths func(addr.IA) []*segment.Path, opts Mo
 		shardCount <<= 1
 	}
 	opts.Shards = shardCount
+	if opts.IngestRing <= 0 {
+		opts.IngestRing = defaultIngestRing
+	}
 	m := &Monitor{
 		clock:  clock,
 		paths:  paths,
 		opts:   opts,
 		shards: make([]*monShard, shardCount),
 		priors: make(map[linkKey]*linkPrior),
-		sinks:  make(map[int]func(*segment.Path, Outcome)),
+		sinks:  make(map[int]monSink),
 	}
 	for i := range m.shards {
 		m.shards[i] = &monShard{
@@ -395,6 +477,9 @@ func NewMonitor(clock netsim.Clock, paths func(addr.IA) []*segment.Path, opts Mo
 			byTarget: make(map[string]map[string]*monEntry),
 			inflight: make(map[string]bool),
 			links:    make(map[linkKey]map[string]*excessSeries),
+		}
+		if !opts.DirectIngest {
+			m.shards[i].ring = newSampleRing(opts.IngestRing)
 		}
 	}
 	// Wheel granularity: fine enough relative to MinInterval (1/16th) that
@@ -405,6 +490,9 @@ func NewMonitor(clock netsim.Clock, paths func(addr.IA) []*segment.Path, opts Mo
 		slotW = time.Millisecond
 	}
 	m.wheel = newProbeWheel(clock, slotW, m.wheelFire)
+	// Every wheel tick also drains the ingest rings, so buffered samples
+	// land even when no producer or reader comes by to drain them.
+	m.wheel.onTick = m.drainAll
 	return m
 }
 
@@ -624,6 +712,7 @@ func (m *Monitor) pruneShardLocked(sh *monShard) {
 			delete(sh.links, lk)
 		}
 	}
+	sh.gen++ // series may have been deleted; memoized seriesRefs are stale
 	m.markLinkDirty()
 }
 
@@ -705,11 +794,23 @@ func (m *Monitor) TrackedPaths() int {
 // unsubscribe function. A Dialer subscribes its active selector, so one
 // monitor feeds every dialer sharing it.
 func (m *Monitor) Subscribe(sink func(*segment.Path, Outcome)) (unsubscribe func()) {
+	return m.subscribe(monSink{fn: sink, batch: funcSink(sink)})
+}
+
+// SubscribeBatch registers a batched sink: ONE ReportBatch call per
+// drained ingest batch (and per probe outcome, as a one-element batch)
+// instead of one callback per sample. Selectors that hold a lock per
+// report want this — the batch amortizes it.
+func (m *Monitor) SubscribeBatch(sink BatchSink) (unsubscribe func()) {
+	return m.subscribe(monSink{batch: sink})
+}
+
+func (m *Monitor) subscribe(s monSink) (unsubscribe func()) {
 	m.sinkMu.Lock()
 	defer m.sinkMu.Unlock()
 	id := m.nextSink
 	m.nextSink++
-	m.sinks[id] = sink
+	m.sinks[id] = s
 	m.rebuildSinksLocked()
 	return func() {
 		m.sinkMu.Lock()
@@ -728,7 +829,7 @@ func (m *Monitor) rebuildSinksLocked() {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	sinks := make([]func(*segment.Path, Outcome), 0, len(ids))
+	sinks := make([]monSink, 0, len(ids))
 	for _, id := range ids {
 		sinks = append(sinks, m.sinks[id])
 	}
@@ -737,11 +838,24 @@ func (m *Monitor) rebuildSinksLocked() {
 
 // sinksSnapshot returns the current fan-out list; safe to iterate outside
 // any lock (snapshots are immutable once published).
-func (m *Monitor) sinksSnapshot() []func(*segment.Path, Outcome) {
+func (m *Monitor) sinksSnapshot() []monSink {
 	if p := m.sinkList.Load(); p != nil {
 		return *p
 	}
 	return nil
+}
+
+// fanOut delivers one sample to every sink: per-sample subscribers get
+// their function called directly (no batch slice built), batch-only
+// subscribers get a one-element batch.
+func (m *Monitor) fanOut(path *segment.Path, outcome Outcome) {
+	for _, s := range m.sinksSnapshot() {
+		if s.fn != nil {
+			s.fn(path, outcome)
+			continue
+		}
+		s.batch.ReportBatch([]SampleReport{{Path: path, Outcome: outcome}})
+	}
 }
 
 // Start arms the probe schedule: every tracked path gets a phase-jittered
@@ -767,6 +881,7 @@ func (m *Monitor) Start() {
 // out of a later Start's schedule.
 func (m *Monitor) Stop() {
 	m.started.Store(false)
+	m.drainAll() // land buffered samples; telemetry survives a Stop
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		for _, e := range sh.entries {
@@ -922,7 +1037,10 @@ func (m *Monitor) probeEntry(sh *monShard, fp string, scheduled bool) {
 		sh.mu.Unlock()
 		return
 	}
-	outcome := m.ingestLocked(sh, e, rtt, err, false)
+	outcome := m.ingestLocked(sh, e, rtt, err, false, m.clock.Now())
+	if !outcome.Failed {
+		m.markLinkDirty()
+	}
 	alive := !scheduled || m.started.Load()
 	// Re-arm whenever the monitor is running and the entry has no pending
 	// deadline — regardless of who launched this probe. A probe that was in
@@ -938,9 +1056,7 @@ func (m *Monitor) probeEntry(sh *monShard, fp string, scheduled bool) {
 	if !alive {
 		return
 	}
-	for _, sink := range m.sinksSnapshot() {
-		sink(path, outcome)
-	}
+	m.fanOut(path, outcome)
 	if scheduled {
 		m.resyncEntryTargets(sh, fp)
 	}
@@ -976,10 +1092,10 @@ func (m *Monitor) resyncEntryTargets(sh *monShard, fp string) {
 // observed churn, and attributes success excess to the traversed links.
 // Probes and passive samples share this pipeline end to end; only the
 // outcome marking (and the cumulative sample-origin counters) records the
-// origin. Caller holds the entry's shard lock. Returns the outcome to fan
-// out.
-func (m *Monitor) ingestLocked(sh *monShard, e *monEntry, rtt time.Duration, err error, passive bool) Outcome {
-	now := m.clock.Now()
+// origin. Caller holds the entry's shard lock, supplies now (so a batched
+// drain reads the clock once), and is responsible for markLinkDirty after
+// its batch (once, not per sample). Returns the outcome to fan out.
+func (m *Monitor) ingestLocked(sh *monShard, e *monEntry, rtt time.Duration, err error, passive bool, now time.Time) Outcome {
 	e.lastSample = now
 	if passive {
 		e.passiveTotal++
@@ -1053,10 +1169,28 @@ func (m *Monitor) ingestLocked(sh *monShard, e *monEntry, rtt time.Duration, err
 	if excess < 0 {
 		excess = 0
 	}
-	fp := e.path.Fingerprint()
+	for _, s := range m.linkSeriesLocked(sh, e) {
+		s.ingest(excess, now)
+	}
+	if passive {
+		return Outcome{Latency: rtt, Passive: true}
+	}
+	return Outcome{Latency: rtt, Probe: true}
+}
+
+// linkSeriesLocked returns the entry's per-link excess series, memoized on
+// the entry and revalidated against the shard's deletion generation — the
+// per-sample double map lookup (sh.links[lk][fp] per link) reduced to a
+// slice walk. Caller holds the shard lock.
+func (m *Monitor) linkSeriesLocked(sh *monShard, e *monEntry) []*excessSeries {
+	if e.seriesRefs != nil && e.seriesGen == sh.gen {
+		return e.seriesRefs
+	}
 	if e.links == nil {
 		e.links = pathLinks(e.path)
 	}
+	fp := e.path.Fingerprint()
+	refs := e.seriesRefs[:0]
 	for _, lk := range e.links {
 		series := sh.links[lk]
 		if series == nil {
@@ -1068,13 +1202,13 @@ func (m *Monitor) ingestLocked(sh *monShard, e *monEntry, rtt time.Duration, err
 			s = &excessSeries{}
 			series[fp] = s
 		}
-		s.ingest(excess, now)
+		refs = append(refs, s)
 	}
-	m.markLinkDirty()
-	if passive {
-		return Outcome{Latency: rtt, Passive: true}
+	if refs == nil {
+		refs = []*excessSeries{} // 0-link path: keep the memo marker non-nil
 	}
-	return Outcome{Latency: rtt, Probe: true}
+	e.seriesRefs, e.seriesGen = refs, sh.gen
+	return refs
 }
 
 // Observe ingests one zero-cost RTT sample observed on live traffic over
@@ -1084,10 +1218,18 @@ func (m *Monitor) ingestLocked(sh *monShard, e *monEntry, rtt time.Duration, err
 // sink fan-out) but is marked Outcome{Probe: false, Passive: true} so
 // use-driven selectors don't mistake ack cadence for request cadence.
 //
-// This is the squic ack hot path, and it touches exactly ONE shard lock:
-// the destination's. Everything cross-shard it would otherwise need is
-// atomic — the budget floor load, the link-snapshot dirty mark, the sink
-// snapshot pointer.
+// This is the squic ack hot path, and it is LOCK-FREE: the sample is
+// pushed into the destination shard's bounded ingest ring (a few CASes,
+// no heap allocation, overflow coalesces/drops rather than ever blocking
+// an ack) and applied by the next drain — which the pushing goroutine
+// itself usually performs immediately via the flat-combining token, so
+// with no contention Observe keeps its synchronous semantics. Under
+// contention, producers that lose the token leave their samples for the
+// holder: ONE goroutine takes the shard lock once per batch, applies
+// every sample (amortizing the lock, the clock read, the entry lookup,
+// and the link dirty mark across the batch), and fans out one batched
+// call per sink. Rings that nobody drains inline are swept by every
+// wheel tick and flushed by every telemetry read.
 //
 // The budget saver: the sample stamps the path's lastPassive time, and the
 // scheduled fire SKIPS the active probe (rescheduling only) while that
@@ -1097,25 +1239,274 @@ func (m *Monitor) ingestLocked(sh *monShard, e *monEntry, rtt time.Duration, err
 // on the destinations with no traffic to learn from, and — because the
 // suppression decision lives at the (rare) fire, not here — the per-ack
 // hot path never touches the scheduler. Samples for untracked paths are
-// dropped: tracking is the scheduling contract, and passive data must not
-// keep telemetry alive for paths nothing dials anymore.
+// dropped at drain time: tracking is the scheduling contract, and passive
+// data must not keep telemetry alive for paths nothing dials anymore.
 func (m *Monitor) Observe(path *segment.Path, rtt time.Duration) {
 	if path == nil || rtt <= 0 {
 		return
 	}
-	fp := path.Fingerprint()
 	sh := m.shardFor(path.Dst)
+	if sh.ring == nil {
+		m.observeDirect(sh, path, rtt)
+		return
+	}
+	sh.ring.push(path, rtt)
+	m.drainShard(sh)
+}
+
+// ObserveBatch ingests several passive samples observed on the same path —
+// a squic connection's coalesced ack RTTs between flushes — pushing them
+// all before one drain, so the whole burst lands in a single locked batch.
+func (m *Monitor) ObserveBatch(path *segment.Path, rtts []time.Duration) {
+	if path == nil || len(rtts) == 0 {
+		return
+	}
+	sh := m.shardFor(path.Dst)
+	if sh.ring == nil {
+		for _, rtt := range rtts {
+			if rtt > 0 {
+				m.observeDirect(sh, path, rtt)
+			}
+		}
+		return
+	}
+	// Flat-combining fast path: winning the drain token means no drain is
+	// in flight, so the burst can apply directly under one shard lock and
+	// skip the per-sample ring push/pop traffic entirely. The backlog (from
+	// producers that lost the token earlier) drains first to keep rough
+	// arrival order.
+	if sh.draining.CompareAndSwap(false, true) {
+		m.drainShardBatch(sh)
+		m.ingestBatchFast(sh, path, rtts)
+		sh.draining.Store(false)
+		m.drainShard(sh) // pick up pushes that raced our token hold
+		return
+	}
+	pushed := false
+	for _, rtt := range rtts {
+		if rtt > 0 {
+			sh.ring.push(path, rtt)
+			pushed = true
+		}
+	}
+	if pushed {
+		m.drainShard(sh)
+	}
+}
+
+// ingestBatchFast applies a single-path burst under one shard-lock
+// acquisition without routing it through the ring — the ObserveBatch fast
+// path when the caller already holds the draining token. The samples still
+// count as Enqueued so the ingest accounting identity holds.
+func (m *Monitor) ingestBatchFast(sh *monShard, path *segment.Path, rtts []time.Duration) {
+	n := uint64(0)
+	for _, rtt := range rtts {
+		if rtt > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	sh.ring.enqueued.Add(n)
+	sinks := m.sinksSnapshot()
+	reports := sh.reportScratch[:0]
+	now := m.clock.Now()
 	sh.mu.Lock()
-	e := sh.entries[fp]
+	sh.batches++
+	e := sh.entries[path.Fingerprint()]
 	if e == nil || len(e.targets) == 0 {
+		sh.untracked += n
 		sh.mu.Unlock()
 		return
 	}
-	outcome := m.ingestLocked(sh, e, rtt, nil, true)
-	sh.mu.Unlock()
-	for _, sink := range m.sinksSnapshot() {
-		sink(path, outcome)
+	for _, rtt := range rtts {
+		if rtt <= 0 {
+			continue
+		}
+		outcome := m.ingestLocked(sh, e, rtt, nil, true, now)
+		if len(sinks) > 0 {
+			reports = append(reports, SampleReport{Path: path, Outcome: outcome})
+		}
 	}
+	sh.applied += n
+	m.markLinkDirty()
+	sh.mu.Unlock()
+	if len(reports) > 0 {
+		for _, s := range sinks {
+			s.batch.ReportBatch(reports)
+		}
+	}
+	for i := range reports {
+		reports[i] = SampleReport{}
+	}
+	sh.reportScratch = reports[:0]
+}
+
+// observeDirect is the pre-ring Observe body: one shard lock per sample,
+// per-sample sink fan-out. Kept as the DirectIngest baseline the
+// contended-ingest benchmark measures the rings against.
+func (m *Monitor) observeDirect(sh *monShard, path *segment.Path, rtt time.Duration) {
+	fp := path.Fingerprint()
+	sh.mu.Lock()
+	e := sh.entries[fp]
+	if e == nil || len(e.targets) == 0 {
+		sh.untracked++
+		sh.mu.Unlock()
+		return
+	}
+	outcome := m.ingestLocked(sh, e, rtt, nil, true, m.clock.Now())
+	sh.applied++
+	m.markLinkDirty()
+	sh.mu.Unlock()
+	m.fanOut(path, outcome)
+}
+
+// maxDrainRounds bounds how many drain batches one caller runs back to
+// back when producers keep the ring non-empty — past this, leave the rest
+// for the producers themselves (each Observe attempts a drain) or the
+// next wheel tick.
+const maxDrainRounds = 8
+
+// drainShard flushes the shard's ingest ring via the flat-combining
+// token. Losing the token CAS means some other goroutine is draining;
+// its post-release re-check is guaranteed (sequentially consistent
+// atomics: our push precedes our failed CAS, which precedes its release)
+// to see our sample, so leaving is safe. Cheap when the ring is empty —
+// two atomic loads.
+func (m *Monitor) drainShard(sh *monShard) {
+	if sh.ring == nil {
+		return
+	}
+	for round := 0; round < maxDrainRounds; round++ {
+		if sh.ring.empty() {
+			return
+		}
+		if !sh.draining.CompareAndSwap(false, true) {
+			return
+		}
+		m.drainShardBatch(sh)
+		sh.draining.Store(false)
+		// Re-check: a producer may have pushed while we held the token and
+		// left on its failed CAS, counting on us (or the next wheel tick)
+		// to pick the sample up.
+	}
+}
+
+// drainAll flushes every shard's ring — the wheel-tick sweep and the
+// read-path flush for cross-shard readers.
+func (m *Monitor) drainAll() {
+	for _, sh := range m.shards {
+		m.drainShard(sh)
+	}
+}
+
+// drainShardBatch applies everything currently in the shard's ring under
+// ONE shard-lock acquisition, then fans the applied samples out as one
+// batched call per sink. Caller holds the draining token; the scratch
+// buffers belong to the token holder.
+func (m *Monitor) drainShardBatch(sh *monShard) {
+	batch := sh.drainScratch[:0]
+	limit := len(sh.ring.slots)
+	for len(batch) < limit {
+		rec, ok := sh.ring.pop()
+		if !ok {
+			break
+		}
+		batch = append(batch, rec)
+	}
+	sh.drainScratch = batch
+	if len(batch) == 0 {
+		return
+	}
+	sinks := m.sinksSnapshot()
+	reports := sh.reportScratch[:0]
+	now := m.clock.Now()
+	var lastPath *segment.Path
+	var lastEntry *monEntry
+	applied := 0
+	sh.mu.Lock()
+	sh.batches++
+	for i := range batch {
+		rec := &batch[i]
+		// Consecutive samples for one path are the common shape (a
+		// drained ack burst); resolve the entry once per run.
+		e := lastEntry
+		if rec.path != lastPath {
+			e = sh.entries[rec.path.Fingerprint()]
+			lastPath, lastEntry = rec.path, e
+		}
+		if e == nil || len(e.targets) == 0 {
+			// Untracked (or untracked since it was enqueued): the sample
+			// must not apply — tracking is the contract.
+			sh.untracked++
+			continue
+		}
+		outcome := m.ingestLocked(sh, e, rec.rtt, nil, true, now)
+		applied++
+		if len(sinks) > 0 {
+			reports = append(reports, SampleReport{Path: rec.path, Outcome: outcome})
+		}
+	}
+	sh.applied += uint64(applied)
+	if applied > 0 {
+		m.markLinkDirty()
+	}
+	sh.mu.Unlock()
+	if len(reports) > 0 {
+		for _, s := range sinks {
+			s.batch.ReportBatch(reports)
+		}
+	}
+	// Scratch reuse: clear the path pointers so retired paths aren't kept
+	// reachable until the next burst overwrites them.
+	for i := range batch {
+		batch[i].path = nil
+	}
+	for i := range reports {
+		reports[i] = SampleReport{}
+	}
+	sh.reportScratch = reports[:0]
+}
+
+// IngestStats is the monitor-wide accounting of the passive-sample ingest
+// rings (all-time counts, summed over shards).
+type IngestStats struct {
+	// Enqueued counts samples pushed into the rings.
+	Enqueued uint64 `json:"enqueued"`
+	// Applied counts samples folded into telemetry (ring and direct).
+	Applied uint64 `json:"applied"`
+	// Coalesced counts overflow evictions superseded by a newer sample
+	// for the same path; Dropped counts evictions that lost data.
+	Coalesced uint64 `json:"coalesced"`
+	Dropped   uint64 `json:"dropped"`
+	// Untracked counts samples discarded at drain time because their path
+	// had no tracked target (anymore).
+	Untracked uint64 `json:"untracked"`
+	// Batches counts locked drain batches — Applied/Batches is the
+	// amortization factor.
+	Batches uint64 `json:"batches"`
+}
+
+// IngestStats reports the ingest-ring accounting, flushing pending
+// samples first so Enqueued == Applied+Coalesced+Dropped+Untracked when
+// no producer is concurrently mid-push.
+func (m *Monitor) IngestStats() IngestStats {
+	m.drainAll()
+	var st IngestStats
+	for _, sh := range m.shards {
+		if sh.ring != nil {
+			st.Enqueued += sh.ring.enqueued.Load()
+			st.Coalesced += sh.ring.coalesced.Load()
+			st.Dropped += sh.ring.dropped.Load()
+		}
+		sh.mu.Lock()
+		st.Applied += sh.applied
+		st.Untracked += sh.untracked
+		st.Batches += sh.batches
+		sh.mu.Unlock()
+	}
+	return st
 }
 
 // TargetSamples reports a tracked destination's telemetry sample split —
@@ -1126,6 +1517,7 @@ func (m *Monitor) Observe(path *segment.Path, rtt time.Duration) {
 // over the destination's current paths.
 func (m *Monitor) TargetSamples(remote addr.UDPAddr, serverName string) (SampleSplit, bool) {
 	sh := m.shardFor(remote.IA)
+	m.drainShard(sh) // flush buffered samples so the split is current
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	key := targetKey(remote, serverName)
@@ -1150,6 +1542,7 @@ func (m *Monitor) RunRound() {
 		fp string
 	}
 	var refs []probeRef
+	m.drainAll()
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		for key, tgt := range sh.targets {
@@ -1172,6 +1565,7 @@ func (m *Monitor) RunRound() {
 
 // Telemetry returns the live telemetry of one tracked path.
 func (m *Monitor) Telemetry(fp string) (PathTelemetry, bool) {
+	m.drainAll() // flush buffered samples so the read is current
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		if e := sh.entries[fp]; e != nil {
@@ -1262,6 +1656,10 @@ func (m *Monitor) linkCacheLocked() ([]LinkStat, map[linkKey]LinkStat) {
 	byKey := make(map[linkKey]LinkStat)
 	for _, sh := range m.shards {
 		sh.mu.Lock()
+		// shardLinkStat prunes stale series in place; invalidate the
+		// entries' memoized series pointers wholesale (queries are rare,
+		// rebuilding a memo is one map walk per entry).
+		sh.gen++
 		for lk, series := range sh.links {
 			st, ok := shardLinkStat(lk, series, now, horizon)
 			if len(series) == 0 {
@@ -1311,6 +1709,7 @@ func (m *Monitor) linkCacheLocked() ([]LinkStat, map[linkKey]LinkStat) {
 // is cached between sample ingests — this is called per gossip round and per
 // stats scrape.
 func (m *Monitor) LinkStats() []LinkStat {
+	m.drainAll() // before linkMu: rings sit outside every lock
 	m.linkMu.Lock()
 	defer m.linkMu.Unlock()
 	stats, _ := m.linkCacheLocked()
@@ -1328,6 +1727,7 @@ func (m *Monitor) LinkStats() []LinkStat {
 // the warm-start half of link-state sharing. A link with ANY live series
 // ignores its prior — local measurement always overrides imports.
 func (m *Monitor) PathPenalty(p *segment.Path) time.Duration {
+	m.drainAll() // before linkMu: rings sit outside every lock
 	m.linkMu.Lock()
 	defer m.linkMu.Unlock()
 	_, byKey := m.linkCacheLocked()
@@ -1374,6 +1774,7 @@ func (m *Monitor) PathStats(paths []*segment.Path) []PathStat {
 // steering pass reuses across evaluations, keeping the per-sample ranking
 // path allocation-free).
 func (m *Monitor) PathStatsAppend(dst []PathStat, paths []*segment.Path) []PathStat {
+	m.drainAll() // flush buffered samples so the ranking is current
 	start := len(dst)
 	if need := start + len(paths); cap(dst) >= need {
 		dst = dst[:need]
@@ -1506,6 +1907,7 @@ func (m *Monitor) RaceWidth(cands []Candidate, max int) (int, string) {
 	if len(cands) < n {
 		n = len(cands)
 	}
+	m.drainAll() // flush buffered samples so the width advice is current
 	tels := make([]PathTelemetry, 0, n)
 	var cur *monShard
 	for _, c := range cands[:n] {

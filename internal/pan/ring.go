@@ -1,0 +1,161 @@
+package pan
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"tango/internal/segment"
+)
+
+// defaultIngestRing is the per-shard sample ring capacity when
+// MonitorOptions.IngestRing is unset. 256 fixed-size records (~10KiB per
+// shard) absorb the largest realistic ack burst between two wheel ticks.
+const defaultIngestRing = 256
+
+// sampleRec is one passive sample in flight through a shard's ingest ring.
+type sampleRec struct {
+	path *segment.Path
+	rtt  time.Duration
+}
+
+// ringSlot is one cell of a sampleRing. The payload fields are plain:
+// they are published/consumed strictly through the seq protocol (a slot's
+// payload is only touched by the goroutine that owns the slot's current
+// phase), so they need no atomics of their own.
+type ringSlot struct {
+	seq  atomic.Uint64
+	path *segment.Path
+	rtt  time.Duration
+}
+
+// sampleRing is a bounded MPMC ring of passive samples — the Vyukov
+// bounded-queue design (cf. ndn-dpdk's ringbuffer, DPDK rte_ring): each
+// slot carries a sequence number that encodes its phase, producers claim
+// slots by CASing tail, the drain combiner claims them by CASing head, and
+// nobody ever blocks. Slot states, for ring length L:
+//
+//	seq == pos        free: a producer may claim it for ticket pos
+//	seq == pos+1      full: payload published, a consumer may claim it
+//	anything else     owned by whoever is between claim and publish/release
+//
+// Overflow never blocks a producer (Observe runs on the squic ack hot
+// path): a full ring reclaims the OLDEST sample — counted as coalesced
+// when it was for the same path as the incoming sample, dropped
+// otherwise — and retries the push. All counters are monotonic atomics so
+// IngestStats reads them without any lock.
+type sampleRing struct {
+	mask  uint64
+	slots []ringSlot
+
+	head atomic.Uint64 // next ticket to consume
+	tail atomic.Uint64 // next ticket to produce
+
+	enqueued  atomic.Uint64 // samples successfully pushed
+	coalesced atomic.Uint64 // overflow evictions replaced by a same-path sample
+	dropped   atomic.Uint64 // overflow evictions with no same-path replacement
+}
+
+func newSampleRing(capacity int) *sampleRing {
+	if capacity < 2 {
+		capacity = 2
+	}
+	pow := 1
+	for pow < capacity {
+		pow <<= 1
+	}
+	r := &sampleRing{mask: uint64(pow - 1), slots: make([]ringSlot, pow)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues a sample. It never blocks and never fails: when the ring
+// is full it evicts the oldest pending sample (coalesce/drop accounting in
+// reclaimOldest) to make room.
+func (r *sampleRing) push(path *segment.Path, rtt time.Duration) {
+	for {
+		pos := r.tail.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				slot.path, slot.rtt = path, rtt
+				slot.seq.Store(pos + 1)
+				r.enqueued.Add(1)
+				return
+			}
+		case seq < pos:
+			// Ring full: make room by evicting the oldest sample. When the
+			// oldest slot is mid-publish we cannot make progress ourselves;
+			// yield so its owner can finish (matters on GOMAXPROCS=1).
+			if !r.reclaimOldest(path) {
+				runtime.Gosched()
+			}
+		default:
+			// Lost the ticket race; retry at the new tail.
+		}
+	}
+}
+
+// reclaimOldest evicts the sample at head to make room for an incoming
+// push, counting it as coalesced when the evicted sample was for the same
+// path (the newer sample supersedes it) and dropped otherwise. Returns
+// false when the head slot was not in a claimable state (mid-publish, or
+// a concurrent consumer/reclaimer won it).
+func (r *sampleRing) reclaimOldest(path *segment.Path) bool {
+	pos := r.head.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos+1 {
+		return false
+	}
+	if !r.head.CompareAndSwap(pos, pos+1) {
+		return false
+	}
+	// Winning the head CAS makes the slot exclusively ours: producers are
+	// gated on seq, consumers moved past pos.
+	evicted := slot.path
+	slot.path = nil
+	slot.seq.Store(pos + uint64(len(r.slots)))
+	if evicted != nil && path != nil &&
+		(evicted == path || evicted.Fingerprint() == path.Fingerprint()) {
+		r.coalesced.Add(1)
+	} else {
+		r.dropped.Add(1)
+	}
+	return true
+}
+
+// pop dequeues the oldest published sample. ok is false when the ring is
+// empty — or when the head sample is still mid-publish, in which case the
+// producer that claimed it is guaranteed to run its own drain after
+// publishing, so no sample is ever stranded.
+func (r *sampleRing) pop() (rec sampleRec, ok bool) {
+	for {
+		pos := r.head.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				rec = sampleRec{path: slot.path, rtt: slot.rtt}
+				slot.path = nil
+				slot.seq.Store(pos + uint64(len(r.slots)))
+				return rec, true
+			}
+		case seq <= pos:
+			return sampleRec{}, false
+		default:
+			// An overflow reclaim moved head under us; retry.
+		}
+	}
+}
+
+// empty reports whether the ring has no samples, claimed-but-unpublished
+// ones included. Two relaxed loads — cheap enough for every read-path
+// flush check.
+func (r *sampleRing) empty() bool {
+	return r.head.Load() == r.tail.Load()
+}

@@ -1,0 +1,330 @@
+package pan
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/netsim"
+	"tango/internal/segment"
+)
+
+// ringPath builds a distinct in-memory path to dst (distinct hop sequence →
+// distinct fingerprint) for the whitebox ring/ingest tests.
+func ringPath(dst addr.IA, i int) *segment.Path {
+	return &segment.Path{
+		Src: addr.IA{ISD: 1, AS: 0xff00_0000_0111},
+		Dst: dst,
+		Hops: []segment.Hop{
+			{IA: addr.IA{ISD: 1, AS: 0xff00_0000_0111}, Egress: addr.IfID(700 + i)},
+			{IA: dst, Ingress: addr.IfID(800 + i)},
+		},
+		Meta: segment.Metadata{Latency: time.Duration(10+i) * time.Millisecond},
+	}
+}
+
+func ringDst(n int) addr.IA { return addr.IA{ISD: 2, AS: addr.AS(0xff00_0000_0200 + uint64(n))} }
+
+func ringRemote(dst addr.IA, host int) addr.UDPAddr {
+	return addr.UDPAddr{Addr: addr.Addr{IA: dst, Host: netip.MustParseAddr(fmt.Sprintf("10.9.0.%d", host+1))}, Port: 443}
+}
+
+// TestSampleRingWraparound: FIFO order and exact accounting survive several
+// full revolutions of a small ring.
+func TestSampleRingWraparound(t *testing.T) {
+	r := newSampleRing(4)
+	dst := ringDst(0)
+	p := ringPath(dst, 0)
+	seq := time.Duration(0)
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 3; i++ { // 3 of 4 slots per cycle: head/tail drift
+			seq++
+			r.push(p, seq)
+		}
+		for i := 0; i < 3; i++ {
+			rec, ok := r.pop()
+			if !ok {
+				t.Fatalf("cycle %d pop %d: ring unexpectedly empty", cycle, i)
+			}
+			want := seq - time.Duration(2-i)
+			if rec.rtt != want || rec.path != p {
+				t.Fatalf("cycle %d pop %d: got rtt=%v, want %v (FIFO across wraparound)", cycle, i, rec.rtt, want)
+			}
+		}
+		if !r.empty() {
+			t.Fatalf("cycle %d: ring not empty after draining", cycle)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on empty ring reported a sample")
+	}
+	if got := r.enqueued.Load(); got != 15 {
+		t.Fatalf("enqueued = %d, want 15", got)
+	}
+	if r.coalesced.Load() != 0 || r.dropped.Load() != 0 {
+		t.Fatalf("coalesced/dropped = %d/%d on a never-full ring", r.coalesced.Load(), r.dropped.Load())
+	}
+}
+
+// TestSampleRingCoalesceAndDrop: overflow evicts the OLDEST sample, counted
+// as coalesced when the incoming sample is for the same path (newer
+// supersedes older) and dropped when data was genuinely lost.
+func TestSampleRingCoalesceAndDrop(t *testing.T) {
+	dst := ringDst(1)
+	pa, pb := ringPath(dst, 0), ringPath(dst, 1)
+
+	r := newSampleRing(4)
+	for i := 1; i <= 4; i++ {
+		r.push(pa, time.Duration(i)*time.Millisecond)
+	}
+	r.push(pa, 5*time.Millisecond) // full; oldest is also pa → coalesce
+	if got := r.coalesced.Load(); got != 1 {
+		t.Fatalf("coalesced = %d, want 1", got)
+	}
+	if got := r.dropped.Load(); got != 0 {
+		t.Fatalf("dropped = %d, want 0", got)
+	}
+	r.push(pb, 6*time.Millisecond) // full; oldest is pa, incoming pb → drop
+	if got := r.dropped.Load(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	// Survivors are the newest capacity-many samples, still FIFO.
+	want := []time.Duration{3 * time.Millisecond, 4 * time.Millisecond, 5 * time.Millisecond, 6 * time.Millisecond}
+	for i, w := range want {
+		rec, ok := r.pop()
+		if !ok || rec.rtt != w {
+			t.Fatalf("pop %d = (%v, %v), want %v", i, rec.rtt, ok, w)
+		}
+	}
+	if !r.empty() {
+		t.Fatal("ring not empty after draining survivors")
+	}
+}
+
+// TestMonitorDrainDropsUntracked: a sample buffered while its destination
+// was tracked but drained after the last Untrack must NOT apply — tracking
+// is the contract — and is counted in IngestStats.Untracked.
+func TestMonitorDrainDropsUntracked(t *testing.T) {
+	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
+	dst := ringDst(2)
+	p := ringPath(dst, 0)
+	m := NewMonitor(clock, func(addr.IA) []*segment.Path { return []*segment.Path{p} }, MonitorOptions{
+		Probe:  func(addr.UDPAddr, string, *segment.Path, time.Duration) (time.Duration, error) { return 0, nil },
+		Shards: 8,
+	})
+	remote := ringRemote(dst, 0)
+	m.Track(remote, "untracked.test")
+
+	// Buffer directly (bypassing Observe's inline drain), then untrack
+	// before anything drains.
+	sh := m.shardFor(dst)
+	sh.ring.push(p, 20*time.Millisecond)
+	m.Untrack(remote, "untracked.test")
+
+	st := m.IngestStats() // flushes the rings
+	if st.Applied != 0 {
+		t.Fatalf("applied = %d, want 0 — sample landed after Untrack", st.Applied)
+	}
+	if st.Untracked != 1 {
+		t.Fatalf("untracked = %d, want 1", st.Untracked)
+	}
+	if tel, ok := m.Telemetry(p.Fingerprint()); ok && tel.Samples != 0 {
+		t.Fatalf("telemetry shows %d samples on an untracked path", tel.Samples)
+	}
+}
+
+// TestMonitorDrainVsStopStart: Observe racing Stop/Start cycles neither
+// loses accounting nor deadlocks; Stop itself flushes buffered samples.
+func TestMonitorDrainVsStopStart(t *testing.T) {
+	dst := ringDst(3)
+	paths := []*segment.Path{ringPath(dst, 0), ringPath(dst, 1)}
+	m := NewMonitor(netsim.RealClock{}, func(addr.IA) []*segment.Path { return paths }, MonitorOptions{
+		Probe: func(addr.UDPAddr, string, *segment.Path, time.Duration) (time.Duration, error) {
+			return time.Millisecond, nil
+		},
+		Shards: 8,
+	})
+	remote := ringRemote(dst, 1)
+	m.Track(remote, "stopstart.test")
+
+	const producers = 4
+	const perProducer = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Start()
+			m.Stop()
+		}
+	}()
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := paths[g%len(paths)]
+			for i := 0; i < perProducer; i++ {
+				m.Observe(p, time.Duration(1+i%7)*time.Millisecond)
+			}
+		}(g)
+	}
+	wgWaitProducersThenStop(&wg, stop)
+	m.Stop()
+
+	st := m.IngestStats()
+	if st.Enqueued != producers*perProducer {
+		t.Fatalf("enqueued = %d, want %d", st.Enqueued, producers*perProducer)
+	}
+	if got := st.Applied + st.Coalesced + st.Dropped + st.Untracked; got != st.Enqueued {
+		t.Fatalf("accounting leak: applied+coalesced+dropped+untracked = %d, enqueued = %d (%+v)", got, st.Enqueued, st)
+	}
+	if st.Applied == 0 {
+		t.Fatal("no sample applied across the whole run")
+	}
+}
+
+// wgWaitProducersThenStop waits for the producer goroutines then releases
+// the Stop/Start cycler. (The WaitGroup counts the cycler too, so the wait
+// happens in two phases via the done channel.)
+func wgWaitProducersThenStop(wg *sync.WaitGroup, stop chan struct{}) {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Producers finish on their own; the cycler needs the stop signal. A
+	// single close is enough for both orderings.
+	close(stop)
+	<-done
+}
+
+// TestMonitorIngestHammer: concurrent Observe / Track / Untrack /
+// ImportLinks / reads across 8 shards under the race detector. Afterwards
+// the ring accounting must balance exactly, refcounts must be back to
+// zero, and nothing may have applied to fully-untracked destinations after
+// their last Untrack.
+func TestMonitorIngestHammer(t *testing.T) {
+	const nDst = 8
+	dsts := make([]addr.IA, nDst)
+	pathsByDst := make(map[addr.IA][]*segment.Path, nDst)
+	for i := range dsts {
+		dsts[i] = ringDst(10 + i)
+		pathsByDst[dsts[i]] = []*segment.Path{ringPath(dsts[i], 0), ringPath(dsts[i], 1)}
+	}
+	m := NewMonitor(netsim.RealClock{}, func(ia addr.IA) []*segment.Path { return pathsByDst[ia] }, MonitorOptions{
+		Probe: func(addr.UDPAddr, string, *segment.Path, time.Duration) (time.Duration, error) {
+			return time.Millisecond, nil
+		},
+		Shards:     8,
+		IngestRing: 16, // small rings so overflow paths are exercised
+	})
+
+	snap := LinkSnapshot{Version: LinkSnapshotVersion}
+	for i := range dsts {
+		snap.Links = append(snap.Links, LinkExport{
+			A: addr.IA{ISD: 1, AS: 0xff00_0000_0111}, B: dsts[i],
+			Congestion: 5 * time.Millisecond, Dev: time.Millisecond, Sharers: 1,
+		})
+	}
+
+	var wg sync.WaitGroup
+	const producers = 4
+	const perProducer = 500
+	// Every 4th iteration submits a 2-sample burst via ObserveBatch, which
+	// exercises the flat-combining fast path alongside the ring route.
+	const perIterBatch = 4
+	samplesPerProducer := 0
+	for i := 0; i < perProducer; i++ {
+		if i%perIterBatch == 0 {
+			samplesPerProducer += 2
+		} else {
+			samplesPerProducer++
+		}
+	}
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				dst := dsts[(g+i)%nDst]
+				p := pathsByDst[dst][i%2]
+				rtt := time.Duration(1+i%9) * time.Millisecond
+				if i%perIterBatch == 0 {
+					m.ObserveBatch(p, []time.Duration{rtt, rtt + time.Millisecond})
+				} else {
+					m.Observe(p, rtt)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // tracker churn
+		defer wg.Done()
+		for round := 0; round < 40; round++ {
+			for i, dst := range dsts {
+				m.Track(ringRemote(dst, i), "hammer.test")
+			}
+			for i, dst := range dsts {
+				m.Untrack(ringRemote(dst, i), "hammer.test")
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // gossip import churn
+		defer wg.Done()
+		for round := 0; round < 50; round++ {
+			if _, err := m.ImportLinks(snap, 0.5); err != nil {
+				t.Errorf("ImportLinks: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // concurrent readers (each flushes the rings)
+		defer wg.Done()
+		for round := 0; round < 50; round++ {
+			m.LinkStats()
+			for _, dst := range dsts {
+				m.PathPenalty(pathsByDst[dst][0])
+			}
+			m.Telemetry(pathsByDst[dsts[0]][0].Fingerprint())
+		}
+	}()
+	wg.Wait()
+
+	st := m.IngestStats()
+	if want := uint64(producers * samplesPerProducer); st.Enqueued != want {
+		t.Fatalf("enqueued = %d, want %d", st.Enqueued, want)
+	}
+	if got := st.Applied + st.Coalesced + st.Dropped + st.Untracked; got != st.Enqueued {
+		t.Fatalf("accounting leak: applied+coalesced+dropped+untracked = %d, enqueued = %d (%+v)", got, st.Enqueued, st)
+	}
+
+	// Refcounts hold: every Track was matched by an Untrack.
+	if n := m.TargetCount(); n != 0 {
+		t.Fatalf("TargetCount = %d after matched Track/Untrack churn", n)
+	}
+	if n := m.TrackedPaths(); n != 0 {
+		t.Fatalf("TrackedPaths = %d after matched Track/Untrack churn", n)
+	}
+
+	// No sample applies after the LAST Untrack: everything is untracked
+	// now, so further Observes must only grow the Untracked count.
+	before := m.IngestStats()
+	for _, dst := range dsts {
+		m.Observe(pathsByDst[dst][0], 3*time.Millisecond)
+	}
+	after := m.IngestStats()
+	if after.Applied != before.Applied {
+		t.Fatalf("applied grew %d → %d on untracked destinations", before.Applied, after.Applied)
+	}
+	if after.Untracked != before.Untracked+nDst {
+		t.Fatalf("untracked grew %d → %d, want +%d", before.Untracked, after.Untracked, nDst)
+	}
+}

@@ -137,6 +137,26 @@ func (h *health) report(path *segment.Path, outcome Outcome) {
 	}
 }
 
+// reportBatch ingests the liveness half of a drained sample batch under
+// ONE lock acquisition.
+func (h *health) reportBatch(reports []SampleReport) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range reports {
+		if r.Path == nil {
+			continue
+		}
+		if r.Outcome.Failed {
+			if h.down == nil {
+				h.down = make(map[string]bool)
+			}
+			h.down[r.Path.Fingerprint()] = true
+		} else if h.down != nil {
+			delete(h.down, r.Path.Fingerprint())
+		}
+	}
+}
+
 // healthView exports the down set as PathHealth entries.
 func (h *health) healthView() []PathHealth {
 	h.mu.Lock()
@@ -232,6 +252,11 @@ func (s *PolicySelector) Report(path *segment.Path, outcome Outcome) {
 	s.report(path, outcome)
 }
 
+// ReportBatch implements BatchSink: one health lock for the whole batch.
+func (s *PolicySelector) ReportBatch(reports []SampleReport) {
+	s.reportBatch(reports)
+}
+
 // PathHealth implements HealthExporter: down-state only (the policy
 // selector tracks no latency).
 func (s *PolicySelector) PathHealth() []PathHealth {
@@ -299,6 +324,26 @@ func (s *LatencySelector) Report(path *segment.Path, outcome Outcome) {
 		s.observed[fp] = prev - prev/4 + outcome.Latency/4
 	} else {
 		s.observed[fp] = outcome.Latency
+	}
+}
+
+// ReportBatch implements BatchSink: a drained ingest batch updates the
+// EWMAs under ONE selector lock (and one health lock) instead of a lock
+// round-trip per sample — the batched half of the monitor's ring drain.
+func (s *LatencySelector) ReportBatch(reports []SampleReport) {
+	s.reportBatch(reports)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range reports {
+		if r.Path == nil || r.Outcome.Failed || r.Outcome.Latency <= 0 {
+			continue
+		}
+		fp := r.Path.Fingerprint()
+		if prev, ok := s.observed[fp]; ok {
+			s.observed[fp] = prev - prev/4 + r.Outcome.Latency/4
+		} else {
+			s.observed[fp] = r.Outcome.Latency
+		}
 	}
 }
 
@@ -375,6 +420,34 @@ func (r *RoundRobinSelector) Report(path *segment.Path, outcome Outcome) {
 	if path != nil && !outcome.Failed && !outcome.Probe && !outcome.Passive {
 		r.mu.Lock()
 		r.next[path.Dst]++
+		r.mu.Unlock()
+	}
+}
+
+// ReportBatch implements BatchSink: the inner selector gets the batch in
+// one call when it can take it (per-sample otherwise), the rotation's
+// health and advance counters update under one lock each. Passive and
+// probe samples never advance the rotation, exactly as in Report.
+func (r *RoundRobinSelector) ReportBatch(reports []SampleReport) {
+	if bs, ok := r.inner.(BatchSink); ok {
+		bs.ReportBatch(reports)
+	} else {
+		for _, rep := range reports {
+			r.inner.Report(rep.Path, rep.Outcome)
+		}
+	}
+	r.reportBatch(reports)
+	advanced := false
+	for _, rep := range reports {
+		if rep.Path != nil && !rep.Outcome.Failed && !rep.Outcome.Probe && !rep.Outcome.Passive {
+			if !advanced {
+				r.mu.Lock()
+				advanced = true
+			}
+			r.next[rep.Path.Dst]++
+		}
+	}
+	if advanced {
 		r.mu.Unlock()
 	}
 }
@@ -456,6 +529,17 @@ func (s *PinnedSelector) Rank(dst addr.IA, paths []*segment.Path) []Candidate {
 // Report implements Selector.
 func (s *PinnedSelector) Report(path *segment.Path, outcome Outcome) {
 	s.inner.Report(path, outcome)
+}
+
+// ReportBatch implements BatchSink by delegation.
+func (s *PinnedSelector) ReportBatch(reports []SampleReport) {
+	if bs, ok := s.inner.(BatchSink); ok {
+		bs.ReportBatch(reports)
+		return
+	}
+	for _, r := range reports {
+		s.inner.Report(r.Path, r.Outcome)
+	}
 }
 
 // PathHealth implements HealthExporter by delegation: pinning adds no

@@ -193,7 +193,7 @@ func (st *ServerTelemetry) handleConn(conn *squic.Conn) {
 		st.m.UntrackPassive(remote, "")
 	})
 	cs.evaluate()
-	conn.OnRTTSample(cs.onSample)
+	conn.OnRTTSampleBatch(cs.onSampleBatch)
 }
 
 // connSteer is one served connection's steering state.
@@ -245,11 +245,13 @@ func (st *ServerTelemetry) connCount(dst addr.IA) int {
 	return len(st.conns[dst])
 }
 
-// onSample is the connection's RTT observer: feed the monitor (attributed
-// to the path the reply traffic is riding NOW — that is the round trip the
-// ack measured) and re-evaluate steering when due.
-func (cs *connSteer) onSample(rtt time.Duration) {
-	cs.st.m.Observe(cs.conn.Path(), rtt)
+// onSampleBatch is the connection's RTT observer: feed the monitor one
+// coalesced ack batch (attributed to the path the reply traffic is riding
+// NOW — that is the round trip the acks measured) and re-evaluate steering
+// when due — at most once per batch, which is exactly the amortization the
+// steering evaluation wants on a busy connection.
+func (cs *connSteer) onSampleBatch(rtts []time.Duration) {
+	cs.st.m.ObserveBatch(cs.conn.Path(), rtts)
 	_, interval := cs.st.steering()
 	cs.mu.Lock()
 	now := cs.st.host.clock.Now()

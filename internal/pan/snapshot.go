@@ -84,6 +84,7 @@ func (pr *linkPrior) penalty(now time.Time, horizon time.Duration) time.Duration
 // local sample (or an unresolved local failure). Imported priors are
 // excluded — see LinkSnapshot. Output ordering is deterministic.
 func (m *Monitor) ExportLinks() LinkSnapshot {
+	m.drainAll() // before linkMu: rings sit outside every lock
 	now := m.clock.Now()
 	snap := LinkSnapshot{Version: LinkSnapshotVersion}
 	m.linkMu.Lock()

@@ -343,7 +343,7 @@ func (d *Dialer) DialStriped(ctx context.Context, remote addr.UDPAddr, serverNam
 	if monitor != nil && passive {
 		for _, w := range wins {
 			path := w.cand.Path
-			w.conn.OnRTTSample(func(rtt time.Duration) { d.observePassive(path, rtt) })
+			w.conn.OnRTTSampleBatch(func(rtts []time.Duration) { d.observePassiveBatch(path, rtts) })
 		}
 	}
 	// Every kept connection is in service: report each path's handshake as a

@@ -50,6 +50,11 @@ type probeWheel struct {
 	slotW time.Duration
 	epoch time.Time
 	fire  func(*wheelNode)
+	// onTick, when set, runs once per tick after the due nodes have fired,
+	// outside the wheel lock — the monitor hangs its ingest-ring sweep
+	// here so buffered samples land even when no producer drains inline.
+	// Set once before the wheel's first arm, never mutated after.
+	onTick func()
 
 	mu      sync.Mutex             //lint:lockorder panwheel
 	slots   [wheelSlots]*wheelNode // per-slot doubly-linked list heads
@@ -210,5 +215,8 @@ func (w *probeWheel) tick(gen uint64) {
 	w.mu.Unlock()
 	for _, n := range due {
 		w.fire(n)
+	}
+	if w.onTick != nil {
+		w.onTick()
 	}
 }

@@ -170,6 +170,7 @@ func New(cfg Config) *Proxy {
 	p.stats.SetHealthSource(p.PathHealth)
 	p.stats.SetLinkSource(p.LinkStats)
 	p.stats.SetSampleSource(p.SampleSplits)
+	p.stats.SetIngestSource(p.IngestStats)
 	if cfg.Monitor == nil && cfg.ProbeInterval > 0 {
 		p.SetProbing(cfg.ProbeInterval, cfg.ProbeBudget)
 	}
@@ -437,6 +438,19 @@ func (p *Proxy) LinkStats() []LinkStat {
 		return nil
 	}
 	return m.LinkStats()
+}
+
+// IngestStats exports the monitor's passive-sample ingest-ring accounting
+// (ok=false without an attached monitor) — how the lock-free ingest plane
+// is absorbing the proxy's sample load.
+func (p *Proxy) IngestStats() (IngestStats, bool) {
+	p.mu.Lock()
+	m := p.monitor
+	p.mu.Unlock()
+	if m == nil {
+		return IngestStats{}, false
+	}
+	return m.IngestStats(), true
 }
 
 // Close releases pooled connections, detaches from the monitor, and stops

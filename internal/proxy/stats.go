@@ -68,6 +68,11 @@ type LinkStat = pan.LinkStat
 // the stats API.
 type SampleSplit = pan.SampleSplit
 
+// IngestStats is the monitor's passive-sample ingest-ring accounting
+// (enqueue/apply/coalesce/drop/batch counters), as exported through the
+// stats API.
+type IngestStats = pan.IngestStats
+
 // Stats aggregates proxied-request outcomes. It is safe for concurrent use.
 type Stats struct {
 	mu      sync.Mutex
@@ -79,6 +84,7 @@ type Stats struct {
 	health  func() []PathHealth
 	links   func() []LinkStat
 	samples func() map[string]SampleSplit
+	ingest  func() (IngestStats, bool)
 }
 
 // PathUsage aggregates per-path feedback.
@@ -165,6 +171,15 @@ func (s *Stats) SetSampleSource(f func() map[string]SampleSplit) {
 	s.samples = f
 }
 
+// SetIngestSource installs the ingest-ring accounting provider consulted
+// by Snapshot — the proxy wires it to the monitor's IngestStats (ok=false
+// without a monitor). Called outside the stats lock.
+func (s *Stats) SetIngestSource(f func() (IngestStats, bool)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ingest = f
+}
+
 // Snapshot is an immutable copy of the aggregates.
 type Snapshot struct {
 	ByVia  map[Via]int            `json:"by_via"`
@@ -180,6 +195,10 @@ type Snapshot struct {
 	// without probing): how much of each origin's telemetry came for free
 	// from its own traffic versus from the active probe budget.
 	Samples map[string]SampleSplit `json:"samples,omitempty"`
+	// Ingest is the monitor's passive-sample ring accounting (nil without
+	// a monitor): how samples flowed through the lock-free ingest plane —
+	// applied vs coalesced vs dropped, and the batch amortization factor.
+	Ingest *IngestStats `json:"ingest,omitempty"`
 	// Striped counts requests whose bodies were fetched as concurrent byte
 	// ranges over link-disjoint paths.
 	Striped int `json:"striped,omitempty"`
@@ -189,7 +208,7 @@ type Snapshot struct {
 // Snapshot copies the current aggregates.
 func (s *Stats) Snapshot() Snapshot {
 	s.mu.Lock()
-	health, links, samples := s.health, s.links, s.samples
+	health, links, samples, ingest := s.health, s.links, s.samples, s.ingest
 	s.mu.Unlock()
 	var liveness []PathHealth
 	if health != nil {
@@ -203,6 +222,12 @@ func (s *Stats) Snapshot() Snapshot {
 	if samples != nil {
 		sampleSplit = samples()
 	}
+	var ingestStats *IngestStats
+	if ingest != nil {
+		if st, ok := ingest(); ok {
+			ingestStats = &st
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Snapshot{
@@ -211,6 +236,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Health:  liveness,
 		Links:   linkStats,
 		Samples: sampleSplit,
+		Ingest:  ingestStats,
 		Striped: s.striped,
 		Total:   len(s.records),
 	}

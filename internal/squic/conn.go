@@ -157,13 +157,22 @@ type Conn struct {
 	recoveryEnd  uint64 // loss events before this pn don't re-halve cwnd
 	srtt, rttvar time.Duration
 	rttSamples   int
-	// rttObs observes every accepted RTT sample — the passive-telemetry tap.
-	// Samples are buffered in pendingRTT under mu and flushed to the observer
-	// strictly outside it: observers reach into monitor/selector/dialer locks,
-	// and those components take c.mu (Err, Path) under their own locks — an
-	// in-lock callback would invert the order and deadlock.
-	rttObs     func(time.Duration)
-	pendingRTT []time.Duration
+	// rttObs/rttBatchObs observe accepted RTT samples — the passive-telemetry
+	// tap. Samples are coalesced in the pendingRTT inline buffer under mu
+	// (overflow overwrites the newest slot: an ack burst's samples are a
+	// redundant signal, and the tap must never allocate per packet) and
+	// flushed to the observer strictly outside the lock: observers reach into
+	// monitor/selector/dialer locks, and those components take c.mu (Err,
+	// Path) under their own locks — an in-lock callback would invert the
+	// order and deadlock. When both observers are set the batch observer
+	// wins; per-sample delivery is the compatibility shape.
+	rttObs      func(time.Duration)
+	rttBatchObs func([]time.Duration)
+	pendingRTT  [8]time.Duration
+	pendingRTTN int
+	// rttScratch is the flush-side buffer, claimed under mu and returned
+	// after delivery, so the steady-state flush path allocates nothing.
+	rttScratch []time.Duration
 	ptoCancel  func() bool
 	// ptoDeadline is the logical PTO expiry. Acks push it forward WITHOUT
 	// re-creating the timer (per-ack timer churn dominated the pooled-conn
@@ -843,8 +852,16 @@ func (c *Conn) sampleRTTLocked(rtt time.Duration) {
 		c.srtt = (7*c.srtt + rtt) / 8
 	}
 	c.rttSamples++
-	if c.rttObs != nil {
-		c.pendingRTT = append(c.pendingRTT, rtt)
+	if c.rttObs != nil || c.rttBatchObs != nil {
+		if c.pendingRTTN < len(c.pendingRTT) {
+			c.pendingRTT[c.pendingRTTN] = rtt
+			c.pendingRTTN++
+		} else {
+			// Coalesce: keep the buffer's older samples, overwrite the
+			// newest slot — the observer still sees the freshest estimate
+			// and the tap stays allocation-free under any burst.
+			c.pendingRTT[len(c.pendingRTT)-1] = rtt
+		}
 	}
 }
 
@@ -869,20 +886,52 @@ func (c *Conn) OnRTTSample(obs func(rtt time.Duration)) {
 	c.rttObs = obs
 }
 
+// OnRTTSampleBatch installs obs as the connection's BATCHED RTT observer:
+// one call per processed packet delivers every sample its acks produced
+// (coalesced to the newest few under extreme bursts), outside the
+// connection lock. Takes precedence over OnRTTSample when both are set.
+// The slice is reused between flushes — the observer must not retain it.
+// One observer at a time; nil uninstalls.
+func (c *Conn) OnRTTSampleBatch(obs func(rtts []time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rttBatchObs = obs
+}
+
 // flushRTTSamples delivers buffered RTT samples to the observer outside the
-// connection lock (see rttObs).
+// connection lock (see rttObs). The scratch buffer is claimed under the
+// lock and returned after delivery; a concurrent flush (several packets in
+// flight through delivery) simply allocates its own.
 func (c *Conn) flushRTTSamples() {
 	c.mu.Lock()
-	obs := c.rttObs
-	samples := c.pendingRTT
-	c.pendingRTT = nil
-	c.mu.Unlock()
-	if obs == nil {
+	n := c.pendingRTTN
+	obs, batchObs := c.rttObs, c.rttBatchObs
+	if n == 0 || (obs == nil && batchObs == nil) {
+		c.pendingRTTN = 0
+		c.mu.Unlock()
 		return
 	}
-	for _, rtt := range samples {
-		obs(rtt)
+	buf := c.rttScratch
+	c.rttScratch = nil
+	if cap(buf) < n {
+		buf = make([]time.Duration, n)
 	}
+	buf = buf[:n]
+	copy(buf, c.pendingRTT[:n])
+	c.pendingRTTN = 0
+	c.mu.Unlock()
+	if batchObs != nil {
+		batchObs(buf)
+	} else {
+		for _, rtt := range buf {
+			obs(rtt)
+		}
+	}
+	c.mu.Lock()
+	if c.rttScratch == nil {
+		c.rttScratch = buf
+	}
+	c.mu.Unlock()
 }
 
 // PTO backoff bounds: the exponential doubles at most maxPTOBackoff times

@@ -107,6 +107,9 @@ func TestPTOBackoffCappedNoOverflow(t *testing.T) {
 // TestRTTSampleFloorAndObserver: sub-microsecond (and zero) ack RTTs are
 // floored at MinRTTSample before entering the EWMA and before reaching the
 // observer — a LAN-fast path must never report a 0 round-trip estimate.
+// Observer delivery is COALESCED: the inline pending buffer holds the
+// burst's oldest samples plus the newest one (the freshest estimate always
+// arrives), so a between-flush burst of 65 reaches the observer as 8.
 func TestRTTSampleFloorAndObserver(t *testing.T) {
 	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
 	c, _ := deadConn(t, clock)
@@ -131,12 +134,65 @@ func TestRTTSampleFloorAndObserver(t *testing.T) {
 	if rttvar < 0 {
 		t.Fatalf("rttvar = %v negative", rttvar)
 	}
-	if len(seen) != 65 {
-		t.Fatalf("observer saw %d samples, want 65", len(seen))
+	if len(seen) != len(c.pendingRTT) {
+		t.Fatalf("observer saw %d samples, want the burst coalesced to %d", len(seen), len(c.pendingRTT))
 	}
 	for i, rtt := range seen {
 		if rtt < MinRTTSample {
 			t.Fatalf("observer sample %d = %v below the floor", i, rtt)
 		}
+	}
+	// A second flush delivers nothing: the buffer was consumed.
+	seen = seen[:0]
+	c.flushRTTSamples()
+	if len(seen) != 0 {
+		t.Fatalf("flush of an empty buffer delivered %d samples", len(seen))
+	}
+}
+
+// TestRTTSampleBatchObserver: the batched observer receives one call per
+// flush with every buffered sample, takes precedence over the per-sample
+// observer, and bursts past the inline buffer keep the newest sample in
+// the final slot (coalesce-on-full must not let the freshest measurement
+// vanish).
+func TestRTTSampleBatchObserver(t *testing.T) {
+	clock := netsim.NewSimClock(time.Date(2022, 10, 10, 0, 0, 0, 0, time.UTC))
+	c, _ := deadConn(t, clock)
+	perSample := 0
+	c.OnRTTSample(func(time.Duration) { perSample++ })
+	var batches [][]time.Duration
+	c.OnRTTSampleBatch(func(rtts []time.Duration) {
+		batches = append(batches, append([]time.Duration(nil), rtts...))
+	})
+
+	c.mu.Lock()
+	c.sampleRTTLocked(3 * time.Millisecond)
+	c.sampleRTTLocked(5 * time.Millisecond)
+	c.mu.Unlock()
+	c.flushRTTSamples()
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("batches = %v, want one batch of 2", batches)
+	}
+	if batches[0][0] != 3*time.Millisecond || batches[0][1] != 5*time.Millisecond {
+		t.Fatalf("batch = %v, want samples in order", batches[0])
+	}
+	if perSample != 0 {
+		t.Fatalf("per-sample observer ran %d times despite batch observer", perSample)
+	}
+
+	// Overflow: buffer capacity + 3 samples coalesce into capacity slots,
+	// the newest surviving in the last slot.
+	cap := len(c.pendingRTT)
+	c.mu.Lock()
+	for i := 0; i < cap+3; i++ {
+		c.sampleRTTLocked(time.Duration(i+1) * time.Millisecond)
+	}
+	c.mu.Unlock()
+	c.flushRTTSamples()
+	if len(batches) != 2 || len(batches[1]) != cap {
+		t.Fatalf("overflow flush delivered %d samples, want %d", len(batches[len(batches)-1]), cap)
+	}
+	if got := batches[1][cap-1]; got != time.Duration(cap+3)*time.Millisecond {
+		t.Fatalf("newest sample after coalesce = %v, want %v", got, time.Duration(cap+3)*time.Millisecond)
 	}
 }
